@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: expert versus automatically-generated contexts.
+ *
+ * Section 3.2 presents both strategies: an SME partitions the data into
+ * human-recognizable terrain contexts, or k-means clusters the label
+ * vectors. This bench runs the full pipeline both ways for App 4 on the
+ * Orin and compares engine fidelity, precision, and end-to-end DVD.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kodan;
+
+struct Row
+{
+    const char *name;
+    int contexts;
+    double engine_agreement;
+    double kodan_dvd;
+    double frame_time;
+};
+
+Row
+runWith(bool expert, const char *name)
+{
+    data::GeoModel world;
+    core::TransformOptions options;
+    options.train_frames = 60;
+    options.val_frames = 24;
+    options.expert_contexts = expert;
+    core::Transformer transformer(options);
+    const auto shared = transformer.prepareData(world);
+    const auto artifacts =
+        transformer.transformApp(core::Application{4}, shared);
+    const auto profile = core::SystemProfile::landsat8(
+        hw::Target::Orin15W, shared.prevalence);
+    const auto result = transformer.select(artifacts, profile);
+    return {name, shared.partition.context_count,
+            shared.engine_agreement, result.outcome.dvd,
+            result.outcome.frame_time};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: expert vs automatic contexts (App 4, "
+                  "Orin 15W)",
+                  "the Section 3.2 comparison");
+
+    const Row automatic = runWith(false, "automatic (k-means sweep)");
+    const Row expert = runWith(true, "expert (terrain classes)");
+
+    util::TablePrinter table({"contexts", "count", "engine agreement",
+                              "Kodan DVD", "frame time (s)"});
+    for (const Row &row : {automatic, expert}) {
+        table.addRow({row.name,
+                      util::TablePrinter::fmt(
+                          static_cast<long long>(row.contexts)),
+                      util::TablePrinter::fmt(row.engine_agreement),
+                      util::TablePrinter::fmt(row.kodan_dvd),
+                      util::TablePrinter::fmt(row.frame_time, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: both context strategies deliver\n"
+                 "comparable end-to-end DVD; expert contexts are easier\n"
+                 "for the engine to recognize (terrain is directly\n"
+                 "observable) while automatic contexts also split by\n"
+                 "cloudiness, which elision exploits.\n";
+    return 0;
+}

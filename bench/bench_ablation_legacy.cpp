@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: legacy (out-of-domain) reference applications.
+ *
+ * The paper's reference applications are datacenter networks deployed to
+ * a new domain; Kodan's specialization retrains them in-domain. This
+ * bench disables the legacy domain shift — training the reference on the
+ * representative dataset itself — to isolate how much of the
+ * context-specialization gain (Fig. 12) comes from in-domain retraining
+ * versus pure per-context capacity effects.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kodan;
+
+struct Row
+{
+    const char *name;
+    double direct_precision;
+    double ctx_precision;
+    double direct_dvd;
+    double kodan_dvd;
+};
+
+Row
+runWith(bool legacy, const char *name)
+{
+    data::GeoModel world;
+    core::TransformOptions options;
+    options.train_frames = 60;
+    options.val_frames = 24;
+    options.legacy_reference = legacy;
+    core::Transformer transformer(options);
+    const auto shared = transformer.prepareData(world);
+    const auto artifacts =
+        transformer.transformApp(core::Application{4}, shared);
+    const auto profile = core::SystemProfile::landsat8(
+        hw::Target::Orin15W, shared.prevalence);
+
+    const auto direct =
+        core::Transformer::directDeploy(artifacts, profile);
+    const auto kodan = transformer.select(artifacts, profile);
+
+    // Context-specialized precision (Fig. 12-style): per context, the
+    // best model candidate's density, share-weighted, at the direct
+    // tiling.
+    const auto &direct_table = artifacts.directTable();
+    double bits = 0.0;
+    double high = 0.0;
+    for (const auto &table : artifacts.tables) {
+        if (table.tiles_per_side != direct_table.tiles_per_side) {
+            continue;
+        }
+        for (int c = 0; c < table.contextCount(); ++c) {
+            const double share = table.contexts[c].tile_share;
+            double best_density = -1.0;
+            const core::ActionStats *best = nullptr;
+            for (std::size_t a = 0; a < table.actions[c].size(); ++a) {
+                if (table.actions[c][a].kind !=
+                        core::ActionKind::RunModel ||
+                    table.stats[c][a].bits_fraction <= 0.0) {
+                    continue;
+                }
+                if (table.stats[c][a].density() > best_density) {
+                    best_density = table.stats[c][a].density();
+                    best = &table.stats[c][a];
+                }
+            }
+            if (best != nullptr) {
+                bits += share * best->bits_fraction;
+                high += share * best->high_fraction;
+            }
+        }
+    }
+    return {name, direct_table.stats[0][0].density(),
+            bits > 0.0 ? high / bits : 0.0, direct.dvd, kodan.outcome.dvd};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: legacy reference domain (App 4, Orin 15W)",
+                  "the Fig. 12 mechanism");
+
+    const Row legacy = runWith(true, "legacy reference (paper setting)");
+    const Row in_domain = runWith(false, "in-domain reference");
+
+    util::TablePrinter table({"reference", "direct precision",
+                              "ctx-specialized precision", "direct DVD",
+                              "Kodan DVD"});
+    for (const Row &row : {legacy, in_domain}) {
+        table.addRow({row.name,
+                      util::TablePrinter::fmt(row.direct_precision),
+                      util::TablePrinter::fmt(row.ctx_precision),
+                      util::TablePrinter::fmt(row.direct_dvd),
+                      util::TablePrinter::fmt(row.kodan_dvd)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: with a legacy reference the\n"
+                 "context-specialized precision clearly exceeds the\n"
+                 "direct precision (in-domain retraining); with an\n"
+                 "in-domain reference the gap nearly vanishes while\n"
+                 "Kodan's end-to-end DVD stays high (elision and tiling\n"
+                 "do not depend on the domain shift).\n";
+    return 0;
+}

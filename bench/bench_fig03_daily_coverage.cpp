@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3: unique global WRS frames observed per day vs constellation
+ * size. The curve saturates at the full 233 x 248 = 57,784-scene grid;
+ * daily global coverage requires ~40 satellites.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+#include "sim/coverage.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace kodan;
+    bench::banner("Daily global coverage vs constellation size",
+                  "Figure 3");
+
+    const auto camera = sense::CameraModel::landsat8Multispectral();
+    const sense::WrsGrid grid;
+
+    util::TablePrinter table({"satellites", "unique frames/day",
+                              "coverage %"});
+    int full_coverage_sats = -1;
+    for (int sats : {1, 2, 4, 8, 16, 24, 32, 40, 48, 56}) {
+        // Randomly phased within the plane: launch and station-keeping do
+        // not phase-lock a constellation for coverage, so path overlap
+        // between satellites is what drives the slow saturation of the
+        // paper's curve.
+        util::Rng rng(2023);
+        std::vector<orbit::OrbitalElements> constellation;
+        for (int k = 0; k < sats; ++k) {
+            constellation.push_back(orbit::OrbitalElements::landsat8(
+                0.0, rng.uniform(0.0, util::kTwoPi)));
+        }
+        const auto result =
+            sim::uniqueSceneCoverage(constellation, camera, grid);
+        table.addRow(
+            {util::TablePrinter::fmt(static_cast<long long>(sats)),
+             util::TablePrinter::fmt(
+                 static_cast<long long>(result.unique_scenes)),
+             util::TablePrinter::fmt(100.0 * result.coverageFraction(),
+                                     1)});
+        if (full_coverage_sats < 0 && result.coverageFraction() > 0.90) {
+            full_coverage_sats = sats;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nGrid size: " << grid.sceneCount()
+              << " scenes (233 paths x 248 rows).\n";
+    if (full_coverage_sats > 0) {
+        std::cout << "Near-daily global coverage (>90% of scenes) "
+                     "reached at "
+                  << full_coverage_sats
+                  << " satellites (paper: curve approaches the plateau "
+                     "at ~40).\n";
+    } else {
+        std::cout << "Near-daily global coverage not reached within 56 "
+                     "satellites.\n";
+    }
+    return 0;
+}

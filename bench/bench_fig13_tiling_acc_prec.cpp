@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 13: effect of frame tiling (121 / 36 / 16 / 9 tiles per frame)
+ * on application accuracy (left) and precision (right). Each app has an
+ * empirically optimal tiling, and the accuracy-optimal and
+ * precision-optimal tilings can differ.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace kodan;
+    bench::banner("Effect of tiling on accuracy and precision",
+                  "Figure 13");
+
+    const int tilings[] = {121, 36, 16, 9};
+
+    std::cout << "Accuracy (fraction of cells labeled correctly):\n";
+    util::TablePrinter acc({"app", "121 t/f", "36 t/f", "16 t/f",
+                            "9 t/f", "best"});
+    std::cout.flush();
+    for (int tier = 1; tier <= hw::kAppCount; ++tier) {
+        const auto &app = bench::appMeasurements(tier);
+        std::vector<std::string> row = {"App " + std::to_string(tier)};
+        int best_tiling = 0;
+        double best = -1.0;
+        for (int tiling : tilings) {
+            for (const auto &table : app.direct_tables) {
+                if (table.tiles_per_side * table.tiles_per_side !=
+                    tiling) {
+                    continue;
+                }
+                const double accuracy = table.stats[0][0].cell_accuracy;
+                row.push_back(util::TablePrinter::fmt(accuracy));
+                if (accuracy > best) {
+                    best = accuracy;
+                    best_tiling = tiling;
+                }
+            }
+        }
+        row.push_back(std::to_string(best_tiling));
+        acc.addRow(row);
+    }
+    acc.print(std::cout);
+    bench::emitCsv("fig13_tiling_accuracy", acc);
+
+    std::cout << "\nPrecision (TP / (TP + FP) of kept cells):\n";
+    util::TablePrinter prec({"app", "121 t/f", "36 t/f", "16 t/f",
+                             "9 t/f", "best"});
+    for (int tier = 1; tier <= hw::kAppCount; ++tier) {
+        const auto &app = bench::appMeasurements(tier);
+        std::vector<std::string> row = {"App " + std::to_string(tier)};
+        int best_tiling = 0;
+        double best = -1.0;
+        for (int tiling : tilings) {
+            for (const auto &table : app.direct_tables) {
+                if (table.tiles_per_side * table.tiles_per_side !=
+                    tiling) {
+                    continue;
+                }
+                const double density = table.stats[0][0].density();
+                row.push_back(util::TablePrinter::fmt(density));
+                if (density > best) {
+                    best = density;
+                    best_tiling = tiling;
+                }
+            }
+        }
+        row.push_back(std::to_string(best_tiling));
+        prec.addRow(row);
+    }
+    prec.print(std::cout);
+    bench::emitCsv("fig13_tiling_precision", prec);
+
+    std::cout << "\nExpected shape: an interior (app-dependent) optimum;\n"
+                 "accuracy-optimal and precision-optimal tile counts can\n"
+                 "differ (paper Fig. 13).\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Context exploration: how the automatic context generation behaves.
+ *
+ * Sweeps cluster count and distance metric over the representative
+ * dataset's label vectors (as the paper's transformation step does),
+ * reports cluster validity, compares the automatic contexts with the
+ * expert terrain partition, and shows how well the deployed context
+ * engine imitates each.
+ */
+
+#include <iostream>
+
+#include "core/kodan.hpp"
+#include "data/generator.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using namespace kodan;
+
+    std::cout << "=== Context explorer ===\n\n";
+
+    // Representative tiles.
+    data::GeoModel world;
+    data::DatasetParams params;
+    params.grid = 66;
+    params.seed = 31415;
+    data::DatasetGenerator generator(world, params);
+    const auto frames = generator.generateGlobal(60);
+    const data::Tiler tiler(6);
+    std::vector<data::TileData> tiles;
+    for (const auto &frame : frames) {
+        auto frame_tiles = tiler.tile(frame);
+        tiles.insert(tiles.end(),
+                     std::make_move_iterator(frame_tiles.begin()),
+                     std::make_move_iterator(frame_tiles.end()));
+    }
+    std::cout << "Representative dataset: " << frames.size()
+              << " frames, " << tiles.size() << " tiles\n\n";
+
+    // --- Sweep cluster count x metric, as Section 3.2 describes.
+    std::cout << "Clustering sweep (mean silhouette, higher = better "
+                 "separated):\n";
+    util::TablePrinter sweep({"k", "euclidean", "cosine", "hamming"});
+    util::Rng rng(7);
+    ml::Matrix labels(tiles.size(), data::kLabelDim);
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        std::copy(tiles[i].label_vector.begin(),
+                  tiles[i].label_vector.end(), labels.row(i));
+    }
+    ml::Standardizer scaler;
+    scaler.fit(labels);
+    const ml::Matrix scaled = scaler.transform(labels);
+    for (int k : {2, 3, 4, 5, 6, 8}) {
+        std::vector<std::string> row = {std::to_string(k)};
+        for (ml::Distance metric :
+             {ml::Distance::Euclidean, ml::Distance::Cosine,
+              ml::Distance::Hamming}) {
+            const ml::KMeans kmeans(k, metric);
+            const auto result = kmeans.fit(scaled, rng);
+            row.push_back(util::TablePrinter::fmt(
+                ml::silhouetteScore(scaled, result)));
+        }
+        sweep.addRow(row);
+    }
+    sweep.print(std::cout);
+    std::cout << "\n";
+
+    // --- The partition the transformation step would pick.
+    const core::ContextPartitioner partitioner;
+    const auto auto_partition = partitioner.fitAuto(tiles, rng);
+    const auto auto_infos = core::summarizeContexts(
+        tiles, auto_partition.assignment, auto_partition.context_count);
+    std::cout << "Automatic contexts (k=" << auto_partition.context_count
+              << ", metric " << ml::distanceName(auto_partition.metric)
+              << ", silhouette "
+              << util::TablePrinter::fmt(auto_partition.silhouette)
+              << "):\n";
+    util::TablePrinter auto_table({"context", "dominant terrain", "share",
+                                   "high-value fraction"});
+    for (const auto &info : auto_infos) {
+        auto_table.addRow({std::to_string(info.id), info.description,
+                           util::TablePrinter::fmt(info.tile_share),
+                           util::TablePrinter::fmt(info.prevalence)});
+    }
+    auto_table.print(std::cout);
+    std::cout << "\n";
+
+    // --- Expert terrain partition for comparison.
+    const auto expert = partitioner.fitExpert(tiles);
+    const auto expert_infos = core::summarizeContexts(
+        tiles, expert.assignment, expert.context_count);
+    std::cout << "Expert (terrain) contexts:\n";
+    util::TablePrinter expert_table({"terrain", "share",
+                                     "high-value fraction"});
+    for (const auto &info : expert_infos) {
+        expert_table.addRow({info.description,
+                             util::TablePrinter::fmt(info.tile_share),
+                             util::TablePrinter::fmt(info.prevalence)});
+    }
+    expert_table.print(std::cout);
+    std::cout << "\n";
+
+    // --- Context engines for both (feature-space classifiers).
+    const core::ContextEngine auto_engine(tiles, auto_partition, rng);
+    const core::ContextEngine expert_engine(tiles, expert, rng);
+    std::cout << "Context engine agreement with its partition (fresh "
+                 "tiles):\n";
+    const auto fresh_frames = generator.generateGlobal(16);
+    std::vector<data::TileData> fresh;
+    for (const auto &frame : fresh_frames) {
+        auto frame_tiles = tiler.tile(frame);
+        fresh.insert(fresh.end(),
+                     std::make_move_iterator(frame_tiles.begin()),
+                     std::make_move_iterator(frame_tiles.end()));
+    }
+    std::cout << "  automatic contexts: "
+              << util::TablePrinter::fmt(
+                     auto_engine.agreement(fresh, auto_partition))
+              << "\n";
+    std::cout << "  expert contexts:    "
+              << util::TablePrinter::fmt(
+                     expert_engine.agreement(fresh, expert))
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+#include "core/engine.hpp"
+
+#include <array>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace kodan::core {
+
+namespace {
+
+ml::MlpConfig
+engineConfig(int context_count)
+{
+    ml::MlpConfig config;
+    config.input_dim = ContextEngine::kInputDim;
+    config.hidden = {24, 16};
+    config.output_dim = context_count;
+    config.output = ml::OutputKind::Softmax;
+    return config;
+}
+
+void
+rawInput(const data::TileData &tile, double *out)
+{
+    for (int ch = 0; ch < data::kFeatureDim; ++ch) {
+        out[ch] = tile.feature_mean[ch];
+        out[data::kFeatureDim + ch] = tile.feature_std[ch];
+    }
+}
+
+} // namespace
+
+ContextEngine::ContextEngine(const std::vector<data::TileData> &tiles,
+                             const Partition &partition, util::Rng &rng)
+    : context_count_(partition.context_count),
+      net_(engineConfig(partition.context_count), rng)
+{
+    assert(!tiles.empty());
+    assert(tiles.size() == partition.assignment.size());
+
+    ml::Matrix x(tiles.size(), kInputDim);
+    std::vector<double> targets(tiles.size());
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        rawInput(tiles[i], x.row(i));
+        targets[i] = static_cast<double>(partition.assignment[i]);
+    }
+    scaler_.fit(x);
+    const ml::Matrix scaled = scaler_.transform(x);
+
+    ml::TrainOptions options;
+    options.epochs = 8;
+    options.batch_size = 64;
+    options.learning_rate = 3.0e-3;
+    net_.train(scaled, targets, options, rng);
+}
+
+void
+ContextEngine::tileInput(const data::TileData &tile, double *out) const
+{
+    rawInput(tile, out);
+    scaler_.transformRow(out);
+}
+
+int
+ContextEngine::classify(const data::TileData &tile) const
+{
+    std::array<double, kInputDim> input{};
+    tileInput(tile, input.data());
+    return net_.predictClass(input.data());
+}
+
+ContextEngine::ContextEngine(int context_count, ml::Standardizer scaler,
+                             ml::Mlp net)
+    : context_count_(context_count), scaler_(std::move(scaler)),
+      net_(std::move(net))
+{
+}
+
+void
+ContextEngine::save(std::ostream &os) const
+{
+    os << "context-engine " << context_count_ << '\n';
+    scaler_.save(os);
+    net_.save(os);
+}
+
+ContextEngine
+ContextEngine::load(std::istream &is)
+{
+    std::string tag;
+    int context_count = 0;
+    is >> tag >> context_count;
+    ml::Standardizer scaler = ml::Standardizer::load(is);
+    ml::Mlp net = ml::Mlp::load(is);
+    return ContextEngine(context_count, std::move(scaler),
+                         std::move(net));
+}
+
+double
+ContextEngine::agreement(const std::vector<data::TileData> &tiles,
+                         const Partition &partition) const
+{
+    if (tiles.empty()) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (const auto &tile : tiles) {
+        if (classify(tile) == partition.assignTile(tile)) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / tiles.size();
+}
+
+} // namespace kodan::core

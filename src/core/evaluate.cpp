@@ -1,0 +1,394 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "orbit/propagator.hpp"
+#include "sense/camera.hpp"
+#include "util/units.hpp"
+
+namespace kodan::core {
+
+SystemProfile
+SystemProfile::landsat8(hw::Target target, double prevalence,
+                        double downlink_bits_per_day)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto camera = sense::CameraModel::landsat8Multispectral();
+
+    SystemProfile profile;
+    profile.target = target;
+    profile.frame_deadline = camera.framePeriod(sat.groundTrackSpeed());
+    profile.frames_per_day = util::kSecondsPerDay / profile.frame_deadline;
+    profile.frame_bits = camera.frameBits();
+    profile.downlink_bits_per_day = downlink_bits_per_day;
+    profile.prevalence = prevalence;
+    return profile;
+}
+
+int
+ContextActionTable::findAction(int context, const Action &action) const
+{
+    assert(context >= 0 && context < contextCount());
+    const auto &cands = actions[context];
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (cands[i] == action) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+DeploymentEvaluator::DeploymentEvaluator(const SpecializedZoo *zoo,
+                                         const ContextEngine *engine)
+    : zoo_(zoo), engine_(engine)
+{
+    assert(zoo != nullptr);
+}
+
+namespace {
+
+/** Per-(context, candidate) accumulators. */
+struct ActionAccum
+{
+    double total_cells = 0.0;
+    double kept_cells = 0.0;
+    double kept_high_cells = 0.0;
+    double correct_cells = 0.0;
+
+    ActionStats finish(std::size_t model_params) const
+    {
+        ActionStats stats;
+        if (total_cells > 0.0) {
+            stats.bits_fraction = kept_cells / total_cells;
+            stats.high_fraction = kept_high_cells / total_cells;
+            stats.cell_accuracy = correct_cells / total_cells;
+        }
+        stats.model_params = model_params;
+        return stats;
+    }
+};
+
+/** Per-block truth counts of one tile. */
+struct BlockTruth
+{
+    std::array<double, data::kBlocksPerTile> high{};
+    std::array<double, data::kBlocksPerTile> total{};
+    double tile_high = 0.0;
+    double tile_total = 0.0;
+
+    explicit BlockTruth(const data::TileData &tile)
+    {
+        for (int r = 0; r < tile.cell_rows; ++r) {
+            for (int c = 0; c < tile.cell_cols; ++c) {
+                const int block = tile.blockOfCell(r, c);
+                total[block] += 1.0;
+                if (!tile.cloudyLocal(r, c)) {
+                    high[block] += 1.0;
+                }
+            }
+        }
+        for (int b = 0; b < data::kBlocksPerTile; ++b) {
+            tile_high += high[b];
+            tile_total += total[b];
+        }
+    }
+};
+
+} // namespace
+
+ContextActionTable
+DeploymentEvaluator::measureTable(
+    const std::vector<data::FrameSample> &frames, int tiles_per_side) const
+{
+    assert(engine_ != nullptr);
+    const int context_count = engine_->contextCount();
+
+    ContextActionTable table;
+    table.tiles_per_side = tiles_per_side;
+    table.contexts.resize(context_count);
+    table.actions.resize(context_count);
+    table.stats.resize(context_count);
+
+    // Candidate actions per context: Discard, Downlink, applicable models.
+    std::vector<std::vector<int>> model_cands(context_count);
+    for (int c = 0; c < context_count; ++c) {
+        table.actions[c].push_back({ActionKind::Discard, -1});
+        table.actions[c].push_back({ActionKind::Downlink, -1});
+        model_cands[c] = zoo_->candidatesFor(c);
+        for (int entry : model_cands[c]) {
+            table.actions[c].push_back({ActionKind::RunModel, entry});
+        }
+    }
+
+    std::vector<std::vector<ActionAccum>> accums(context_count);
+    for (int c = 0; c < context_count; ++c) {
+        accums[c].resize(table.actions[c].size());
+    }
+    std::vector<double> context_tiles(context_count, 0.0);
+    std::vector<double> context_cells(context_count, 0.0);
+    std::vector<double> context_high(context_count, 0.0);
+    double total_tiles = 0.0;
+
+    const data::Tiler tiler(tiles_per_side);
+    for (const auto &frame : frames) {
+        const auto tiles = tiler.tile(frame);
+        for (const auto &tile : tiles) {
+            const int ctx = engine_->classify(tile);
+            const BlockTruth truth(tile);
+            ++context_tiles[ctx];
+            ++total_tiles;
+            context_cells[ctx] += truth.tile_total;
+            context_high[ctx] += truth.tile_high;
+
+            auto &ctx_accums = accums[ctx];
+            // Candidate 0: Discard — keep nothing; low-value labels are
+            // correct on cloudy cells.
+            ctx_accums[0].total_cells += truth.tile_total;
+            ctx_accums[0].correct_cells +=
+                truth.tile_total - truth.tile_high;
+            // Candidate 1: Downlink — keep everything raw.
+            ctx_accums[1].total_cells += truth.tile_total;
+            ctx_accums[1].kept_cells += truth.tile_total;
+            ctx_accums[1].kept_high_cells += truth.tile_high;
+            ctx_accums[1].correct_cells += truth.tile_high;
+            // Model candidates.
+            for (std::size_t m = 0; m < model_cands[ctx].size(); ++m) {
+                const int entry = model_cands[ctx][m];
+                ActionAccum &accum = ctx_accums[2 + m];
+                accum.total_cells += truth.tile_total;
+                for (int b = 0; b < data::kBlocksPerTile; ++b) {
+                    if (truth.total[b] <= 0.0) {
+                        continue;
+                    }
+                    const double p_cloudy =
+                        zoo_->predictBlock(entry, tile, b);
+                    if (p_cloudy < 0.5) {
+                        // Block kept as high-value.
+                        accum.kept_cells += truth.total[b];
+                        accum.kept_high_cells += truth.high[b];
+                        accum.correct_cells += truth.high[b];
+                    } else {
+                        accum.correct_cells +=
+                            truth.total[b] - truth.high[b];
+                    }
+                }
+            }
+        }
+    }
+
+    for (int c = 0; c < context_count; ++c) {
+        table.contexts[c].id = c;
+        table.contexts[c].tile_share =
+            total_tiles > 0.0 ? context_tiles[c] / total_tiles : 0.0;
+        table.contexts[c].prevalence =
+            context_cells[c] > 0.0 ? context_high[c] / context_cells[c]
+                                   : 0.0;
+        table.stats[c].reserve(table.actions[c].size());
+        for (std::size_t a = 0; a < table.actions[c].size(); ++a) {
+            const Action &action = table.actions[c][a];
+            const std::size_t params =
+                action.kind == ActionKind::RunModel
+                    ? hw::CostModel::tierParamCount(
+                          zoo_->entries[action.model].tier)
+                    : 0;
+            table.stats[c].push_back(accums[c][a].finish(params));
+        }
+    }
+    return table;
+}
+
+ContextActionTable
+DeploymentEvaluator::measureDirectTable(
+    const std::vector<data::FrameSample> &frames, int tiles_per_side) const
+{
+    ContextActionTable table;
+    table.tiles_per_side = tiles_per_side;
+    table.contexts.resize(1);
+    table.actions.resize(1);
+    table.stats.resize(1);
+    table.actions[0].push_back({ActionKind::RunModel, zoo_->reference});
+
+    ActionAccum accum;
+    double cells = 0.0;
+    double high = 0.0;
+    const data::Tiler tiler(tiles_per_side);
+    for (const auto &frame : frames) {
+        const auto tiles = tiler.tile(frame);
+        for (const auto &tile : tiles) {
+            const BlockTruth truth(tile);
+            cells += truth.tile_total;
+            high += truth.tile_high;
+            accum.total_cells += truth.tile_total;
+            for (int b = 0; b < data::kBlocksPerTile; ++b) {
+                if (truth.total[b] <= 0.0) {
+                    continue;
+                }
+                const double p_cloudy =
+                    zoo_->predictBlock(zoo_->reference, tile, b);
+                if (p_cloudy < 0.5) {
+                    accum.kept_cells += truth.total[b];
+                    accum.kept_high_cells += truth.high[b];
+                    accum.correct_cells += truth.high[b];
+                } else {
+                    accum.correct_cells += truth.total[b] - truth.high[b];
+                }
+            }
+        }
+    }
+    table.contexts[0].id = 0;
+    table.contexts[0].tile_share = 1.0;
+    table.contexts[0].prevalence = cells > 0.0 ? high / cells : 0.0;
+    table.contexts[0].description = "all";
+    table.stats[0].push_back(accum.finish(
+        hw::CostModel::tierParamCount(zoo_->entries[zoo_->reference].tier)));
+    return table;
+}
+
+ActionStats
+DeploymentEvaluator::measureModelOnTiles(
+    int entry, const std::vector<const data::TileData *> &tiles) const
+{
+    ActionAccum accum;
+    for (const auto *tile : tiles) {
+        const BlockTruth truth(*tile);
+        accum.total_cells += truth.tile_total;
+        for (int b = 0; b < data::kBlocksPerTile; ++b) {
+            if (truth.total[b] <= 0.0) {
+                continue;
+            }
+            const double p_cloudy = zoo_->predictBlock(entry, *tile, b);
+            if (p_cloudy < 0.5) {
+                accum.kept_cells += truth.total[b];
+                accum.kept_high_cells += truth.high[b];
+                accum.correct_cells += truth.high[b];
+            } else {
+                accum.correct_cells += truth.total[b] - truth.high[b];
+            }
+        }
+    }
+    return accum.finish(
+        hw::CostModel::tierParamCount(zoo_->entries[entry].tier));
+}
+
+DeploymentOutcome
+evaluateLogic(const SystemProfile &profile, const ContextActionTable &table,
+              const std::vector<Action> &per_context,
+              bool use_context_engine, bool send_unprocessed_raw)
+{
+    assert(static_cast<int>(per_context.size()) == table.contextCount());
+
+    const double tiles_per_frame =
+        static_cast<double>(table.tiles_per_side) * table.tiles_per_side;
+    const double tile_bits = profile.frame_bits / tiles_per_frame;
+    const double engine_time =
+        use_context_engine ? hw::CostModel::contextEngineTime(profile.target)
+                           : 0.0;
+
+    struct Pool
+    {
+        double bits;
+        double high;
+    };
+    std::vector<Pool> pools;
+    DeploymentOutcome outcome;
+    double share_total = 0.0;
+
+    for (int c = 0; c < table.contextCount(); ++c) {
+        const double share = table.contexts[c].tile_share;
+        if (share <= 0.0) {
+            continue;
+        }
+        const int idx = table.findAction(c, per_context[c]);
+        assert(idx >= 0 && "action not in candidate table");
+        const ActionStats &stats = table.stats[c][idx];
+        const double action_time =
+            per_context[c].kind == ActionKind::RunModel
+                ? hw::CostModel::modelTime(stats.model_params,
+                                           profile.target)
+                : 0.0;
+        outcome.frame_time +=
+            share * tiles_per_frame * (engine_time + action_time);
+        outcome.cell_accuracy += share * stats.cell_accuracy;
+        share_total += share;
+        pools.push_back(
+            {share * tiles_per_frame * tile_bits * stats.bits_fraction,
+             share * tiles_per_frame * tile_bits * stats.high_fraction});
+    }
+    if (share_total > 0.0) {
+        outcome.cell_accuracy /= share_total;
+    }
+
+    outcome.processed_fraction =
+        outcome.frame_time <= profile.frame_deadline
+            ? 1.0
+            : profile.frame_deadline / outcome.frame_time;
+
+    // Daily volumes.
+    const double processed_frames =
+        profile.frames_per_day * outcome.processed_fraction;
+    double product_bits = 0.0;
+    double product_high = 0.0;
+    for (auto &pool : pools) {
+        pool.bits *= processed_frames;
+        pool.high *= processed_frames;
+        product_bits += pool.bits;
+        product_high += pool.high;
+    }
+    outcome.product_precision =
+        product_bits > 0.0 ? product_high / product_bits : 1.0;
+
+    if (send_unprocessed_raw) {
+        const double raw_frames =
+            profile.frames_per_day - processed_frames;
+        pools.push_back({raw_frames * profile.frame_bits,
+                         raw_frames * profile.frame_bits *
+                             profile.prevalence});
+    }
+
+    // Drain the saturated downlink, best pools first; the raw pool sorts
+    // by its prevalence density like any other.
+    std::sort(pools.begin(), pools.end(), [](const Pool &a, const Pool &b) {
+        const double da = a.bits > 0.0 ? a.high / a.bits : 0.0;
+        const double db = b.bits > 0.0 ? b.high / b.bits : 0.0;
+        return da > db;
+    });
+    double budget = profile.downlink_bits_per_day;
+    for (const auto &pool : pools) {
+        if (budget <= 0.0 || pool.bits <= 0.0) {
+            continue;
+        }
+        const double sent = std::min(budget, pool.bits);
+        outcome.bits_sent += sent;
+        outcome.high_bits_sent += pool.high * (sent / pool.bits);
+        budget -= sent;
+    }
+    outcome.dvd = outcome.bits_sent > 0.0
+                      ? outcome.high_bits_sent / outcome.bits_sent
+                      : 0.0;
+    const double observed_high =
+        profile.frames_per_day * profile.frame_bits * profile.prevalence;
+    outcome.high_value_yield =
+        observed_high > 0.0 ? outcome.high_bits_sent / observed_high : 0.0;
+    return outcome;
+}
+
+DeploymentOutcome
+bentPipeOutcome(const SystemProfile &profile)
+{
+    DeploymentOutcome outcome;
+    outcome.frame_time = 0.0;
+    outcome.processed_fraction = 0.0;
+    const double observed = profile.frames_per_day * profile.frame_bits;
+    outcome.bits_sent = std::min(profile.downlink_bits_per_day, observed);
+    outcome.high_bits_sent = outcome.bits_sent * profile.prevalence;
+    outcome.dvd = profile.prevalence;
+    outcome.product_precision = profile.prevalence;
+    outcome.cell_accuracy = profile.prevalence;
+    outcome.high_value_yield =
+        observed > 0.0 ? outcome.bits_sent / observed : 0.0;
+    return outcome;
+}
+
+} // namespace kodan::core

@@ -1,0 +1,256 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace kodan::core {
+
+namespace {
+
+constexpr int kBundleVersion = 1;
+
+void
+expectTag(std::istream &is, const std::string &expected)
+{
+    std::string tag;
+    is >> tag;
+    if (tag != expected) {
+        util::fatal("kodan::core::io: expected '" + expected + "', got '" +
+                    tag + "'");
+    }
+}
+
+} // namespace
+
+void
+saveTable(std::ostream &os, const ContextActionTable &table)
+{
+    os << "table " << table.tiles_per_side << ' ' << table.contextCount()
+       << '\n';
+    os.precision(17);
+    for (int c = 0; c < table.contextCount(); ++c) {
+        const auto &info = table.contexts[c];
+        os << "context " << info.id << ' ' << info.tile_share << ' '
+           << info.prevalence << ' '
+           << (info.description.empty() ? "-" : info.description) << ' '
+           << table.actions[c].size() << '\n';
+        for (std::size_t a = 0; a < table.actions[c].size(); ++a) {
+            const Action &action = table.actions[c][a];
+            const ActionStats &stats = table.stats[c][a];
+            os << static_cast<int>(action.kind) << ' ' << action.model
+               << ' ' << stats.bits_fraction << ' ' << stats.high_fraction
+               << ' ' << stats.cell_accuracy << ' ' << stats.model_params
+               << '\n';
+        }
+    }
+}
+
+ContextActionTable
+loadTable(std::istream &is)
+{
+    expectTag(is, "table");
+    ContextActionTable table;
+    int contexts = 0;
+    is >> table.tiles_per_side >> contexts;
+    if (!is || contexts < 0) {
+        util::fatal("kodan::core::io: malformed table header");
+    }
+    table.contexts.resize(contexts);
+    table.actions.resize(contexts);
+    table.stats.resize(contexts);
+    for (int c = 0; c < contexts; ++c) {
+        expectTag(is, "context");
+        std::size_t action_count = 0;
+        auto &info = table.contexts[c];
+        is >> info.id >> info.tile_share >> info.prevalence >>
+            info.description >> action_count;
+        if (info.description == "-") {
+            info.description.clear();
+        }
+        for (std::size_t a = 0; a < action_count; ++a) {
+            int kind = 0;
+            Action action;
+            ActionStats stats;
+            is >> kind >> action.model >> stats.bits_fraction >>
+                stats.high_fraction >> stats.cell_accuracy >>
+                stats.model_params;
+            action.kind = static_cast<ActionKind>(kind);
+            table.actions[c].push_back(action);
+            table.stats[c].push_back(stats);
+        }
+    }
+    if (!is) {
+        util::fatal("kodan::core::io: truncated table");
+    }
+    return table;
+}
+
+void
+saveBundle(std::ostream &os, const MeasuredBundle &bundle)
+{
+    os << "kodan-bundle " << kBundleVersion << '\n';
+    os.precision(17);
+    os << bundle.prevalence << ' ' << bundle.apps.size() << '\n';
+    for (const auto &app : bundle.apps) {
+        os << "app " << app.tier << ' ' << app.direct_tiles_per_frame
+           << ' ' << app.tables.size() << ' ' << app.direct_tables.size()
+           << '\n';
+        for (const auto &table : app.tables) {
+            saveTable(os, table);
+        }
+        for (const auto &table : app.direct_tables) {
+            saveTable(os, table);
+        }
+    }
+}
+
+MeasuredBundle
+loadBundle(std::istream &is)
+{
+    expectTag(is, "kodan-bundle");
+    MeasuredBundle bundle;
+    is >> bundle.version;
+    if (bundle.version != kBundleVersion) {
+        util::fatal("kodan::core::io: bundle version mismatch");
+    }
+    std::size_t app_count = 0;
+    is >> bundle.prevalence >> app_count;
+    for (std::size_t i = 0; i < app_count; ++i) {
+        expectTag(is, "app");
+        MeasuredApp app;
+        std::size_t tables = 0;
+        std::size_t direct_tables = 0;
+        is >> app.tier >> app.direct_tiles_per_frame >> tables >>
+            direct_tables;
+        for (std::size_t t = 0; t < tables; ++t) {
+            app.tables.push_back(loadTable(is));
+        }
+        for (std::size_t t = 0; t < direct_tables; ++t) {
+            app.direct_tables.push_back(loadTable(is));
+        }
+        bundle.apps.push_back(std::move(app));
+    }
+    if (!is) {
+        util::fatal("kodan::core::io: truncated bundle");
+    }
+    return bundle;
+}
+
+void
+saveLogic(std::ostream &os, const SelectionLogic &logic)
+{
+    os << "selection-logic " << logic.tiles_per_side << ' '
+       << logic.per_context.size() << '\n';
+    for (const Action &action : logic.per_context) {
+        os << static_cast<int>(action.kind) << ' ' << action.model
+           << '\n';
+    }
+}
+
+SelectionLogic
+loadLogic(std::istream &is)
+{
+    expectTag(is, "selection-logic");
+    SelectionLogic logic;
+    std::size_t contexts = 0;
+    is >> logic.tiles_per_side >> contexts;
+    for (std::size_t c = 0; c < contexts; ++c) {
+        int kind = 0;
+        Action action;
+        is >> kind >> action.model;
+        action.kind = static_cast<ActionKind>(kind);
+        logic.per_context.push_back(action);
+    }
+    if (!is) {
+        util::fatal("kodan::core::io: truncated selection logic");
+    }
+    return logic;
+}
+
+void
+saveZoo(std::ostream &os, const SpecializedZoo &zoo)
+{
+    os << "zoo " << zoo.entries.size() << ' ' << zoo.reference << '\n';
+    zoo.scaler.save(os);
+    for (const auto &entry : zoo.entries) {
+        os << "entry " << entry.tier << ' ' << entry.context << '\n';
+        entry.net.save(os);
+    }
+}
+
+SpecializedZoo
+loadZoo(std::istream &is)
+{
+    expectTag(is, "zoo");
+    std::size_t entries = 0;
+    SpecializedZoo zoo;
+    is >> entries >> zoo.reference;
+    zoo.scaler = ml::Standardizer::load(is);
+    for (std::size_t e = 0; e < entries; ++e) {
+        expectTag(is, "entry");
+        int tier = 0;
+        int context = 0;
+        is >> tier >> context;
+        ml::Mlp net = ml::Mlp::load(is);
+        zoo.entries.push_back(ZooEntry{std::move(net), tier, context});
+    }
+    if (!is) {
+        util::fatal("kodan::core::io: truncated zoo");
+    }
+    return zoo;
+}
+
+void
+DeploymentPackage::save(std::ostream &os) const
+{
+    os << "kodan-deployment 1 " << static_cast<int>(target) << '\n';
+    saveLogic(os, logic);
+    engine.save(os);
+    saveZoo(os, zoo);
+}
+
+DeploymentPackage
+DeploymentPackage::load(std::istream &is)
+{
+    expectTag(is, "kodan-deployment");
+    int version = 0;
+    int target = 0;
+    is >> version >> target;
+    if (version != 1) {
+        util::fatal("kodan::core::io: deployment version mismatch");
+    }
+    SelectionLogic logic = loadLogic(is);
+    ContextEngine engine = ContextEngine::load(is);
+    SpecializedZoo zoo = loadZoo(is);
+    return DeploymentPackage{std::move(logic), std::move(engine),
+                             std::move(zoo),
+                             static_cast<hw::Target>(target)};
+}
+
+bool
+tryLoadBundle(const std::string &path, MeasuredBundle &bundle)
+{
+    std::ifstream file(path);
+    if (!file) {
+        return false;
+    }
+    bundle = loadBundle(file);
+    return true;
+}
+
+void
+storeBundle(const std::string &path, const MeasuredBundle &bundle)
+{
+    std::ofstream file(path);
+    if (!file) {
+        KODAN_LOG(util::LogLevel::Warn,
+                  "could not write bundle to " << path);
+        return;
+    }
+    saveBundle(file, bundle);
+}
+
+} // namespace kodan::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Serialization of measured evaluation artifacts.
+ *
+ * The one-time transformation step is the expensive part of every
+ * experiment (dataset synthesis, clustering, zoo training, table
+ * measurement). Its *measured outputs* — the per-tiling action tables —
+ * are all the figure benches need, and they are target-independent, so
+ * they are cached to disk in a plain text format. The trained networks
+ * themselves serialize via ml::Mlp::save/load.
+ */
+
+#ifndef KODAN_CORE_IO_HPP
+#define KODAN_CORE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/selection.hpp"
+#include "core/types.hpp"
+#include "hw/target.hpp"
+
+namespace kodan::core {
+
+/** Serialize a measured table (text, line-oriented). */
+void saveTable(std::ostream &os, const ContextActionTable &table);
+
+/** Deserialize a table written by saveTable(). Fatal on malformed input. */
+ContextActionTable loadTable(std::istream &is);
+
+/**
+ * The measured (network-free) part of an application's artifacts: all
+ * tables plus the direct-deploy tiling decision.
+ */
+struct MeasuredApp
+{
+    /** Application tier. */
+    int tier = 1;
+    /** Kodan candidate tables per tiling. */
+    std::vector<ContextActionTable> tables;
+    /** Direct-deploy tables per tiling. */
+    std::vector<ContextActionTable> direct_tables;
+    /** Accuracy-maximal tiling (tiles per frame). */
+    int direct_tiles_per_frame = 36;
+};
+
+/** Measured bundle for a whole experiment run. */
+struct MeasuredBundle
+{
+    /** Format version tag; bump when the pipeline changes. */
+    int version = 1;
+    /** High-value prevalence of the validation set. */
+    double prevalence = 0.48;
+    /** Per-application measurements. */
+    std::vector<MeasuredApp> apps;
+};
+
+/** Serialize a bundle. */
+void saveBundle(std::ostream &os, const MeasuredBundle &bundle);
+
+/** Deserialize a bundle written by saveBundle(). */
+MeasuredBundle loadBundle(std::istream &is);
+
+/**
+ * Load a bundle from @p path; returns false when the file is absent.
+ * @param path File path.
+ * @param bundle Output.
+ */
+bool tryLoadBundle(const std::string &path, MeasuredBundle &bundle);
+
+/** Write a bundle to @p path (best-effort; logs on failure). */
+void storeBundle(const std::string &path, const MeasuredBundle &bundle);
+
+/** Serialize a selection logic. */
+void saveLogic(std::ostream &os, const SelectionLogic &logic);
+
+/** Deserialize a selection logic written by saveLogic(). */
+SelectionLogic loadLogic(std::istream &is);
+
+/** Serialize a trained zoo (scaler + every network). */
+void saveZoo(std::ostream &os, const SpecializedZoo &zoo);
+
+/** Deserialize a zoo written by saveZoo(). */
+SpecializedZoo loadZoo(std::istream &is);
+
+/**
+ * Everything a satellite needs on orbit: the context engine, the model
+ * zoo, the selection logic, and the hardware target the logic was swept
+ * for. This is the artifact the one-time transformation step "uplinks".
+ */
+struct DeploymentPackage
+{
+    /** Deployed policy. */
+    SelectionLogic logic;
+    /** Trained context engine. */
+    ContextEngine engine;
+    /** Trained model zoo. */
+    SpecializedZoo zoo;
+    /** Target the logic was selected for. */
+    hw::Target target = hw::Target::Orin15W;
+
+    /** Serialize the whole package. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize a package written by save(). */
+    static DeploymentPackage load(std::istream &is);
+};
+
+} // namespace kodan::core
+
+#endif // KODAN_CORE_IO_HPP

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Umbrella header of the Kodan library.
+ *
+ * Typical usage (see examples/quickstart.cpp):
+ * @code
+ *   kodan::data::GeoModel world;                       // synthetic Earth
+ *   kodan::core::Transformer transformer;              // one-time step
+ *   auto shared = transformer.prepareData(world);      // contexts+engine
+ *   kodan::core::Application app{4};                   // Table 1 tier 4
+ *   auto artifacts = transformer.transformApp(app, shared);
+ *   auto profile = kodan::core::SystemProfile::landsat8(
+ *       kodan::hw::Target::Orin15W, shared.prevalence);
+ *   auto result = transformer.select(artifacts, profile);
+ *   // result.logic is the deployable policy; result.outcome.dvd is the
+ *   // projected data value density of the saturated downlink.
+ * @endcode
+ */
+
+#ifndef KODAN_CORE_KODAN_HPP
+#define KODAN_CORE_KODAN_HPP
+
+#include "core/engine.hpp"
+#include "core/evaluate.hpp"
+#include "core/partition.hpp"
+#include "core/runtime.hpp"
+#include "core/selection.hpp"
+#include "core/specialize.hpp"
+#include "core/transformer.hpp"
+#include "core/types.hpp"
+
+#endif // KODAN_CORE_KODAN_HPP

@@ -1,0 +1,158 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace kodan::core {
+
+int
+Partition::assignTile(const data::TileData &tile) const
+{
+    if (expert) {
+        // Dominant terrain class is the context id.
+        int best = 0;
+        for (int k = 1; k < data::kTerrainCount; ++k) {
+            if (tile.label_vector[k] > tile.label_vector[best]) {
+                best = k;
+            }
+        }
+        return best;
+    }
+    std::array<double, data::kLabelDim> scaled{};
+    std::copy(tile.label_vector.begin(), tile.label_vector.end(),
+              scaled.begin());
+    scaler.transformRow(scaled.data());
+    if (use_pca) {
+        ml::Matrix row(1, data::kLabelDim);
+        std::copy(scaled.begin(), scaled.end(), row.row(0));
+        const ml::Matrix projected = pca.transform(row);
+        return clustering.nearest(projected.row(0));
+    }
+    return clustering.nearest(scaled.data());
+}
+
+ContextPartitioner::ContextPartitioner(const PartitionOptions &options)
+    : options_(options)
+{
+    assert(!options_.k_candidates.empty());
+    assert(!options_.metrics.empty());
+}
+
+Partition
+ContextPartitioner::fitAuto(const std::vector<data::TileData> &tiles,
+                            util::Rng &rng) const
+{
+    assert(!tiles.empty());
+    ml::Matrix labels(tiles.size(), data::kLabelDim);
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        std::copy(tiles[i].label_vector.begin(),
+                  tiles[i].label_vector.end(), labels.row(i));
+    }
+
+    Partition best;
+    best.silhouette = -2.0;
+    ml::Standardizer scaler;
+    scaler.fit(labels);
+    const ml::Matrix scaled = scaler.transform(labels);
+
+    // Optional PCA-projected candidate space (a rotation + projection of
+    // the standardized label vectors).
+    ml::Pca pca;
+    ml::Matrix projected;
+    const bool try_pca =
+        options_.sweep_pca &&
+        options_.pca_components < data::kLabelDim &&
+        tiles.size() >= 2;
+    if (try_pca) {
+        pca.fit(scaled, options_.pca_components);
+        projected = pca.transform(scaled);
+    }
+
+    for (int space = 0; space < (try_pca ? 2 : 1); ++space) {
+        const ml::Matrix &candidates = space == 0 ? scaled : projected;
+        for (ml::Distance metric : options_.metrics) {
+            for (int k : options_.k_candidates) {
+                if (static_cast<std::size_t>(k) > tiles.size()) {
+                    continue;
+                }
+                const ml::KMeans kmeans(k, metric, 64,
+                                        options_.restarts);
+                ml::KMeansResult result = kmeans.fit(candidates, rng);
+                const double score =
+                    ml::silhouetteScore(candidates, result);
+                if (score > best.silhouette) {
+                    best.silhouette = score;
+                    best.context_count = k;
+                    best.metric = metric;
+                    best.use_pca = space == 1;
+                    best.assignment = result.assignment;
+                    best.clustering = std::move(result);
+                }
+            }
+        }
+    }
+    best.scaler = scaler;
+    best.pca = pca;
+    best.expert = false;
+    assert(best.context_count > 0);
+    return best;
+}
+
+Partition
+ContextPartitioner::fitExpert(const std::vector<data::TileData> &tiles) const
+{
+    Partition partition;
+    partition.expert = true;
+    partition.context_count = data::kTerrainCount;
+    partition.assignment.reserve(tiles.size());
+    for (const auto &tile : tiles) {
+        partition.assignment.push_back(partition.assignTile(tile));
+    }
+    return partition;
+}
+
+std::vector<ContextInfo>
+summarizeContexts(const std::vector<data::TileData> &tiles,
+                  const std::vector<int> &assignment, int context_count)
+{
+    assert(tiles.size() == assignment.size());
+    std::vector<ContextInfo> infos(context_count);
+    std::vector<std::array<double, data::kTerrainCount>> terrain(
+        context_count);
+    std::vector<std::size_t> counts(context_count, 0);
+
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        const int c = assignment[i];
+        assert(c >= 0 && c < context_count);
+        ++counts[c];
+        infos[c].prevalence += tiles[i].high_value_fraction;
+        for (int k = 0; k < data::kTerrainCount; ++k) {
+            terrain[c][k] += tiles[i].label_vector[k];
+        }
+    }
+    for (int c = 0; c < context_count; ++c) {
+        infos[c].id = c;
+        if (counts[c] == 0) {
+            infos[c].description = "(empty)";
+            continue;
+        }
+        const double n = static_cast<double>(counts[c]);
+        infos[c].tile_share = n / static_cast<double>(tiles.size());
+        infos[c].prevalence /= n;
+        int dominant = 0;
+        for (int k = 1; k < data::kTerrainCount; ++k) {
+            if (terrain[c][k] > terrain[c][dominant]) {
+                dominant = k;
+            }
+        }
+        infos[c].description =
+            data::terrainName(static_cast<data::Terrain>(dominant));
+        if (infos[c].prevalence < 0.35) {
+            infos[c].description += "+cloudy";
+        }
+    }
+    return infos;
+}
+
+} // namespace kodan::core

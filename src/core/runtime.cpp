@@ -1,0 +1,118 @@
+#include "core/runtime.hpp"
+
+#include <cassert>
+
+#include "data/tiler.hpp"
+
+namespace kodan::core {
+
+Runtime::Runtime(const SelectionLogic &logic, const ContextEngine *engine,
+                 const SpecializedZoo *zoo, hw::Target target)
+    : logic_(logic), engine_(engine), zoo_(zoo), target_(target)
+{
+    assert(engine != nullptr);
+    assert(zoo != nullptr);
+    assert(static_cast<int>(logic_.per_context.size()) ==
+           engine->contextCount());
+}
+
+FrameReport
+Runtime::processFrame(const data::FrameSample &frame) const
+{
+    FrameReport report;
+    const data::Tiler tiler(logic_.tiles_per_side);
+    const auto tiles = tiler.tile(frame);
+    const double frame_cells = static_cast<double>(frame.cellCount());
+    const double engine_time = hw::CostModel::contextEngineTime(target_);
+
+    for (const auto &tile : tiles) {
+        report.compute_time += engine_time;
+        const int ctx = engine_->classify(tile);
+        const Action &action = logic_.per_context[ctx];
+        const double tile_cells = static_cast<double>(tile.cellCount());
+
+        switch (action.kind) {
+          case ActionKind::Discard: {
+            ++report.tiles_discarded;
+            for (int r = 0; r < tile.cell_rows; ++r) {
+                for (int c = 0; c < tile.cell_cols; ++c) {
+                    report.cells.add(false, !tile.cloudyLocal(r, c));
+                }
+            }
+            break;
+          }
+          case ActionKind::Downlink: {
+            ++report.tiles_downlinked;
+            double high_cells = 0.0;
+            for (int r = 0; r < tile.cell_rows; ++r) {
+                for (int c = 0; c < tile.cell_cols; ++c) {
+                    const bool high = !tile.cloudyLocal(r, c);
+                    report.cells.add(true, high);
+                    if (high) {
+                        high_cells += 1.0;
+                    }
+                }
+            }
+            report.product_fraction += tile_cells / frame_cells;
+            report.product_high_fraction += high_cells / frame_cells;
+            break;
+          }
+          case ActionKind::RunModel: {
+            ++report.tiles_modeled;
+            assert(action.model >= 0 &&
+                   action.model <
+                       static_cast<int>(zoo_->entries.size()));
+            report.compute_time += hw::CostModel::modelTime(
+                hw::CostModel::tierParamCount(
+                    zoo_->entries[action.model].tier),
+                target_);
+            // Per-block keep decision, applied to the block's cells.
+            std::array<bool, data::kBlocksPerTile> keep{};
+            for (int b = 0; b < data::kBlocksPerTile; ++b) {
+                keep[b] = zoo_->predictBlock(action.model, tile, b) < 0.5;
+            }
+            for (int r = 0; r < tile.cell_rows; ++r) {
+                for (int c = 0; c < tile.cell_cols; ++c) {
+                    const bool kept = keep[tile.blockOfCell(r, c)];
+                    const bool high = !tile.cloudyLocal(r, c);
+                    report.cells.add(kept, high);
+                    if (kept) {
+                        report.product_fraction += 1.0 / frame_cells;
+                        if (high) {
+                            report.product_high_fraction +=
+                                1.0 / frame_cells;
+                        }
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return report;
+}
+
+FrameReport
+Runtime::aggregate(const std::vector<FrameReport> &reports)
+{
+    FrameReport total;
+    if (reports.empty()) {
+        return total;
+    }
+    for (const auto &report : reports) {
+        total.compute_time += report.compute_time;
+        total.product_fraction += report.product_fraction;
+        total.product_high_fraction += report.product_high_fraction;
+        total.tiles_discarded += report.tiles_discarded;
+        total.tiles_downlinked += report.tiles_downlinked;
+        total.tiles_modeled += report.tiles_modeled;
+        total.cells.merge(report.cells);
+    }
+    const double n = static_cast<double>(reports.size());
+    total.compute_time /= n;
+    total.product_fraction /= n;
+    total.product_high_fraction /= n;
+    return total;
+}
+
+} // namespace kodan::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The deployed runtime (paper Fig. 7, right): per-frame execution of the
+ * selection logic on a satellite.
+ *
+ * Each frame is tiled per the logic; the context engine labels each
+ * tile; tiles are then discarded, queued raw for downlink, or filtered
+ * by the chosen specialized model. Compute time is charged from the
+ * hardware cost model. The runtime is the ground-truth implementation
+ * the analytic projection (evaluateLogic) is validated against.
+ */
+
+#ifndef KODAN_CORE_RUNTIME_HPP
+#define KODAN_CORE_RUNTIME_HPP
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/selection.hpp"
+#include "core/specialize.hpp"
+#include "data/sample.hpp"
+#include "hw/target.hpp"
+#include "ml/confusion.hpp"
+
+namespace kodan::core {
+
+/** Outcome of processing one frame on board. */
+struct FrameReport
+{
+    /** Modeled on-board compute time (s), engine + models. */
+    double compute_time = 0.0;
+    /** Product bits emitted, as a fraction of the raw frame bits. */
+    double product_fraction = 0.0;
+    /** Truly high-value product bits, as a fraction of raw frame bits. */
+    double product_high_fraction = 0.0;
+    /** Tiles elided to Discard. */
+    int tiles_discarded = 0;
+    /** Tiles elided to Downlink. */
+    int tiles_downlinked = 0;
+    /** Tiles filtered by a model. */
+    int tiles_modeled = 0;
+    /** Cell-level confusion of the frame's keep/drop decisions. */
+    ml::ConfusionStats cells;
+};
+
+/**
+ * Executes a selection logic on frames.
+ */
+class Runtime
+{
+  public:
+    /**
+     * @param logic Deployed policy.
+     * @param engine Context engine (not owned).
+     * @param zoo Model zoo (not owned).
+     * @param target Hardware the compute time is charged against.
+     */
+    Runtime(const SelectionLogic &logic, const ContextEngine *engine,
+            const SpecializedZoo *zoo, hw::Target target);
+
+    /** The deployed policy. */
+    const SelectionLogic &logic() const { return logic_; }
+
+    /** Process one captured frame. */
+    FrameReport processFrame(const data::FrameSample &frame) const;
+
+    /** Aggregate reports over a frame set (mean time, summed counts). */
+    static FrameReport aggregate(const std::vector<FrameReport> &reports);
+
+  private:
+    SelectionLogic logic_;
+    const ContextEngine *engine_;
+    const SpecializedZoo *zoo_;
+    hw::Target target_;
+};
+
+} // namespace kodan::core
+
+#endif // KODAN_CORE_RUNTIME_HPP

@@ -1,0 +1,173 @@
+#include "core/selection.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace kodan::core {
+
+SelectionOptimizer::SelectionOptimizer(const SweepOptions &options)
+    : options_(options)
+{
+    assert(!options_.tile_counts.empty());
+}
+
+namespace {
+
+/**
+ * Preference order of the sweep. Under a saturated downlink, maximizing
+ * DVD and maximizing high-value bits coincide; when candidate policies
+ * undersaturate the link, high-value volume must dominate — otherwise
+ * the sweep degenerates to "discard everything but a pure trickle".
+ * Near-ties (within 0.5% of value) break toward shorter frame time, so
+ * the logic prefers meeting the soft frame deadline when the marginal
+ * value of exceeding it is negligible (paper Section 3.4).
+ */
+bool
+betterOutcome(const DeploymentOutcome &a, const DeploymentOutcome &b)
+{
+    const double scale = std::max(a.high_bits_sent, b.high_bits_sent);
+    if (std::fabs(a.high_bits_sent - b.high_bits_sent) > 0.005 * scale) {
+        return a.high_bits_sent > b.high_bits_sent;
+    }
+    if (a.frame_time != b.frame_time) {
+        return a.frame_time < b.frame_time;
+    }
+    return a.dvd > b.dvd;
+}
+
+} // namespace
+
+std::vector<int>
+SelectionOptimizer::allowedCandidates(const ContextActionTable &table,
+                                      int context) const
+{
+    std::vector<int> allowed;
+    for (std::size_t i = 0; i < table.actions[context].size(); ++i) {
+        const Action &action = table.actions[context][i];
+        if (action.kind != ActionKind::RunModel &&
+            !options_.allow_elision) {
+            continue;
+        }
+        if (action.kind == ActionKind::RunModel &&
+            !options_.allow_specialization && action.model != 0) {
+            // Entry 0 is the global reference model by construction.
+            continue;
+        }
+        allowed.push_back(static_cast<int>(i));
+    }
+    assert(!allowed.empty());
+    return allowed;
+}
+
+std::pair<std::vector<Action>, DeploymentOutcome>
+SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
+                                     const ContextActionTable &table) const
+{
+    const int contexts = table.contextCount();
+    std::vector<std::vector<int>> allowed(contexts);
+    std::size_t combos = 1;
+    bool overflow = false;
+    for (int c = 0; c < contexts; ++c) {
+        allowed[c] = allowedCandidates(table, c);
+        if (combos > options_.max_enumeration / allowed[c].size()) {
+            overflow = true;
+        }
+        combos *= allowed[c].size();
+    }
+
+    auto assemble = [&](const std::vector<std::size_t> &choice) {
+        std::vector<Action> actions(contexts);
+        for (int c = 0; c < contexts; ++c) {
+            actions[c] = table.actions[c][allowed[c][choice[c]]];
+        }
+        return actions;
+    };
+
+    std::vector<std::size_t> choice(contexts, 0);
+    std::vector<Action> best_actions = assemble(choice);
+    DeploymentOutcome best_outcome =
+        evaluateLogic(profile, table, best_actions, true,
+                      options_.send_unprocessed_raw);
+
+    if (!overflow) {
+        // Exhaustive odometer over all combinations.
+        while (true) {
+            int pos = contexts - 1;
+            while (pos >= 0) {
+                if (++choice[pos] < allowed[pos].size()) {
+                    break;
+                }
+                choice[pos] = 0;
+                --pos;
+            }
+            if (pos < 0) {
+                break;
+            }
+            const auto actions = assemble(choice);
+            const auto outcome =
+                evaluateLogic(profile, table, actions, true,
+                              options_.send_unprocessed_raw);
+            if (betterOutcome(outcome, best_outcome)) {
+                best_outcome = outcome;
+                best_actions = actions;
+            }
+        }
+        return {best_actions, best_outcome};
+    }
+
+    // Coordinate ascent fallback for very large candidate spaces.
+    std::vector<std::size_t> current(contexts, 0);
+    bool improved = true;
+    best_actions = assemble(current);
+    best_outcome = evaluateLogic(profile, table, best_actions, true,
+                                 options_.send_unprocessed_raw);
+    while (improved) {
+        improved = false;
+        for (int c = 0; c < contexts; ++c) {
+            std::size_t best_cand = current[c];
+            for (std::size_t cand = 0; cand < allowed[c].size(); ++cand) {
+                if (cand == best_cand) {
+                    continue;
+                }
+                current[c] = cand;
+                const auto actions = assemble(current);
+                const auto outcome =
+                    evaluateLogic(profile, table, actions, true,
+                                  options_.send_unprocessed_raw);
+                if (betterOutcome(outcome, best_outcome)) {
+                    best_outcome = outcome;
+                    best_actions = actions;
+                    best_cand = cand;
+                    improved = true;
+                }
+            }
+            current[c] = best_cand;
+        }
+    }
+    return {best_actions, best_outcome};
+}
+
+SweepResult
+SelectionOptimizer::optimize(
+    const SystemProfile &profile,
+    const std::vector<ContextActionTable> &tables) const
+{
+    assert(!tables.empty());
+    SweepResult result;
+    bool first = true;
+    for (const auto &table : tables) {
+        auto [actions, outcome] = optimizeAtTiling(profile, table);
+        result.per_tiling.emplace_back(
+            table.tiles_per_side * table.tiles_per_side, outcome);
+        if (first || betterOutcome(outcome, result.outcome)) {
+            first = false;
+            result.logic.tiles_per_side = table.tiles_per_side;
+            result.logic.per_context = std::move(actions);
+            result.outcome = outcome;
+        }
+    }
+    return result;
+}
+
+} // namespace kodan::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Selection logic (paper Section 3.4): the per-deployment policy mapping
+ * each context to an action, plus the sweep that produces it.
+ *
+ * The one-time transformation step sweeps frame tile count and
+ * per-context elision/model choices and keeps the combination
+ * maximizing the projected data value density of the saturated downlink.
+ */
+
+#ifndef KODAN_CORE_SELECTION_HPP
+#define KODAN_CORE_SELECTION_HPP
+
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/types.hpp"
+
+namespace kodan::core {
+
+/** The deployable policy produced by the transformation step. */
+struct SelectionLogic
+{
+    /** Tiles per frame side. */
+    int tiles_per_side = 6;
+    /** Action per context id. */
+    std::vector<Action> per_context;
+};
+
+/** Sweep configuration. */
+struct SweepOptions
+{
+    /** Tile counts (per frame) to sweep; paper uses {121, 36, 16, 9}. */
+    std::vector<int> tile_counts = {121, 36, 16, 9};
+    /** Permit Discard/Downlink elision actions. */
+    bool allow_elision = true;
+    /** Permit specialized models (false = reference model only). */
+    bool allow_specialization = true;
+    /** Queue raw unprocessed frames behind products. */
+    bool send_unprocessed_raw = true;
+    /** Max exhaustive combinations before falling back to coordinate
+     *  ascent. */
+    std::size_t max_enumeration = 2000000;
+};
+
+/** Outcome of the sweep. */
+struct SweepResult
+{
+    /** Best policy found. */
+    SelectionLogic logic;
+    /** Its projected outcome. */
+    DeploymentOutcome outcome;
+    /** Best outcome found at each swept tiling (diagnostics). */
+    std::vector<std::pair<int, DeploymentOutcome>> per_tiling;
+};
+
+/**
+ * Sweeps tile count and per-context actions to maximize DVD.
+ */
+class SelectionOptimizer
+{
+  public:
+    explicit SelectionOptimizer(const SweepOptions &options = {});
+
+    /**
+     * Optimize over a set of measured tables (one per tiling).
+     *
+     * @param profile Target system.
+     * @param tables One ContextActionTable per candidate tiling; the
+     *        tiling is read from each table.
+     */
+    SweepResult optimize(const SystemProfile &profile,
+                         const std::vector<ContextActionTable> &tables)
+        const;
+
+    /**
+     * Best per-context action assignment for one table.
+     *
+     * Exhaustive when the combination count is tractable, otherwise
+     * coordinate ascent from a greedy start.
+     */
+    std::pair<std::vector<Action>, DeploymentOutcome> optimizeAtTiling(
+        const SystemProfile &profile,
+        const ContextActionTable &table) const;
+
+  private:
+    SweepOptions options_;
+
+    /** Candidate indices allowed by the options for a context. */
+    std::vector<int> allowedCandidates(const ContextActionTable &table,
+                                       int context) const;
+};
+
+} // namespace kodan::core
+
+#endif // KODAN_CORE_SELECTION_HPP

@@ -1,0 +1,208 @@
+#include "core/specialize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace kodan::core {
+
+namespace {
+
+/** Flat list of (tile index, block index) training rows. */
+struct BlockRef
+{
+    std::size_t tile;
+    int block;
+};
+
+/** Collect (and optionally subsample) block references. */
+std::vector<BlockRef>
+collectBlocks(const std::vector<data::TileData> &tiles,
+              const std::vector<int> &contexts, int wanted_context,
+              std::size_t cap, util::Rng &rng)
+{
+    std::vector<BlockRef> refs;
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        if (wanted_context >= 0 && contexts[i] != wanted_context) {
+            continue;
+        }
+        for (int b = 0; b < data::kBlocksPerTile; ++b) {
+            refs.push_back({i, b});
+        }
+    }
+    if (refs.size() > cap) {
+        const auto perm = rng.permutation(refs.size());
+        std::vector<BlockRef> sampled;
+        sampled.reserve(cap);
+        for (std::size_t i = 0; i < cap; ++i) {
+            sampled.push_back(refs[perm[i]]);
+        }
+        refs.swap(sampled);
+    }
+    return refs;
+}
+
+ml::MlpConfig
+tierConfig(int tier)
+{
+    Application app{tier};
+    return app.surrogateConfig();
+}
+
+/**
+ * Append a jittered copy of every row (visual channels only): the
+ * augmentation of paper Section 4.
+ */
+void
+augment(ml::Matrix &x, std::vector<double> &y, double sigma,
+        util::Rng &rng)
+{
+    if (sigma <= 0.0) {
+        return;
+    }
+    const std::size_t n = x.rows();
+    ml::Matrix augmented(2 * n, x.cols());
+    std::vector<double> targets(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *src = x.row(i);
+        double *clean = augmented.row(i);
+        double *noisy = augmented.row(n + i);
+        for (std::size_t d = 0; d < x.cols(); ++d) {
+            clean[d] = src[d];
+            noisy[d] = d < data::kVisualDim
+                           ? src[d] + rng.normal(0.0, sigma)
+                           : src[d];
+        }
+        targets[i] = y[i];
+        targets[n + i] = y[i];
+    }
+    x = std::move(augmented);
+    y = std::move(targets);
+}
+
+} // namespace
+
+double
+SpecializedZoo::predictBlock(int entry, const data::TileData &tile,
+                             int block) const
+{
+    assert(entry >= 0 && entry < static_cast<int>(entries.size()));
+    std::array<double, data::kBlockInputDim> input{};
+    tile.blockInput(block, input.data());
+    scaler.transformRow(input.data());
+    return entries[entry].net.predictProb(input.data());
+}
+
+std::vector<int>
+SpecializedZoo::candidatesFor(int context) const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].context == context || entries[i].context == -1) {
+            out.push_back(static_cast<int>(i));
+        }
+    }
+    return out;
+}
+
+ModelSpecializer::ModelSpecializer(const Application &app,
+                                   const SpecializeOptions &options)
+    : app_(app), options_(options)
+{
+    assert(app.tier >= 1 && app.tier <= hw::kAppCount);
+}
+
+SpecializedZoo
+ModelSpecializer::trainZoo(
+    const std::vector<data::TileData> &tiles,
+    const std::vector<int> &contexts, int context_count, util::Rng &rng,
+    const std::vector<data::TileData> *legacy_tiles) const
+{
+    assert(tiles.size() == contexts.size());
+    assert(context_count >= 1);
+
+    SpecializedZoo zoo;
+
+    // ---- Reference model: the app architecture trained on its original
+    // corpus (the legacy domain when provided, otherwise the
+    // representative dataset), truth labels.
+    const std::vector<data::TileData> &ref_corpus =
+        legacy_tiles != nullptr && !legacy_tiles->empty() ? *legacy_tiles
+                                                          : tiles;
+    const std::vector<int> no_filter(ref_corpus.size(), -1);
+    auto ref_refs = collectBlocks(ref_corpus, no_filter, -1,
+                                  options_.max_train_blocks, rng);
+    assert(!ref_refs.empty());
+
+    ml::Matrix x(ref_refs.size(), data::kBlockInputDim);
+    std::vector<double> y(ref_refs.size());
+    for (std::size_t i = 0; i < ref_refs.size(); ++i) {
+        ref_corpus[ref_refs[i].tile].blockInput(ref_refs[i].block,
+                                                x.row(i));
+        y[i] = ref_corpus[ref_refs[i].tile]
+                   .block_cloud_fraction[ref_refs[i].block];
+    }
+    // The scaler is part of the deployed application: it is fit on the
+    // (un-augmented) reference corpus, exactly like the normalization
+    // constants shipped with a pretrained network.
+    zoo.scaler.fit(x);
+    augment(x, y, options_.augment_noise, rng);
+    const ml::Matrix x_scaled = zoo.scaler.transform(x);
+
+    {
+        ml::Mlp net(tierConfig(app_.tier), rng);
+        net.train(x_scaled, y, options_.train, rng);
+        zoo.entries.push_back(ZooEntry{std::move(net), app_.tier, -1});
+    }
+    zoo.reference = 0;
+
+    // ---- Specialized candidates: tiers {1, ceil(app/2), app}, dedup.
+    std::vector<int> candidate_tiers = {1, (app_.tier + 1) / 2, app_.tier};
+    std::sort(candidate_tiers.begin(), candidate_tiers.end());
+    candidate_tiers.erase(
+        std::unique(candidate_tiers.begin(), candidate_tiers.end()),
+        candidate_tiers.end());
+
+    const std::size_t per_context_cap =
+        std::max<std::size_t>(1024, options_.max_train_blocks /
+                                        static_cast<std::size_t>(
+                                            context_count));
+
+    for (int c = 0; c < context_count; ++c) {
+        auto refs = collectBlocks(tiles, contexts, c, per_context_cap, rng);
+        if (refs.size() < 64) {
+            continue; // too little data to specialize for this context
+        }
+        ml::Matrix cx(refs.size(), data::kBlockInputDim);
+        std::vector<double> cy(refs.size());
+        for (std::size_t i = 0; i < refs.size(); ++i) {
+            const auto &tile = tiles[refs[i].tile];
+            tile.blockInput(refs[i].block, cx.row(i));
+        }
+        {
+            const ml::Matrix clean_scaled = zoo.scaler.transform(cx);
+            for (std::size_t i = 0; i < refs.size(); ++i) {
+                const auto &tile = tiles[refs[i].tile];
+                if (options_.labels_from_reference) {
+                    // The deployed reference application labels the
+                    // data.
+                    cy[i] = zoo.entries[zoo.reference].net.predictProb(
+                        clean_scaled.row(i));
+                } else {
+                    cy[i] = tile.block_cloud_fraction[refs[i].block];
+                }
+            }
+        }
+        augment(cx, cy, options_.augment_noise, rng);
+        const ml::Matrix cx_scaled = zoo.scaler.transform(cx);
+        for (int tier : candidate_tiers) {
+            ml::Mlp net(tierConfig(tier), rng);
+            net.train(cx_scaled, cy, options_.train, rng);
+            zoo.entries.push_back(ZooEntry{std::move(net), tier, c});
+        }
+    }
+    return zoo;
+}
+
+} // namespace kodan::core

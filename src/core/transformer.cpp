@@ -1,0 +1,202 @@
+#include "core/transformer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace kodan::core {
+
+const ContextActionTable &
+AppArtifacts::directTable() const
+{
+    for (const auto &table : direct_tables) {
+        if (table.tiles_per_side * table.tiles_per_side ==
+            direct_tiles_per_frame) {
+            return table;
+        }
+    }
+    assert(!direct_tables.empty());
+    return direct_tables.front();
+}
+
+Transformer::Transformer(const TransformOptions &options)
+    : options_(options)
+{
+    assert(options_.train_frames >= 1);
+    assert(options_.val_frames >= 1);
+    assert(options_.reference_tiling >= 1);
+}
+
+DataArtifacts
+Transformer::prepareData(const data::GeoModel &geo) const
+{
+    data::DatasetParams params;
+    params.seed = util::splitMix64(options_.seed ^ 0xDA7A);
+    data::DatasetGenerator generator(geo, params);
+    auto frames = generator.generateGlobal(options_.train_frames +
+                                           options_.val_frames);
+    std::vector<data::FrameSample> train(
+        std::make_move_iterator(frames.begin()),
+        std::make_move_iterator(frames.begin() + options_.train_frames));
+    std::vector<data::FrameSample> val(
+        std::make_move_iterator(frames.begin() + options_.train_frames),
+        std::make_move_iterator(frames.end()));
+    return prepareData(std::move(train), std::move(val));
+}
+
+DataArtifacts
+Transformer::prepareData(std::vector<data::FrameSample> train,
+                         std::vector<data::FrameSample> val) const
+{
+    assert(!train.empty() && !val.empty());
+    DataArtifacts shared;
+    shared.train = std::move(train);
+    shared.val = std::move(val);
+
+    util::Rng rng(util::splitMix64(options_.seed ^ 0x5EED));
+
+    // Tile the training frames at the reference tiling.
+    const data::Tiler tiler(options_.reference_tiling);
+    for (const auto &frame : shared.train) {
+        auto tiles = tiler.tile(frame);
+        shared.train_tiles.insert(shared.train_tiles.end(),
+                                  std::make_move_iterator(tiles.begin()),
+                                  std::make_move_iterator(tiles.end()));
+    }
+
+    // Legacy corpus: the out-of-domain world the reference applications
+    // were originally built for.
+    if (options_.legacy_reference) {
+        const data::GeoModel legacy_world(
+            data::GeoModelParams::legacyDomain());
+        data::DatasetParams legacy_params;
+        legacy_params.seed = util::splitMix64(options_.seed ^ 0x1E6AC);
+        if (!shared.train.empty()) {
+            legacy_params.grid = shared.train.front().grid;
+            legacy_params.frame_size_m = shared.train.front().size_m;
+        }
+        data::DatasetGenerator legacy_gen(legacy_world, legacy_params);
+        shared.legacy = legacy_gen.generateGlobal(options_.legacy_frames);
+        for (const auto &frame : shared.legacy) {
+            auto tiles = tiler.tile(frame);
+            shared.legacy_tiles.insert(
+                shared.legacy_tiles.end(),
+                std::make_move_iterator(tiles.begin()),
+                std::make_move_iterator(tiles.end()));
+        }
+    }
+
+    // Contexts: automatic clustering (or expert terrain partition).
+    const ContextPartitioner partitioner(options_.partition);
+    shared.partition =
+        options_.expert_contexts
+            ? partitioner.fitExpert(shared.train_tiles)
+            : partitioner.fitAuto(shared.train_tiles, rng);
+
+    // Context engine, trained to imitate the partition from features.
+    shared.engine = std::make_unique<ContextEngine>(shared.train_tiles,
+                                                    shared.partition, rng);
+
+    // The deployed engine's labels are downstream ground truth.
+    shared.train_contexts.reserve(shared.train_tiles.size());
+    for (const auto &tile : shared.train_tiles) {
+        shared.train_contexts.push_back(shared.engine->classify(tile));
+    }
+    shared.contexts =
+        summarizeContexts(shared.train_tiles, shared.train_contexts,
+                          shared.partition.context_count);
+
+    // Validation diagnostics.
+    std::vector<data::TileData> val_tiles;
+    for (const auto &frame : shared.val) {
+        auto tiles = tiler.tile(frame);
+        val_tiles.insert(val_tiles.end(),
+                         std::make_move_iterator(tiles.begin()),
+                         std::make_move_iterator(tiles.end()));
+    }
+    shared.engine_agreement =
+        shared.engine->agreement(val_tiles, shared.partition);
+    double high = 0.0;
+    double cells = 0.0;
+    for (const auto &frame : shared.val) {
+        high += frame.highValueFraction() *
+                static_cast<double>(frame.cellCount());
+        cells += static_cast<double>(frame.cellCount());
+    }
+    shared.prevalence = cells > 0.0 ? high / cells : 0.0;
+    return shared;
+}
+
+AppArtifacts
+Transformer::transformApp(const Application &app,
+                          const DataArtifacts &shared) const
+{
+    assert(shared.engine != nullptr);
+    AppArtifacts artifacts;
+    artifacts.app = app;
+
+    util::Rng rng(util::splitMix64(options_.seed ^
+                                   (0xA4B0 + static_cast<std::uint64_t>(
+                                                 app.tier))));
+
+    const ModelSpecializer specializer(app, options_.specialize);
+    artifacts.zoo = specializer.trainZoo(
+        shared.train_tiles, shared.train_contexts,
+        shared.partition.context_count, rng,
+        shared.legacy_tiles.empty() ? nullptr : &shared.legacy_tiles);
+
+    const DeploymentEvaluator evaluator(&artifacts.zoo,
+                                        shared.engine.get());
+    for (int tiles_per_frame : options_.sweep.tile_counts) {
+        const int side =
+            static_cast<int>(std::lround(std::sqrt(tiles_per_frame)));
+        artifacts.tables.push_back(
+            evaluator.measureTable(shared.val, side));
+        artifacts.direct_tables.push_back(
+            evaluator.measureDirectTable(shared.val, side));
+    }
+
+    // Direct deployment uses the accuracy-maximal tiling (prior work).
+    double best_accuracy = -1.0;
+    for (const auto &table : artifacts.direct_tables) {
+        const double accuracy = table.stats[0][0].cell_accuracy;
+        if (accuracy > best_accuracy) {
+            best_accuracy = accuracy;
+            artifacts.direct_tiles_per_frame =
+                table.tiles_per_side * table.tiles_per_side;
+        }
+    }
+    return artifacts;
+}
+
+SweepResult
+Transformer::select(const AppArtifacts &artifacts,
+                    const SystemProfile &profile) const
+{
+    const SelectionOptimizer optimizer(options_.sweep);
+    return optimizer.optimize(profile, artifacts.tables);
+}
+
+DeploymentPackage
+Transformer::makeDeployment(const DataArtifacts &shared,
+                            const AppArtifacts &artifacts,
+                            const SystemProfile &profile) const
+{
+    assert(shared.engine != nullptr);
+    SweepResult result = select(artifacts, profile);
+    return DeploymentPackage{std::move(result.logic), *shared.engine,
+                             artifacts.zoo, profile.target};
+}
+
+DeploymentOutcome
+Transformer::directDeploy(const AppArtifacts &artifacts,
+                          const SystemProfile &profile)
+{
+    const ContextActionTable &table = artifacts.directTable();
+    const std::vector<Action> actions = {
+        {ActionKind::RunModel, artifacts.zoo.reference}};
+    return evaluateLogic(profile, table, actions,
+                         /*use_context_engine=*/false,
+                         /*send_unprocessed_raw=*/true);
+}
+
+} // namespace kodan::core

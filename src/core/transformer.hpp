@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The one-time transformation step (paper Fig. 7, left): from a
+ * representative dataset and a reference application to deployable
+ * artifacts — contexts, a context engine, a specialized-model zoo,
+ * measured action tables, and (per target system) a selection logic.
+ *
+ * The step is split in two stages so the expensive dataset-level work
+ * (generation, clustering, engine training) is shared across the seven
+ * applications:
+ *   1. prepareData()  — dataset-level artifacts, application-independent;
+ *   2. transformApp() — per-application zoo training and measurement.
+ * select() then projects an application's artifacts onto a target system.
+ */
+
+#ifndef KODAN_CORE_TRANSFORMER_HPP
+#define KODAN_CORE_TRANSFORMER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/evaluate.hpp"
+#include "core/io.hpp"
+#include "core/partition.hpp"
+#include "core/selection.hpp"
+#include "core/specialize.hpp"
+#include "data/generator.hpp"
+
+namespace kodan::core {
+
+/** Knobs of the transformation step. */
+struct TransformOptions
+{
+    /** Frames in the representative (training) split. */
+    int train_frames = 120;
+    /** Frames reserved for validation/measurement. */
+    int val_frames = 40;
+    /** Tiles per frame side at which models are trained. */
+    int reference_tiling = 6;
+    /** Use expert (terrain) contexts instead of automatic clustering. */
+    bool expert_contexts = false;
+    /**
+     * Train reference applications on the legacy (out-of-domain) corpus,
+     * modelling the paper's datacenter networks; specialized models
+     * always train on the representative dataset.
+     */
+    bool legacy_reference = true;
+    /** Frames in the legacy corpus (when legacy_reference is set). */
+    int legacy_frames = 80;
+    /** Context-generation sweep. */
+    PartitionOptions partition{};
+    /** Zoo training hyperparameters. */
+    SpecializeOptions specialize{};
+    /** Selection-logic sweep. */
+    SweepOptions sweep{};
+    /** Master seed of the whole step. */
+    std::uint64_t seed = 20230325;
+};
+
+/**
+ * Dataset-level artifacts shared by every application.
+ *
+ * Move-only (owns the trained context engine).
+ */
+struct DataArtifacts
+{
+    /** Training frames. */
+    std::vector<data::FrameSample> train;
+    /** Validation frames. */
+    std::vector<data::FrameSample> val;
+    /** Training tiles at the reference tiling. */
+    std::vector<data::TileData> train_tiles;
+    /** Legacy-domain frames (reference-model training corpus). */
+    std::vector<data::FrameSample> legacy;
+    /** Legacy-domain tiles at the reference tiling. */
+    std::vector<data::TileData> legacy_tiles;
+    /** Context partition of the training tiles. */
+    Partition partition;
+    /** Trained context engine. */
+    std::unique_ptr<ContextEngine> engine;
+    /** Engine context labels of the training tiles. */
+    std::vector<int> train_contexts;
+    /** Engine/partition agreement on validation tiles. */
+    double engine_agreement = 0.0;
+    /** High-value prevalence of the validation frames. */
+    double prevalence = 0.0;
+    /** Context summaries (engine assignment, reference tiling). */
+    std::vector<ContextInfo> contexts;
+};
+
+/** Per-application artifacts. */
+struct AppArtifacts
+{
+    /** The application. */
+    Application app;
+    /** Trained reference + specialized networks. */
+    SpecializedZoo zoo;
+    /** Kodan candidate tables, one per swept tiling. */
+    std::vector<ContextActionTable> tables;
+    /** Direct-deploy tables (reference model only), one per tiling. */
+    std::vector<ContextActionTable> direct_tables;
+    /** Accuracy-maximal tiling (tiles/frame) for direct deployment. */
+    int direct_tiles_per_frame = 36;
+
+    /** The direct-deploy table at the accuracy-maximal tiling. */
+    const ContextActionTable &directTable() const;
+};
+
+/**
+ * Runs the transformation step.
+ */
+class Transformer
+{
+  public:
+    explicit Transformer(const TransformOptions &options = {});
+
+    /** Options in effect. */
+    const TransformOptions &options() const { return options_; }
+
+    /**
+     * Stage 1: generate the representative dataset from @p geo and build
+     * the application-independent artifacts.
+     */
+    DataArtifacts prepareData(const data::GeoModel &geo) const;
+
+    /**
+     * Stage 1 with caller-provided frames (e.g. along-track sampling).
+     *
+     * @param train Training frames (moved in).
+     * @param val Validation frames (moved in).
+     */
+    DataArtifacts prepareData(std::vector<data::FrameSample> train,
+                              std::vector<data::FrameSample> val) const;
+
+    /**
+     * Stage 2: train and measure one application against the shared
+     * artifacts.
+     */
+    AppArtifacts transformApp(const Application &app,
+                              const DataArtifacts &shared) const;
+
+    /**
+     * Produce the selection logic and projected outcome for a target
+     * system (the final column of the one-time step).
+     */
+    SweepResult select(const AppArtifacts &artifacts,
+                       const SystemProfile &profile) const;
+
+    /**
+     * Direct-deploy baseline outcome: the reference model at its
+     * accuracy-maximal tiling, no engine, no elision.
+     */
+    static DeploymentOutcome directDeploy(const AppArtifacts &artifacts,
+                                          const SystemProfile &profile);
+
+    /**
+     * Assemble the uplinkable deployment package for a target system:
+     * runs the selection sweep and bundles the logic with copies of the
+     * engine and zoo (see core/io.hpp for serialization).
+     */
+    DeploymentPackage makeDeployment(const DataArtifacts &shared,
+                                     const AppArtifacts &artifacts,
+                                     const SystemProfile &profile) const;
+
+  private:
+    TransformOptions options_;
+};
+
+} // namespace kodan::core
+
+#endif // KODAN_CORE_TRANSFORMER_HPP

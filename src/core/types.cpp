@@ -1,0 +1,40 @@
+#include "core/types.hpp"
+
+namespace kodan::core {
+
+ml::MlpConfig
+Application::surrogateConfig() const
+{
+    ml::MlpConfig config;
+    config.input_dim = data::kBlockInputDim;
+    config.hidden = hw::CostModel::tierHidden(tier);
+    config.output_dim = 1;
+    config.output = ml::OutputKind::Sigmoid;
+    return config;
+}
+
+std::vector<Application>
+Application::all()
+{
+    std::vector<Application> apps;
+    for (int tier = 1; tier <= hw::kAppCount; ++tier) {
+        apps.push_back({tier});
+    }
+    return apps;
+}
+
+const char *
+actionKindName(ActionKind kind)
+{
+    switch (kind) {
+      case ActionKind::Discard:
+        return "discard";
+      case ActionKind::Downlink:
+        return "downlink";
+      case ActionKind::RunModel:
+        return "model";
+    }
+    return "?";
+}
+
+} // namespace kodan::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Representative-dataset generation from the procedural world.
+ */
+
+#ifndef KODAN_DATA_GENERATOR_HPP
+#define KODAN_DATA_GENERATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "data/geomodel.hpp"
+#include "data/sample.hpp"
+#include "orbit/propagator.hpp"
+
+namespace kodan::data {
+
+/** Parameters of dataset generation. */
+struct DatasetParams
+{
+    /** Seed for sampling locations and sensor noise. */
+    std::uint64_t seed = 7;
+    /** Ground side length of a frame (m). */
+    double frame_size_m = 150.0e3;
+    /** Ground cells per frame side. */
+    int grid = 88;
+    /** Seconds between consecutive generated frames. */
+    double frame_interval_s = 22.0;
+};
+
+/**
+ * Generates FrameSamples from a GeoModel, either at sphere-uniform random
+ * locations (a representative reference dataset) or along a satellite
+ * ground track (deployment-realistic sampling).
+ */
+class DatasetGenerator
+{
+  public:
+    /**
+     * @param geo World model (copied; models are cheap value types).
+     * @param params Generation parameters.
+     */
+    DatasetGenerator(const GeoModel &geo, const DatasetParams &params = {});
+
+    /** The world model in use. */
+    const GeoModel &geo() const { return geo_; }
+
+    /** Generation parameters. */
+    const DatasetParams &params() const { return params_; }
+
+    /**
+     * One frame centered at the given point and time.
+     *
+     * @param lat_rad Center latitude (rad).
+     * @param lon_rad Center longitude (rad).
+     * @param time Capture time (s).
+     */
+    FrameSample makeFrame(double lat_rad, double lon_rad, double time);
+
+    /**
+     * @p count frames at sphere-uniform random centers, spaced
+     * frame_interval_s apart in time starting at @p t0.
+     */
+    std::vector<FrameSample> generateGlobal(int count, double t0 = 0.0);
+
+    /**
+     * @p count frames along a satellite's ground track at the satellite's
+     * frame cadence, starting at @p t0.
+     *
+     * @param sat Satellite propagator.
+     * @param frame_period Seconds between captures (the frame deadline).
+     */
+    std::vector<FrameSample> generateAlongTrack(
+        const orbit::J2Propagator &sat, double frame_period, int count,
+        double t0 = 0.0);
+
+  private:
+    GeoModel geo_;
+    DatasetParams params_;
+    util::Rng rng_;
+};
+
+} // namespace kodan::data
+
+#endif // KODAN_DATA_GENERATOR_HPP

@@ -1,0 +1,227 @@
+#include "data/geomodel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace kodan::data {
+
+using util::clamp;
+
+const char *
+terrainName(Terrain terrain)
+{
+    switch (terrain) {
+      case Terrain::Ocean:
+        return "ocean";
+      case Terrain::Forest:
+        return "forest";
+      case Terrain::Desert:
+        return "desert";
+      case Terrain::Ice:
+        return "ice";
+      case Terrain::Urban:
+        return "urban";
+      case Terrain::Mountain:
+        return "mountain";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Channel layout: b0..b3 reflectance, texture, ndvi, thermal, elev,
+ *  moisture, cloud-edge. */
+constexpr double kTerrainSig[kTerrainCount][7] = {
+    // b0     b1     b2     b3     tex    ndvi   thermal
+    {0.04, 0.05, 0.06, 0.03, 0.05, -0.20, 0.55},  // Ocean
+    {0.08, 0.12, 0.10, 0.45, 0.55, 0.65, 0.50},   // Forest
+    {0.45, 0.42, 0.40, 0.50, 0.25, 0.05, 0.75},   // Desert
+    {0.70, 0.72, 0.75, 0.60, 0.12, -0.05, 0.15},  // Ice
+    {0.30, 0.28, 0.27, 0.30, 0.80, 0.05, 0.65},   // Urban
+    {0.32, 0.30, 0.28, 0.35, 0.70, 0.15, 0.35},   // Mountain
+};
+
+/**
+ * Cloud appearance depends on the underlying terrain (viewing geometry,
+ * haze mixing, and snow/cloud confusion): over dark ocean clouds are an
+ * unmistakable bright anomaly, while over ice they are nearly the same
+ * brightness and differ only subtly in texture and thermal response.
+ * This terrain-conditioned ambiguity is what makes *context-specialized*
+ * models meaningfully better than one global filter.
+ */
+constexpr double kCloudSigByTerrain[kTerrainCount][7] = {
+    // b0     b1     b2     b3     tex    ndvi   thermal
+    {0.78, 0.80, 0.82, 0.70, 0.18, 0.00, 0.20},  // over Ocean (easy)
+    {0.72, 0.74, 0.75, 0.66, 0.20, 0.05, 0.22},  // over Forest
+    {0.50, 0.48, 0.46, 0.53, 0.22, 0.04, 0.50},  // over Desert (harder)
+    {0.66, 0.68, 0.70, 0.59, 0.14, -0.03, 0.18}, // over Ice (hardest)
+    {0.66, 0.68, 0.70, 0.60, 0.25, 0.02, 0.28},  // over Urban
+    {0.58, 0.59, 0.60, 0.55, 0.26, 0.06, 0.32},  // over Mountain
+};
+
+/** Fraction of the surface that is ocean. */
+constexpr double kOceanFraction = 0.62;
+/** Fraction of the surface that is mountainous (highest elevations). */
+constexpr double kMountainFraction = 0.045;
+/** Urban-field threshold; keeps cities rare. */
+constexpr double kUrbanThreshold = 0.86;
+/** Latitude (rad) beyond which land/ocean freezes over. */
+const double kIceLatitude = util::degToRad(62.0);
+/** Width of the cloud opacity ramp around the threshold. */
+constexpr double kCloudRamp = 0.24;
+/** Time scale (s) over which the cloud field decorrelates. */
+constexpr double kCloudTimeScale = 6.0 * 3600.0;
+
+/**
+ * Percentile of a noise field estimated from a deterministic sample of
+ * sphere-uniform points.
+ */
+double
+fieldPercentile(const util::SphericalFbm &field, double pct,
+                std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<double> samples;
+    samples.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        const double lat = std::asin(2.0 * rng.uniform() - 1.0);
+        const double lon = rng.uniform(-util::kPi, util::kPi);
+        samples.push_back(field.at(lat, lon, 0.0));
+    }
+    return util::percentile(std::move(samples), pct);
+}
+
+} // namespace
+
+GeoModelParams
+GeoModelParams::legacyDomain()
+{
+    GeoModelParams params;
+    params.seed = util::splitMix64(params.seed ^ 0xbeef);
+    params.cloud_fraction = 0.58;
+    params.band_gain = 1.10;
+    params.band_offset = 0.04;
+    return params;
+}
+
+GeoModel::GeoModel(const GeoModelParams &params)
+    : params_(params),
+      elevation_(util::splitMix64(params.seed ^ 0x01), 5,
+                 params.terrain_frequency),
+      moisture_(util::splitMix64(params.seed ^ 0x02), 4,
+                params.terrain_frequency * 1.3),
+      urban_(util::splitMix64(params.seed ^ 0x03), 3,
+             params.terrain_frequency * 4.0),
+      cloud_(util::splitMix64(params.seed ^ 0x04), 4,
+             params.cloud_frequency)
+{
+    assert(params.cloud_fraction > 0.0 && params.cloud_fraction < 1.0);
+    sea_level_ =
+        fieldPercentile(elevation_, 100.0 * kOceanFraction, params.seed);
+    mountain_level_ = fieldPercentile(
+        elevation_, 100.0 * (1.0 - kMountainFraction), params.seed);
+    cloud_threshold_ = fieldPercentile(
+        cloud_, 100.0 * (1.0 - params.cloud_fraction), params.seed ^ 0x10);
+}
+
+Terrain
+GeoModel::terrainAt(double lat_rad, double lon_rad) const
+{
+    const double elev = elevation_.at(lat_rad, lon_rad, 0.0);
+    // Polar caps freeze regardless of elevation.
+    if (std::fabs(lat_rad) > kIceLatitude) {
+        return Terrain::Ice;
+    }
+    if (elev < sea_level_) {
+        return Terrain::Ocean;
+    }
+    // Land: mountains at the highest elevations (calibrated percentile).
+    if (elev > mountain_level_) {
+        return Terrain::Mountain;
+    }
+    if (urban_.at(lat_rad, lon_rad, 0.0) > kUrbanThreshold) {
+        return Terrain::Urban;
+    }
+    const double moist = moisture_.at(lat_rad, lon_rad, 0.0);
+    return moist > 0.5 ? Terrain::Forest : Terrain::Desert;
+}
+
+double
+GeoModel::rawCloud(double lat_rad, double lon_rad, double time) const
+{
+    return cloud_.at(lat_rad, lon_rad, time / kCloudTimeScale);
+}
+
+double
+GeoModel::cloudOpacityAt(double lat_rad, double lon_rad, double time) const
+{
+    const double raw = rawCloud(lat_rad, lon_rad, time);
+    return clamp((raw - cloud_threshold_) / kCloudRamp + 0.5, 0.0, 1.0);
+}
+
+bool
+GeoModel::cloudyAt(double lat_rad, double lon_rad, double time) const
+{
+    return cloudOpacityAt(lat_rad, lon_rad, time) > 0.5;
+}
+
+Features
+GeoModel::featuresAt(double lat_rad, double lon_rad, double time,
+                     util::Rng &rng) const
+{
+    const Terrain terrain = terrainAt(lat_rad, lon_rad);
+    const double opacity = cloudOpacityAt(lat_rad, lon_rad, time);
+    const auto &sig = kTerrainSig[static_cast<int>(terrain)];
+    const auto &cloud_sig = kCloudSigByTerrain[static_cast<int>(terrain)];
+
+    Features f{};
+    for (int c = 0; c < 7; ++c) {
+        f[c] = params_.band_gain *
+                   (sig[c] * (1.0 - opacity) + cloud_sig[c] * opacity) +
+               params_.band_offset;
+    }
+    // Channels 7/8: ancillary map priors (elevation, moisture) known
+    // regardless of cloud cover — pure context signals, never cloud cues.
+    f[7] = elevation_.at(lat_rad, lon_rad, 0.0);
+    f[8] = moisture_.at(lat_rad, lon_rad, 0.0);
+    // Channel 9: cloud-boundary indicator (gradient magnitude of opacity),
+    // estimated by finite differences ~1 km apart.
+    const double eps = 1.0e3 / util::kEarthRadius;
+    const double d_lat = cloudOpacityAt(lat_rad + eps, lon_rad, time) -
+                         cloudOpacityAt(lat_rad - eps, lon_rad, time);
+    const double d_lon = cloudOpacityAt(lat_rad, lon_rad + eps, time) -
+                         cloudOpacityAt(lat_rad, lon_rad - eps, time);
+    f[9] = clamp(std::sqrt(d_lat * d_lat + d_lon * d_lon), 0.0, 1.0);
+
+    for (auto &channel : f) {
+        channel += rng.normal(0.0, params_.sensor_noise);
+    }
+    return f;
+}
+
+Features
+GeoModel::terrainSignature(Terrain terrain)
+{
+    Features f{};
+    const auto &sig = kTerrainSig[static_cast<int>(terrain)];
+    for (int c = 0; c < 7; ++c) {
+        f[c] = sig[c];
+    }
+    return f;
+}
+
+Features
+GeoModel::cloudSignature(Terrain terrain)
+{
+    Features f{};
+    const auto &sig = kCloudSigByTerrain[static_cast<int>(terrain)];
+    for (int c = 0; c < 7; ++c) {
+        f[c] = sig[c];
+    }
+    return f;
+}
+
+} // namespace kodan::data

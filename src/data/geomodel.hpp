@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Procedural geospatial world model.
+ *
+ * Substitute for the Sentinel-2 Cloud Mask Catalogue used by the paper:
+ * a deterministic, infinitely-sampleable Earth with terrain classes, a
+ * time-varying cloud field, and per-location pseudo-spectral features.
+ * The statistical structure matters, not the radiometry: terrain patches
+ * are spatially coherent (so tiles have recognizable *contexts*), clouds
+ * are bright in every band (so they confuse naive thresholds over bright
+ * terrain like ice and desert), and every channel carries sensor noise.
+ */
+
+#ifndef KODAN_DATA_GEOMODEL_HPP
+#define KODAN_DATA_GEOMODEL_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "util/noise.hpp"
+#include "util/rng.hpp"
+
+namespace kodan::data {
+
+/** Terrain classes of the synthetic Earth. */
+enum class Terrain : std::uint8_t
+{
+    Ocean = 0,
+    Forest,
+    Desert,
+    Ice,
+    Urban,
+    Mountain,
+};
+
+/** Number of terrain classes. */
+inline constexpr int kTerrainCount = 6;
+
+/** Human-readable terrain name. */
+const char *terrainName(Terrain terrain);
+
+/** Number of feature channels observed per ground cell. */
+inline constexpr int kFeatureDim = 10;
+
+/** Feature vector of one ground cell. */
+using Features = std::array<double, kFeatureDim>;
+
+/** Tunable parameters of the procedural world. */
+struct GeoModelParams
+{
+    /** Seed for all fields. */
+    std::uint64_t seed = 20230325;
+    /**
+     * Target fraction of ground cells obscured by cloud. The Sentinel-2
+     * catalogue the paper uses is 52% cloudy; the motivation figures use
+     * the MODIS global average of 67%.
+     */
+    double cloud_fraction = 0.52;
+    /** Terrain patch frequency (features around the equator). */
+    double terrain_frequency = 180.0;
+    /** Cloud mass frequency (features around the equator). */
+    double cloud_frequency = 650.0;
+    /** Per-channel Gaussian sensor noise sigma. */
+    double sensor_noise = 0.10;
+    /**
+     * Multiplicative radiometric calibration applied to the visual
+     * channels (0-6). Legacy training corpora come from different
+     * sensors; a gain/offset shift models that domain gap.
+     */
+    double band_gain = 1.0;
+    /** Additive radiometric offset for the visual channels (0-6). */
+    double band_offset = 0.0;
+
+    /**
+     * The domain the paper's *reference applications* were built for: a
+     * different region of the procedural world observed by a different
+     * sensor calibration and cloud climate. Models trained here and
+     * deployed on the default world behave like the legacy datacenter
+     * networks the paper starts from.
+     */
+    static GeoModelParams legacyDomain();
+};
+
+/**
+ * The procedural Earth.
+ *
+ * All queries are pure functions of (seed, lat, lon, time); the model is
+ * thread-compatible after construction.
+ */
+class GeoModel
+{
+  public:
+    explicit GeoModel(const GeoModelParams &params = {});
+
+    /** Parameters this model was built with. */
+    const GeoModelParams &params() const { return params_; }
+
+    /** Terrain class at a geodetic point. */
+    Terrain terrainAt(double lat_rad, double lon_rad) const;
+
+    /**
+     * Cloud opacity in [0, 1] at a point and time.
+     *
+     * Thresholded and renormalized so that the global mean *cloudy cell*
+     * fraction matches @c params().cloud_fraction.
+     *
+     * @param time Seconds since epoch; the field evolves over hours.
+     */
+    double cloudOpacityAt(double lat_rad, double lon_rad, double time) const;
+
+    /** True when the point is cloud-obscured (opacity > 0.5). */
+    bool cloudyAt(double lat_rad, double lon_rad, double time) const;
+
+    /**
+     * Observed features of a ground cell: terrain signature blended with
+     * cloud, plus sensor noise drawn from @p rng.
+     *
+     * @param lat_rad Latitude (rad).
+     * @param lon_rad Longitude (rad).
+     * @param time Observation time (s).
+     * @param rng Noise source (one deviate per channel).
+     */
+    Features featuresAt(double lat_rad, double lon_rad, double time,
+                        util::Rng &rng) const;
+
+    /** Noise-free feature signature of a terrain class (for tests). */
+    static Features terrainSignature(Terrain terrain);
+
+    /**
+     * Noise-free feature signature of full cloud cover over a given
+     * terrain (cloud appearance is terrain-conditioned; see the data
+     * model notes in DESIGN.md).
+     */
+    static Features cloudSignature(Terrain terrain = Terrain::Ocean);
+
+  private:
+    GeoModelParams params_;
+    util::SphericalFbm elevation_;
+    util::SphericalFbm moisture_;
+    util::SphericalFbm urban_;
+    util::SphericalFbm cloud_;
+    double sea_level_;       // elevation threshold for ocean
+    double mountain_level_;  // elevation threshold for mountains
+    double cloud_threshold_; // raw-noise threshold for "cloudy"
+
+    /** Raw (un-thresholded) cloud field value. */
+    double rawCloud(double lat_rad, double lon_rad, double time) const;
+};
+
+} // namespace kodan::data
+
+#endif // KODAN_DATA_GEOMODEL_HPP

@@ -1,0 +1,20 @@
+#include "data/sample.hpp"
+
+namespace kodan::data {
+
+double
+FrameSample::highValueFraction() const
+{
+    if (cloudy.empty()) {
+        return 0.0;
+    }
+    std::size_t clear = 0;
+    for (auto flag : cloudy) {
+        if (flag == 0) {
+            ++clear;
+        }
+    }
+    return static_cast<double>(clear) / static_cast<double>(cloudy.size());
+}
+
+} // namespace kodan::data

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * In-memory representation of captured image frames.
+ *
+ * A FrameSample is the unit the satellite captures: a square geographic
+ * region discretized into a grid of ground cells, each with observed
+ * feature channels (the "pixels" the analysis applications see) and truth
+ * annotations (cloudiness, terrain) used for training and scoring.
+ */
+
+#ifndef KODAN_DATA_SAMPLE_HPP
+#define KODAN_DATA_SAMPLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/geomodel.hpp"
+
+namespace kodan::data {
+
+/**
+ * Dimension of the per-tile label vector used for context clustering:
+ * terrain-class fractions, cloud fraction, mean brightness, mean texture.
+ *
+ * This mirrors the classification vectors the Sentinel-2 catalogue
+ * attaches to each sample.
+ */
+inline constexpr int kLabelDim = kTerrainCount + 3;
+
+/**
+ * One captured frame: a grid x grid lattice of ground cells.
+ *
+ * Storage is row-major; features are interleaved per cell.
+ */
+struct FrameSample
+{
+    /** Frame center latitude (rad). */
+    double center_lat = 0.0;
+    /** Frame center longitude (rad). */
+    double center_lon = 0.0;
+    /** Capture time (s since epoch). */
+    double time = 0.0;
+    /** Ground side length of the square frame (m). */
+    double size_m = 150.0e3;
+    /** Ground cells per side. */
+    int grid = 0;
+
+    /** Observed features: grid * grid * kFeatureDim floats. */
+    std::vector<float> features;
+    /** Truth cloud mask: 1 = cloudy (low-value), grid * grid. */
+    std::vector<std::uint8_t> cloudy;
+    /** Truth terrain class per cell, grid * grid. */
+    std::vector<std::uint8_t> terrain;
+
+    /** Feature channel @p ch of cell (r, c). */
+    double featureAt(int r, int c, int ch) const
+    {
+        return features[(static_cast<std::size_t>(r) * grid + c) *
+                            kFeatureDim +
+                        ch];
+    }
+
+    /** Truth cloudiness of cell (r, c). */
+    bool cloudyAt(int r, int c) const
+    {
+        return cloudy[static_cast<std::size_t>(r) * grid + c] != 0;
+    }
+
+    /** Truth terrain of cell (r, c). */
+    Terrain terrainAt(int r, int c) const
+    {
+        return static_cast<Terrain>(
+            terrain[static_cast<std::size_t>(r) * grid + c]);
+    }
+
+    /** Fraction of cells that are high-value (not cloudy). */
+    double highValueFraction() const;
+
+    /** Number of cells. */
+    std::size_t cellCount() const
+    {
+        return static_cast<std::size_t>(grid) * grid;
+    }
+};
+
+} // namespace kodan::data
+
+#endif // KODAN_DATA_SAMPLE_HPP

@@ -1,0 +1,130 @@
+#include "ground/contact.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kodan::ground {
+
+namespace {
+
+/**
+ * Elevation of the satellite above the station mask at time t (rad).
+ * @param site_ecef Precomputed station position (hot path: the coarse
+ *        scan evaluates this thousands of times per station).
+ */
+double
+maskedElevation(const orbit::J2Propagator &sat,
+                const orbit::Vec3 &site_ecef, double min_elevation,
+                double t)
+{
+    // The station is fixed in ECEF; compare in ECEF at time t.
+    const orbit::Vec3 sat_ecef = sat.positionEcef(t);
+    return orbit::elevationAngle(site_ecef, sat_ecef) - min_elevation;
+}
+
+} // namespace
+
+ContactFinder::ContactFinder(double coarse_step)
+    : coarse_step_(coarse_step)
+{
+    assert(coarse_step > 0.0);
+}
+
+double
+ContactFinder::refineCrossing(const orbit::J2Propagator &sat,
+                              const GroundStation &station, double lo,
+                              double hi, bool rising)
+{
+    const orbit::Vec3 site = station.ecef();
+    // Invariant: sign changes across [lo, hi]; rising means below -> above.
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const bool above =
+            maskedElevation(sat, site, station.min_elevation, mid) >= 0.0;
+        if (above == rising) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo < 1.0e-3) {
+            break;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::vector<ContactWindow>
+ContactFinder::find(const orbit::J2Propagator &sat,
+                    const GroundStation &station, double t0, double t1) const
+{
+    assert(t1 >= t0);
+    const orbit::Vec3 site = station.ecef();
+    std::vector<ContactWindow> windows;
+    bool above_prev =
+        maskedElevation(sat, site, station.min_elevation, t0) >= 0.0;
+    double window_start = above_prev ? t0 : 0.0;
+    bool in_window = above_prev;
+
+    for (double t = t0 + coarse_step_; t < t1 + coarse_step_;
+         t += coarse_step_) {
+        const double t_clamped = std::min(t, t1);
+        const bool above =
+            maskedElevation(sat, site, station.min_elevation,
+                            t_clamped) >= 0.0;
+        if (above && !in_window) {
+            window_start = refineCrossing(sat, station,
+                                          t_clamped - coarse_step_,
+                                          t_clamped, /*rising=*/true);
+            in_window = true;
+        } else if (!above && in_window) {
+            const double window_end =
+                refineCrossing(sat, station, t_clamped - coarse_step_,
+                               t_clamped, /*rising=*/false);
+            windows.push_back({0, 0, std::max(window_start, t0),
+                               std::min(window_end, t1)});
+            in_window = false;
+        }
+        if (t_clamped >= t1) {
+            break;
+        }
+    }
+    if (in_window) {
+        windows.push_back({0, 0, std::max(window_start, t0), t1});
+    }
+    return windows;
+}
+
+std::vector<ContactWindow>
+ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
+                       const std::vector<GroundStation> &stations, double t0,
+                       double t1) const
+{
+    std::vector<ContactWindow> all;
+    for (std::size_t s = 0; s < sats.size(); ++s) {
+        for (std::size_t g = 0; g < stations.size(); ++g) {
+            auto windows = find(sats[s], stations[g], t0, t1);
+            for (auto &w : windows) {
+                w.satellite = s;
+                w.station = g;
+                all.push_back(w);
+            }
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ContactWindow &a, const ContactWindow &b) {
+                  return a.start < b.start;
+              });
+    return all;
+}
+
+double
+totalContactSeconds(const std::vector<ContactWindow> &windows)
+{
+    double total = 0.0;
+    for (const auto &w : windows) {
+        total += w.duration();
+    }
+    return total;
+}
+
+} // namespace kodan::ground

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Contact-window computation between satellites and ground stations.
+ */
+
+#ifndef KODAN_GROUND_CONTACT_HPP
+#define KODAN_GROUND_CONTACT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ground/station.hpp"
+#include "orbit/propagator.hpp"
+
+namespace kodan::ground {
+
+/** One interval during which a satellite is visible from a station. */
+struct ContactWindow
+{
+    /** Index into the ground segment's station list. */
+    std::size_t station = 0;
+    /** Index into the constellation's satellite list. */
+    std::size_t satellite = 0;
+    /** Window start (s since epoch). */
+    double start = 0.0;
+    /** Window end (s since epoch). */
+    double end = 0.0;
+
+    /** Window length in seconds. */
+    double duration() const { return end - start; }
+};
+
+/**
+ * Finds elevation-mask contact windows by coarse sampling plus bisection
+ * refinement of the rise/set crossings.
+ */
+class ContactFinder
+{
+  public:
+    /**
+     * @param coarse_step Sampling interval for the visibility scan (s).
+     *        Must be well below the shortest pass (~60 s is safe for LEO).
+     */
+    explicit ContactFinder(double coarse_step = 30.0);
+
+    /**
+     * All contact windows of one satellite with one station in [t0, t1].
+     *
+     * @param sat Propagator of the satellite.
+     * @param station Ground station (elevation mask applied).
+     * @param t0 Search interval start (s).
+     * @param t1 Search interval end (s); must be >= t0.
+     */
+    std::vector<ContactWindow> find(const orbit::J2Propagator &sat,
+                                    const GroundStation &station,
+                                    double t0, double t1) const;
+
+    /**
+     * All windows of a constellation against a ground segment, with
+     * station/satellite indices filled in, sorted by start time.
+     */
+    std::vector<ContactWindow>
+    findAll(const std::vector<orbit::J2Propagator> &sats,
+            const std::vector<GroundStation> &stations, double t0,
+            double t1) const;
+
+  private:
+    double coarse_step_;
+
+    /** Refine an elevation-mask crossing to ~1 ms by bisection. */
+    static double refineCrossing(const orbit::J2Propagator &sat,
+                                 const GroundStation &station, double lo,
+                                 double hi, bool rising);
+};
+
+/** Total seconds of contact in a window list. */
+double totalContactSeconds(const std::vector<ContactWindow> &windows);
+
+} // namespace kodan::ground
+
+#endif // KODAN_GROUND_CONTACT_HPP

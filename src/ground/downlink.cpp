@@ -1,0 +1,87 @@
+#include "ground/downlink.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace kodan::ground {
+
+double
+DownlinkModel::bitsForContact(double seconds, std::size_t passes) const
+{
+    const double usable =
+        std::max(0.0, seconds - pass_overhead_s *
+                                    static_cast<double>(passes));
+    return usable * datarate_bps;
+}
+
+GroundSegmentScheduler::GroundSegmentScheduler(double step,
+                                               double fairness_slack)
+    : step_(step), fairness_slack_(fairness_slack)
+{
+    assert(step > 0.0);
+    assert(fairness_slack >= 0.0);
+}
+
+GroundSegmentScheduler::Allocation
+GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
+                                 std::size_t satellite_count,
+                                 std::size_t station_count, double t0,
+                                 double t1) const
+{
+    assert(t1 >= t0);
+    Allocation result;
+    result.seconds_per_satellite.assign(satellite_count, 0.0);
+    result.passes_per_satellite.assign(satellite_count, 0);
+
+    // Track which (station, satellite) pair was served last step so pass
+    // counting notices new grants.
+    std::vector<std::size_t> last_served(
+        station_count, std::numeric_limits<std::size_t>::max());
+
+    for (double t = t0; t < t1; t += step_) {
+        const double slot = std::min(step_, t1 - t);
+        const double t_mid = t + 0.5 * slot;
+        for (std::size_t g = 0; g < station_count; ++g) {
+            // Find visible satellites at this station right now.
+            std::size_t best = std::numeric_limits<std::size_t>::max();
+            double best_time = std::numeric_limits<double>::infinity();
+            bool current_visible = false;
+            for (const auto &w : windows) {
+                if (w.station != g || t_mid < w.start || t_mid >= w.end) {
+                    continue;
+                }
+                if (w.satellite == last_served[g]) {
+                    current_visible = true;
+                }
+                // Max-min fairness: grant the least-served satellite.
+                if (result.seconds_per_satellite[w.satellite] < best_time) {
+                    best_time = result.seconds_per_satellite[w.satellite];
+                    best = w.satellite;
+                }
+            }
+            // Hysteresis: stick with the satellite already being served
+            // unless the best contender is far enough behind it.
+            if (current_visible && best != last_served[g] &&
+                result.seconds_per_satellite[last_served[g]] - best_time <
+                    fairness_slack_) {
+                best = last_served[g];
+            }
+            if (best == std::numeric_limits<std::size_t>::max()) {
+                result.idle_station_seconds += slot;
+                last_served[g] = std::numeric_limits<std::size_t>::max();
+                continue;
+            }
+            result.busy_station_seconds += slot;
+            result.seconds_per_satellite[best] += slot;
+            if (last_served[g] != best) {
+                ++result.passes_per_satellite[best];
+                last_served[g] = best;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace kodan::ground

@@ -1,0 +1,44 @@
+#include "ground/station.hpp"
+
+#include "util/units.hpp"
+
+namespace kodan::ground {
+
+using util::degToRad;
+
+namespace {
+
+GroundStation
+makeStation(const std::string &name, double lat_deg, double lon_deg)
+{
+    GroundStation station;
+    station.name = name;
+    station.location = {degToRad(lat_deg), degToRad(lon_deg), 0.0};
+    station.min_elevation = degToRad(10.0);
+    return station;
+}
+
+} // namespace
+
+std::vector<GroundStation>
+landsatGroundSegment()
+{
+    return {
+        makeStation("SiouxFalls", 43.74, -96.62),
+        makeStation("GilmoreCreek", 64.98, -147.50),
+        makeStation("Svalbard", 78.23, 15.39),
+        makeStation("AliceSprings", -23.76, 133.88),
+        makeStation("Neustrelitz", 53.33, 13.07),
+    };
+}
+
+std::vector<GroundStation>
+sparseGroundSegment()
+{
+    return {
+        makeStation("SiouxFalls", 43.74, -96.62),
+        makeStation("GilmoreCreek", 64.98, -147.50),
+    };
+}
+
+} // namespace kodan::ground

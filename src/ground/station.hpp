@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ground stations and the Landsat-like ground segment preset.
+ */
+
+#ifndef KODAN_GROUND_STATION_HPP
+#define KODAN_GROUND_STATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "orbit/earth.hpp"
+#include "orbit/vec3.hpp"
+
+namespace kodan::ground {
+
+/**
+ * A receive-capable ground station.
+ *
+ * A station serves at most one satellite at a time (single-dish
+ * assumption, as in cote); contention between satellites for station time
+ * is what saturates the downlink as constellations grow.
+ */
+struct GroundStation
+{
+    /** Human-readable name. */
+    std::string name;
+    /** Geodetic location. */
+    orbit::Geodetic location;
+    /** Minimum usable elevation angle (rad); typical masks are 5-10 deg. */
+    double min_elevation = 0.0;
+
+    /** Cached ECEF position of the site (m). */
+    orbit::Vec3 ecef() const { return orbit::geodeticToEcef(location); }
+};
+
+/**
+ * The ground segment used for the Landsat-8-like evaluation scenarios:
+ * Sioux Falls, Gilmore Creek (Fairbanks), Svalbard, Alice Springs, and
+ * Neustrelitz, all with a 10-degree elevation mask.
+ *
+ * Station latitudes dominate behaviour: the polar Svalbard site sees a
+ * sun-synchronous satellite on nearly every revolution while mid-latitude
+ * sites see a handful of passes per day.
+ */
+std::vector<GroundStation> landsatGroundSegment();
+
+/**
+ * A reduced ground segment (Sioux Falls + Gilmore Creek) used for
+ * stress-testing contention at small station counts.
+ */
+std::vector<GroundStation> sparseGroundSegment();
+
+} // namespace kodan::ground
+
+#endif // KODAN_GROUND_STATION_HPP

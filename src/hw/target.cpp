@@ -1,0 +1,150 @@
+#include "hw/target.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace kodan::hw {
+
+namespace {
+
+/** Table 1 of the paper: per-tile processing time in milliseconds. */
+constexpr double kTable1Ms[kAppCount][kTargetCount] = {
+    // 1070 Ti   i7-7800   Orin 15W
+    {178.2, 440.6, 618.8},   // App 1: mobilenetv2dilated-c1-deepsup
+    {237.6, 940.6, 935.6},   // App 2: resnet18dilated-ppm-deepsup
+    {321.8, 1292.0, 1515.0}, // App 3: hrnetv2-c1
+    {361.4, 1787.0, 1594.0}, // App 4: resnet50dilated-ppm-deepsup
+    {410.9, 2124.0, 1797.0}, // App 5: resnet50-upernet
+    {445.5, 2307.0, 1970.0}, // App 6: resnet101-upernet
+    {475.2, 2545.0, 2040.0}, // App 7: resnet101dilated-ppm-deepsup
+};
+
+constexpr const char *kTierNames[kAppCount] = {
+    "mobilenetv2dilated-c1-deepsup",
+    "resnet18dilated-ppm-deepsup",
+    "hrnetv2-c1",
+    "resnet50dilated-ppm-deepsup",
+    "resnet50-upernet",
+    "resnet101-upernet",
+    "resnet101dilated-ppm-deepsup",
+};
+
+/**
+ * Hidden-layer widths of the kodan surrogate networks, one per tier.
+ * Input dimension is the per-block classifier input (3 * kFeatureDim =
+ * 30); output is a single sigmoid unit.
+ */
+const std::vector<int> kTierHidden[kAppCount] = {
+    {4}, {6}, {10, 6}, {16, 8}, {24, 12}, {40, 20}, {64, 32, 16},
+};
+
+std::size_t
+mlpParams(int input_dim, const std::vector<int> &hidden, int output_dim)
+{
+    std::size_t params = 0;
+    int prev = input_dim;
+    for (int h : hidden) {
+        params += static_cast<std::size_t>(prev) * h + h;
+        prev = h;
+    }
+    params += static_cast<std::size_t>(prev) * output_dim + output_dim;
+    return params;
+}
+
+} // namespace
+
+const std::array<Target, kTargetCount> &
+allTargets()
+{
+    static const std::array<Target, kTargetCount> targets = {
+        Target::Gtx1070Ti, Target::I7_7800, Target::Orin15W};
+    return targets;
+}
+
+const char *
+targetName(Target target)
+{
+    switch (target) {
+      case Target::Gtx1070Ti:
+        return "1070Ti";
+      case Target::I7_7800:
+        return "i7-7800";
+      case Target::Orin15W:
+        return "Orin15W";
+    }
+    return "?";
+}
+
+double
+CostModel::tileTime(int tier, Target target)
+{
+    assert(tier >= 1 && tier <= kAppCount);
+    return kTable1Ms[tier - 1][static_cast<int>(target)] * 1.0e-3;
+}
+
+const char *
+CostModel::tierName(int tier)
+{
+    assert(tier >= 1 && tier <= kAppCount);
+    return kTierNames[tier - 1];
+}
+
+std::size_t
+CostModel::tierParamCount(int tier)
+{
+    assert(tier >= 1 && tier <= kAppCount);
+    return mlpParams(kSurrogateInputDim, kTierHidden[tier - 1], 1);
+}
+
+const std::vector<int> &
+CostModel::tierHidden(int tier)
+{
+    assert(tier >= 1 && tier <= kAppCount);
+    return kTierHidden[tier - 1];
+}
+
+double
+CostModel::modelTime(std::size_t param_count, Target target)
+{
+    // Piecewise-linear in parameter count through the Table 1 anchors.
+    const std::size_t p1 = tierParamCount(1);
+    if (param_count <= p1) {
+        // Proportional below the smallest anchor, floored at the context
+        // engine cost (no useful network is cheaper than the engine).
+        const double scaled = tileTime(1, target) *
+                              static_cast<double>(param_count) /
+                              static_cast<double>(p1);
+        const double floor = contextEngineTime(target);
+        return scaled < floor ? floor : scaled;
+    }
+    for (int tier = 2; tier <= kAppCount; ++tier) {
+        const std::size_t lo = tierParamCount(tier - 1);
+        const std::size_t hi = tierParamCount(tier);
+        if (param_count <= hi) {
+            const double frac = static_cast<double>(param_count - lo) /
+                                static_cast<double>(hi - lo);
+            return tileTime(tier - 1, target) +
+                   frac * (tileTime(tier, target) -
+                           tileTime(tier - 1, target));
+        }
+    }
+    // Extrapolate proportionally above the largest anchor.
+    return tileTime(kAppCount, target) * static_cast<double>(param_count) /
+           static_cast<double>(tierParamCount(kAppCount));
+}
+
+double
+CostModel::contextEngineTime(Target target)
+{
+    switch (target) {
+      case Target::Gtx1070Ti:
+        return 5.0e-3;
+      case Target::I7_7800:
+        return 12.0e-3;
+      case Target::Orin15W:
+        return 18.0e-3;
+    }
+    return 0.0;
+}
+
+} // namespace kodan::hw

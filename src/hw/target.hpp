@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware deployment targets and the execution-time cost model.
+ *
+ * Substitute for the paper's physical testbed (GTX 1070 Ti, Core
+ * i7-7800X, Jetson AGX Orin 15 W): per-tile inference times are anchored
+ * verbatim to Table 1 for the seven application architectures, and other
+ * model capacities are costed by interpolation on parameter count. The
+ * scheduling decisions Kodan makes depend only on these times relative to
+ * the frame deadline, which this model reproduces exactly.
+ */
+
+#ifndef KODAN_HW_TARGET_HPP
+#define KODAN_HW_TARGET_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace kodan::hw {
+
+/** Hardware deployment targets evaluated in the paper. */
+enum class Target
+{
+    /** NVIDIA GeForce GTX 1070 Ti desktop GPU (~180 W). */
+    Gtx1070Ti = 0,
+    /** Intel Core i7-7800X CPU (12 threads, ~140 W). */
+    I7_7800,
+    /** NVIDIA Jetson AGX Orin in its 15 W mode (cubesat-class). */
+    Orin15W,
+};
+
+/** Number of modeled targets. */
+inline constexpr int kTargetCount = 3;
+
+/** All targets, in Table 1 column order. */
+const std::array<Target, kTargetCount> &allTargets();
+
+/** Human-readable target name. */
+const char *targetName(Target target);
+
+/** Number of application architecture tiers (Table 1 rows). */
+inline constexpr int kAppCount = 7;
+
+/**
+ * Execution-time model.
+ *
+ * All times are seconds. "Tier" is the application index 1..7 of Table 1
+ * (mobilenetv2dilated ... resnet101dilated, in increasing cost).
+ */
+class CostModel
+{
+  public:
+    /**
+     * Per-tile inference time of application tier @p tier on @p target
+     * (Table 1, converted to seconds).
+     *
+     * @param tier Application tier in [1, 7].
+     */
+    static double tileTime(int tier, Target target);
+
+    /** Paper architecture name of tier @p tier. */
+    static const char *tierName(int tier);
+
+    /**
+     * Parameter count of the kodan surrogate network for tier @p tier.
+     * Used to cost arbitrary specialized models by interpolation.
+     */
+    static std::size_t tierParamCount(int tier);
+
+    /**
+     * Hidden-layer widths of the surrogate network for tier @p tier
+     * (input/output dimensions are fixed by the core library).
+     */
+    static const std::vector<int> &tierHidden(int tier);
+
+    /** Input dimension the surrogate parameter counts assume (must
+     *  match data::kBlockInputDim; checked by the test suite). */
+    static constexpr int kSurrogateInputDim = 18;
+
+    /**
+     * Per-tile time of a model with @p param_count parameters on
+     * @p target: piecewise-linear in parameter count through the Table 1
+     * anchors, proportional below tier 1.
+     */
+    static double modelTime(std::size_t param_count, Target target);
+
+    /**
+     * Per-tile time of the context engine (a small classifier executed on
+     * every tile before the selection logic acts).
+     */
+    static double contextEngineTime(Target target);
+};
+
+} // namespace kodan::hw
+
+#endif // KODAN_HW_TARGET_HPP

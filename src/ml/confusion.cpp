@@ -1,0 +1,74 @@
+#include "ml/confusion.hpp"
+
+namespace kodan::ml {
+
+void
+ConfusionStats::add(bool predicted_positive, bool truly_positive)
+{
+    addWeighted(predicted_positive, truly_positive, 1);
+}
+
+void
+ConfusionStats::addWeighted(bool predicted_positive, bool truly_positive,
+                            std::int64_t count)
+{
+    if (predicted_positive) {
+        (truly_positive ? tp_ : fp_) += count;
+    } else {
+        (truly_positive ? fn_ : tn_) += count;
+    }
+}
+
+void
+ConfusionStats::merge(const ConfusionStats &other)
+{
+    tp_ += other.tp_;
+    fp_ += other.fp_;
+    tn_ += other.tn_;
+    fn_ += other.fn_;
+}
+
+double
+ConfusionStats::accuracy() const
+{
+    const auto n = total();
+    return n == 0 ? 0.0 : static_cast<double>(tp_ + tn_) / n;
+}
+
+double
+ConfusionStats::precision() const
+{
+    const auto denom = tp_ + fp_;
+    return denom == 0 ? 1.0 : static_cast<double>(tp_) / denom;
+}
+
+double
+ConfusionStats::recall() const
+{
+    const auto denom = tp_ + fn_;
+    return denom == 0 ? 1.0 : static_cast<double>(tp_) / denom;
+}
+
+double
+ConfusionStats::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+ConfusionStats::positiveRate() const
+{
+    const auto n = total();
+    return n == 0 ? 0.0 : static_cast<double>(tp_ + fp_) / n;
+}
+
+double
+ConfusionStats::prevalence() const
+{
+    const auto n = total();
+    return n == 0 ? 0.0 : static_cast<double>(tp_ + fn_) / n;
+}
+
+} // namespace kodan::ml

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Binary confusion-matrix accumulator.
+ *
+ * Convention throughout kodan: the positive class is HIGH-VALUE data
+ * (non-cloudy pixels). Precision TP/(TP+FP) is then exactly the paper's
+ * data-value metric — the fraction of pixels a filter keeps that are
+ * truly high-value.
+ */
+
+#ifndef KODAN_ML_CONFUSION_HPP
+#define KODAN_ML_CONFUSION_HPP
+
+#include <cstdint>
+
+namespace kodan::ml {
+
+/** Counts of a binary confusion matrix. */
+class ConfusionStats
+{
+  public:
+    /** Record one (prediction, truth) pair; true = positive class. */
+    void add(bool predicted_positive, bool truly_positive);
+
+    /** Record @p count identical pairs at once. */
+    void addWeighted(bool predicted_positive, bool truly_positive,
+                     std::int64_t count);
+
+    /** Merge another accumulator. */
+    void merge(const ConfusionStats &other);
+
+    /** True positives. */
+    std::int64_t tp() const { return tp_; }
+
+    /** False positives. */
+    std::int64_t fp() const { return fp_; }
+
+    /** True negatives. */
+    std::int64_t tn() const { return tn_; }
+
+    /** False negatives. */
+    std::int64_t fn() const { return fn_; }
+
+    /** Total pairs recorded. */
+    std::int64_t total() const { return tp_ + fp_ + tn_ + fn_; }
+
+    /** Fraction of correct labels; 0 when empty. */
+    double accuracy() const;
+
+    /** TP / (TP + FP); 1 when nothing was predicted positive. */
+    double precision() const;
+
+    /** TP / (TP + FN); 1 when nothing is truly positive. */
+    double recall() const;
+
+    /** Harmonic mean of precision and recall. */
+    double f1() const;
+
+    /** Fraction of samples predicted positive (the "keep rate"). */
+    double positiveRate() const;
+
+    /** Fraction of samples truly positive (prevalence). */
+    double prevalence() const;
+
+  private:
+    std::int64_t tp_ = 0;
+    std::int64_t fp_ = 0;
+    std::int64_t tn_ = 0;
+    std::int64_t fn_ = 0;
+};
+
+} // namespace kodan::ml
+
+#endif // KODAN_ML_CONFUSION_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense row-major matrix used by the ML substrate.
+ *
+ * Deliberately minimal: the training workloads in kodan are small MLPs
+ * and k-means over low-dimensional label vectors, so clarity beats BLAS.
+ */
+
+#ifndef KODAN_ML_MATRIX_HPP
+#define KODAN_ML_MATRIX_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace kodan::ml {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0 x 0 matrix. */
+    Matrix() = default;
+
+    /**
+     * Zero-initialized rows x cols matrix.
+     * @param rows Row count.
+     * @param cols Column count.
+     */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Row count. */
+    std::size_t rows() const { return rows_; }
+
+    /** Column count. */
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access. */
+    double &at(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access. */
+    double at(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    double *row(std::size_t r)
+    {
+        assert(r < rows_);
+        return data_.data() + r * cols_;
+    }
+
+    /** Const pointer to the start of row r. */
+    const double *row(std::size_t r) const
+    {
+        assert(r < rows_);
+        return data_.data() + r * cols_;
+    }
+
+    /** Raw storage. */
+    std::vector<double> &data() { return data_; }
+
+    /** Raw storage (const). */
+    const std::vector<double> &data() const { return data_; }
+
+    /** Set all elements to @p value. */
+    void fill(double value);
+
+    /** this += other (element-wise; shapes must match). */
+    void add(const Matrix &other);
+
+    /** this *= scalar. */
+    void scale(double s);
+
+    /** Matrix product a * b. */
+    static Matrix multiply(const Matrix &a, const Matrix &b);
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace kodan::ml
+
+#endif // KODAN_ML_MATRIX_HPP

@@ -1,0 +1,378 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace kodan::ml {
+
+namespace {
+
+double
+sigmoid(double z)
+{
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+void
+softmaxInPlace(std::vector<double> &z)
+{
+    const double peak = *std::max_element(z.begin(), z.end());
+    double total = 0.0;
+    for (auto &v : z) {
+        v = std::exp(v - peak);
+        total += v;
+    }
+    for (auto &v : z) {
+        v /= total;
+    }
+}
+
+} // namespace
+
+Mlp::Mlp(const MlpConfig &config, util::Rng &rng)
+    : config_(config)
+{
+    assert(config.input_dim >= 1);
+    assert(config.output_dim >= 1);
+
+    std::vector<int> dims;
+    dims.push_back(config.input_dim);
+    for (int h : config.hidden) {
+        assert(h >= 1);
+        dims.push_back(h);
+    }
+    dims.push_back(config.output_dim);
+
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        Layer layer;
+        const int fan_in = dims[l];
+        const int fan_out = dims[l + 1];
+        layer.weights = Matrix(fan_out, fan_in);
+        const double scale = std::sqrt(2.0 / fan_in);
+        for (auto &w : layer.weights.data()) {
+            w = rng.normal(0.0, scale);
+        }
+        layer.bias.assign(fan_out, 0.0);
+        layer.m_w = Matrix(fan_out, fan_in);
+        layer.v_w = Matrix(fan_out, fan_in);
+        layer.m_b.assign(fan_out, 0.0);
+        layer.v_b.assign(fan_out, 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t count = 0;
+    for (const auto &layer : layers_) {
+        count += layer.weights.rows() * layer.weights.cols();
+        count += layer.bias.size();
+    }
+    return count;
+}
+
+void
+Mlp::forward(const double *x, double *out) const
+{
+    std::vector<double> current(x, x + config_.input_dim);
+    std::vector<double> next;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::size_t fan_out = layer.weights.rows();
+        const std::size_t fan_in = layer.weights.cols();
+        next.assign(fan_out, 0.0);
+        for (std::size_t o = 0; o < fan_out; ++o) {
+            const double *w = layer.weights.row(o);
+            double z = layer.bias[o];
+            for (std::size_t i = 0; i < fan_in; ++i) {
+                z += w[i] * current[i];
+            }
+            next[o] = z;
+        }
+        const bool last = l + 1 == layers_.size();
+        if (!last) {
+            for (auto &v : next) {
+                v = std::max(0.0, v);
+            }
+        } else if (config_.output == OutputKind::Sigmoid) {
+            for (auto &v : next) {
+                v = sigmoid(v);
+            }
+        } else {
+            softmaxInPlace(next);
+        }
+        current.swap(next);
+    }
+    std::copy(current.begin(), current.end(), out);
+}
+
+double
+Mlp::predictProb(const double *x) const
+{
+    assert(config_.output == OutputKind::Sigmoid && config_.output_dim == 1);
+    double p = 0.0;
+    forward(x, &p);
+    return p;
+}
+
+int
+Mlp::predictClass(const double *x) const
+{
+    std::vector<double> probs(config_.output_dim);
+    forward(x, probs.data());
+    return static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+void
+Mlp::forwardTraining(const double *x,
+                     std::vector<std::vector<double>> &acts) const
+{
+    acts.resize(layers_.size() + 1);
+    acts[0].assign(x, x + config_.input_dim);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::size_t fan_out = layer.weights.rows();
+        const std::size_t fan_in = layer.weights.cols();
+        acts[l + 1].assign(fan_out, 0.0);
+        for (std::size_t o = 0; o < fan_out; ++o) {
+            const double *w = layer.weights.row(o);
+            double z = layer.bias[o];
+            for (std::size_t i = 0; i < fan_in; ++i) {
+                z += w[i] * acts[l][i];
+            }
+            acts[l + 1][o] = z;
+        }
+        const bool last = l + 1 == layers_.size();
+        if (!last) {
+            for (auto &v : acts[l + 1]) {
+                v = std::max(0.0, v);
+            }
+        } else if (config_.output == OutputKind::Sigmoid) {
+            for (auto &v : acts[l + 1]) {
+                v = sigmoid(v);
+            }
+        } else {
+            softmaxInPlace(acts[l + 1]);
+        }
+    }
+}
+
+double
+Mlp::train(const Matrix &x, const std::vector<double> &targets,
+           const TrainOptions &options, util::Rng &rng)
+{
+    const std::size_t n = x.rows();
+    assert(static_cast<int>(x.cols()) == config_.input_dim);
+    const bool softmax = config_.output == OutputKind::Softmax;
+    if (softmax) {
+        assert(targets.size() == n);
+    } else {
+        assert(targets.size() ==
+               n * static_cast<std::size_t>(config_.output_dim));
+    }
+    assert(options.batch_size >= 1);
+
+    // Per-layer gradient accumulators, reused across minibatches.
+    std::vector<Matrix> grad_w;
+    std::vector<std::vector<double>> grad_b;
+    for (const auto &layer : layers_) {
+        grad_w.emplace_back(layer.weights.rows(), layer.weights.cols());
+        grad_b.emplace_back(layer.bias.size(), 0.0);
+    }
+
+    std::vector<std::vector<double>> acts;
+    std::vector<double> delta;
+    std::vector<double> delta_prev;
+    double last_epoch_loss = 0.0;
+
+    const double beta1 = 0.9;
+    const double beta2 = 0.999;
+    const double eps = 1.0e-8;
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        const auto order = rng.permutation(n);
+        double epoch_loss = 0.0;
+        std::size_t batch_start = 0;
+        while (batch_start < n) {
+            const std::size_t batch_end =
+                std::min(n, batch_start + options.batch_size);
+            const auto batch_n =
+                static_cast<double>(batch_end - batch_start);
+            for (auto &g : grad_w) {
+                g.fill(0.0);
+            }
+            for (auto &g : grad_b) {
+                std::fill(g.begin(), g.end(), 0.0);
+            }
+
+            for (std::size_t s = batch_start; s < batch_end; ++s) {
+                const std::size_t idx = order[s];
+                forwardTraining(x.row(idx), acts);
+                const auto &out = acts.back();
+
+                // Output delta: prob - target for both heads.
+                delta.assign(out.size(), 0.0);
+                if (softmax) {
+                    const int cls = static_cast<int>(targets[idx]);
+                    assert(cls >= 0 && cls < config_.output_dim);
+                    for (std::size_t o = 0; o < out.size(); ++o) {
+                        delta[o] = out[o] -
+                                   (static_cast<int>(o) == cls ? 1.0 : 0.0);
+                    }
+                    epoch_loss += -std::log(std::max(1.0e-12, out[cls]));
+                } else {
+                    for (std::size_t o = 0; o < out.size(); ++o) {
+                        const double target =
+                            targets[idx * out.size() + o];
+                        delta[o] = out[o] - target;
+                        epoch_loss +=
+                            -(target * std::log(std::max(1.0e-12, out[o])) +
+                              (1.0 - target) *
+                                  std::log(
+                                      std::max(1.0e-12, 1.0 - out[o])));
+                    }
+                }
+
+                // Backpropagate.
+                for (std::size_t l = layers_.size(); l-- > 0;) {
+                    const Layer &layer = layers_[l];
+                    const auto &input = acts[l];
+                    const std::size_t fan_out = layer.weights.rows();
+                    const std::size_t fan_in = layer.weights.cols();
+                    for (std::size_t o = 0; o < fan_out; ++o) {
+                        const double d = delta[o];
+                        if (d == 0.0) {
+                            continue;
+                        }
+                        double *g_row = grad_w[l].row(o);
+                        for (std::size_t i = 0; i < fan_in; ++i) {
+                            g_row[i] += d * input[i];
+                        }
+                        grad_b[l][o] += d;
+                    }
+                    if (l == 0) {
+                        break;
+                    }
+                    delta_prev.assign(fan_in, 0.0);
+                    for (std::size_t o = 0; o < fan_out; ++o) {
+                        const double d = delta[o];
+                        if (d == 0.0) {
+                            continue;
+                        }
+                        const double *w = layer.weights.row(o);
+                        for (std::size_t i = 0; i < fan_in; ++i) {
+                            delta_prev[i] += d * w[i];
+                        }
+                    }
+                    // ReLU derivative of the previous layer's output.
+                    for (std::size_t i = 0; i < fan_in; ++i) {
+                        if (acts[l][i] <= 0.0) {
+                            delta_prev[i] = 0.0;
+                        }
+                    }
+                    delta.swap(delta_prev);
+                }
+            }
+
+            // Adam update.
+            ++adam_step_;
+            const double bc1 =
+                1.0 - std::pow(beta1, static_cast<double>(adam_step_));
+            const double bc2 =
+                1.0 - std::pow(beta2, static_cast<double>(adam_step_));
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                auto &gw = grad_w[l].data();
+                auto &w = layer.weights.data();
+                auto &mw = layer.m_w.data();
+                auto &vw = layer.v_w.data();
+                for (std::size_t i = 0; i < w.size(); ++i) {
+                    const double g = gw[i] / batch_n +
+                                     options.weight_decay * w[i];
+                    mw[i] = beta1 * mw[i] + (1.0 - beta1) * g;
+                    vw[i] = beta2 * vw[i] + (1.0 - beta2) * g * g;
+                    w[i] -= options.learning_rate * (mw[i] / bc1) /
+                            (std::sqrt(vw[i] / bc2) + eps);
+                }
+                for (std::size_t o = 0; o < layer.bias.size(); ++o) {
+                    const double g = grad_b[l][o] / batch_n;
+                    layer.m_b[o] = beta1 * layer.m_b[o] + (1.0 - beta1) * g;
+                    layer.v_b[o] =
+                        beta2 * layer.v_b[o] + (1.0 - beta2) * g * g;
+                    layer.bias[o] -= options.learning_rate *
+                                     (layer.m_b[o] / bc1) /
+                                     (std::sqrt(layer.v_b[o] / bc2) + eps);
+                }
+            }
+            batch_start = batch_end;
+        }
+        last_epoch_loss = epoch_loss / static_cast<double>(n);
+    }
+    return last_epoch_loss;
+}
+
+void
+Mlp::save(std::ostream &os) const
+{
+    os << "mlp 1\n";
+    os << config_.input_dim << ' ' << config_.output_dim << ' '
+       << (config_.output == OutputKind::Softmax ? 1 : 0) << ' '
+       << config_.hidden.size();
+    for (int h : config_.hidden) {
+        os << ' ' << h;
+    }
+    os << '\n';
+    os.precision(17);
+    for (const auto &layer : layers_) {
+        for (double w : layer.weights.data()) {
+            os << w << ' ';
+        }
+        for (double b : layer.bias) {
+            os << b << ' ';
+        }
+        os << '\n';
+    }
+}
+
+Mlp
+Mlp::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "mlp" || version != 1) {
+        util::fatal("Mlp::load: bad header");
+    }
+    MlpConfig config;
+    int softmax = 0;
+    std::size_t hidden_count = 0;
+    is >> config.input_dim >> config.output_dim >> softmax >> hidden_count;
+    config.output = softmax ? OutputKind::Softmax : OutputKind::Sigmoid;
+    config.hidden.resize(hidden_count);
+    for (auto &h : config.hidden) {
+        is >> h;
+    }
+    util::Rng rng(0);
+    Mlp mlp(config, rng);
+    for (auto &layer : mlp.layers_) {
+        for (auto &w : layer.weights.data()) {
+            is >> w;
+        }
+        for (auto &b : layer.bias) {
+            is >> b;
+        }
+    }
+    if (!is) {
+        util::fatal("Mlp::load: truncated stream");
+    }
+    return mlp;
+}
+
+} // namespace kodan::ml

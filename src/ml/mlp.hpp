@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multilayer perceptron with Adam training.
+ *
+ * This is the stand-in for the paper's semantic-segmentation networks:
+ * per-block binary cloud classifiers (sigmoid head) and the multi-class
+ * context engine (softmax head). Seven capacity tiers play the role of
+ * the seven application architectures of Table 1.
+ */
+
+#ifndef KODAN_ML_MLP_HPP
+#define KODAN_ML_MLP_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace kodan::ml {
+
+/** Output head of an Mlp. */
+enum class OutputKind
+{
+    /** Independent sigmoid units, binary cross-entropy loss. */
+    Sigmoid,
+    /** Softmax over classes, cross-entropy loss. */
+    Softmax,
+};
+
+/** Architecture description of an Mlp. */
+struct MlpConfig
+{
+    /** Input dimension. */
+    int input_dim = 0;
+    /** Hidden layer widths (ReLU activations). */
+    std::vector<int> hidden;
+    /** Output dimension (1 for binary, class count for softmax). */
+    int output_dim = 1;
+    /** Output head. */
+    OutputKind output = OutputKind::Sigmoid;
+};
+
+/** Training hyperparameters. */
+struct TrainOptions
+{
+    /** Number of passes over the training set. */
+    int epochs = 4;
+    /** Minibatch size. */
+    int batch_size = 64;
+    /** Adam learning rate. */
+    double learning_rate = 3.0e-3;
+    /** L2 weight decay. */
+    double weight_decay = 1.0e-5;
+};
+
+/**
+ * Fully-connected network: input -> (Linear+ReLU)* -> Linear -> head.
+ */
+class Mlp
+{
+  public:
+    /**
+     * Construct with He-initialized weights.
+     * @param config Architecture.
+     * @param rng Initialization randomness.
+     */
+    Mlp(const MlpConfig &config, util::Rng &rng);
+
+    /** Architecture. */
+    const MlpConfig &config() const { return config_; }
+
+    /** Total number of trainable parameters. */
+    std::size_t parameterCount() const;
+
+    /**
+     * Forward pass of one sample.
+     * @param x Input of config().input_dim values.
+     * @param out Output of config().output_dim probabilities.
+     */
+    void forward(const double *x, double *out) const;
+
+    /** Probability of the positive class (binary head convenience). */
+    double predictProb(const double *x) const;
+
+    /** Argmax class (softmax head convenience). */
+    int predictClass(const double *x) const;
+
+    /**
+     * Train with Adam on (X, targets).
+     *
+     * For a Sigmoid head, @p targets holds one value per sample per output
+     * unit in [0, 1] (soft labels are allowed). For a Softmax head it
+     * holds one class index per sample (cast to double).
+     *
+     * @param x Samples, one per row.
+     * @param targets Targets as described above.
+     * @param options Hyperparameters.
+     * @param rng Shuffling randomness.
+     * @return Mean training loss of the final epoch.
+     */
+    double train(const Matrix &x, const std::vector<double> &targets,
+                 const TrainOptions &options, util::Rng &rng);
+
+    /** Serialize (architecture + weights) to a stream. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize a network previously written by save(). */
+    static Mlp load(std::istream &is);
+
+  private:
+    struct Layer
+    {
+        Matrix weights; // out x in
+        std::vector<double> bias;
+        // Adam state.
+        Matrix m_w, v_w;
+        std::vector<double> m_b, v_b;
+    };
+
+    MlpConfig config_;
+    std::vector<Layer> layers_;
+    long long adam_step_ = 0;
+
+    /**
+     * Forward pass keeping activations for backprop.
+     * @param x Input sample.
+     * @param acts Output: per-layer post-activation vectors (acts[0] = x).
+     */
+    void forwardTraining(const double *x,
+                         std::vector<std::vector<double>> &acts) const;
+};
+
+} // namespace kodan::ml
+
+#endif // KODAN_ML_MLP_HPP

@@ -1,0 +1,112 @@
+#include "orbit/elements.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+
+using util::kEarthJ2;
+using util::kEarthMu;
+using util::kEarthRadius;
+using util::kTwoPi;
+
+double
+OrbitalElements::meanMotion() const
+{
+    assert(semi_major_axis > 0.0);
+    return std::sqrt(kEarthMu /
+                     (semi_major_axis * semi_major_axis * semi_major_axis));
+}
+
+double
+OrbitalElements::period() const
+{
+    return kTwoPi / meanMotion();
+}
+
+OrbitalElements
+OrbitalElements::circularLeo(double altitude_m, double inclination_rad,
+                             double raan_rad, double mean_anomaly_rad)
+{
+    OrbitalElements elems;
+    elems.semi_major_axis = kEarthRadius + altitude_m;
+    elems.eccentricity = 0.0;
+    elems.inclination = inclination_rad;
+    elems.raan = raan_rad;
+    elems.arg_perigee = 0.0;
+    elems.mean_anomaly = mean_anomaly_rad;
+    return elems;
+}
+
+OrbitalElements
+OrbitalElements::landsat8(double raan_rad, double mean_anomaly_rad)
+{
+    const double altitude = 705.0e3;
+    return circularLeo(altitude, sunSynchronousInclination(altitude),
+                       raan_rad, mean_anomaly_rad);
+}
+
+double
+sunSynchronousInclination(double altitude_m)
+{
+    // Required nodal precession: one revolution per tropical year.
+    const double year_s = 365.2422 * util::kSecondsPerDay;
+    const double target_rate = kTwoPi / year_s; // rad/s, eastward
+
+    const double a = kEarthRadius + altitude_m;
+    const double n = std::sqrt(kEarthMu / (a * a * a));
+    const double p = a; // circular orbit: semi-latus rectum == a
+    // raan_rate = -1.5 * n * J2 * (Re/p)^2 * cos(i)  =>  solve for i.
+    const double coeff =
+        -1.5 * n * kEarthJ2 * (kEarthRadius / p) * (kEarthRadius / p);
+    const double cos_i = target_rate / coeff;
+    assert(cos_i >= -1.0 && cos_i <= 1.0);
+    return std::acos(cos_i);
+}
+
+std::vector<OrbitalElements>
+walkerConstellation(int total, int planes, int phasing,
+                    double altitude_m, double inclination_rad)
+{
+    assert(planes >= 1);
+    assert(total >= planes && total % planes == 0);
+    assert(phasing >= 0 && phasing < planes);
+
+    const int per_plane = total / planes;
+    std::vector<OrbitalElements> constellation;
+    constellation.reserve(total);
+    for (int p = 0; p < planes; ++p) {
+        const double raan = kTwoPi * p / planes;
+        for (int s = 0; s < per_plane; ++s) {
+            const double mean_anomaly = util::wrapTwoPi(
+                kTwoPi * s / per_plane +
+                kTwoPi * phasing * p / total);
+            constellation.push_back(OrbitalElements::circularLeo(
+                altitude_m, inclination_rad, raan, mean_anomaly));
+        }
+    }
+    return constellation;
+}
+
+double
+solveKepler(double mean_anomaly, double eccentricity)
+{
+    assert(eccentricity >= 0.0 && eccentricity < 1.0);
+    const double m = util::wrapTwoPi(mean_anomaly);
+    // Starting guess: E = M works well for small e.
+    double e_anom = eccentricity < 0.8 ? m : util::kPi;
+    for (int iter = 0; iter < 32; ++iter) {
+        const double f = e_anom - eccentricity * std::sin(e_anom) - m;
+        const double fp = 1.0 - eccentricity * std::cos(e_anom);
+        const double step = f / fp;
+        e_anom -= step;
+        if (std::fabs(step) < 1.0e-13) {
+            break;
+        }
+    }
+    return util::wrapTwoPi(e_anom);
+}
+
+} // namespace kodan::orbit

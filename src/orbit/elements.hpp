@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Classical orbital elements and presets for the satellites kodan models.
+ */
+
+#ifndef KODAN_ORBIT_ELEMENTS_HPP
+#define KODAN_ORBIT_ELEMENTS_HPP
+
+#include <vector>
+
+namespace kodan::orbit {
+
+/**
+ * Classical (Keplerian) orbital elements at a reference epoch t = 0.
+ *
+ * Angles are radians; the semi-major axis is meters. The epoch is the
+ * simulation origin, so a constellation is expressed by giving each
+ * satellite its own RAAN and mean anomaly at t = 0.
+ */
+struct OrbitalElements
+{
+    /** Semi-major axis (m). */
+    double semi_major_axis = 0.0;
+    /** Eccentricity (dimensionless, [0, 1)). */
+    double eccentricity = 0.0;
+    /** Inclination (rad). */
+    double inclination = 0.0;
+    /** Right ascension of the ascending node at epoch (rad). */
+    double raan = 0.0;
+    /** Argument of perigee at epoch (rad). */
+    double arg_perigee = 0.0;
+    /** Mean anomaly at epoch (rad). */
+    double mean_anomaly = 0.0;
+
+    /** Unperturbed mean motion n = sqrt(mu / a^3), rad/s. */
+    double meanMotion() const;
+
+    /** Unperturbed orbital period 2*pi/n, seconds. */
+    double period() const;
+
+    /**
+     * Circular LEO factory.
+     *
+     * @param altitude_m Altitude above the mean equatorial radius (m).
+     * @param inclination_rad Inclination (rad).
+     * @param raan_rad RAAN at epoch (rad).
+     * @param mean_anomaly_rad Mean anomaly at epoch (rad); use to phase
+     *        satellites within one orbital plane.
+     */
+    static OrbitalElements circularLeo(double altitude_m,
+                                       double inclination_rad,
+                                       double raan_rad = 0.0,
+                                       double mean_anomaly_rad = 0.0);
+
+    /**
+     * Landsat-8-like sun-synchronous orbit: 705 km circular at the
+     * sun-synchronous inclination (~98.2 deg).
+     *
+     * @param raan_rad RAAN at epoch (rad).
+     * @param mean_anomaly_rad Mean anomaly at epoch (rad).
+     */
+    static OrbitalElements landsat8(double raan_rad = 0.0,
+                                    double mean_anomaly_rad = 0.0);
+};
+
+/**
+ * Inclination giving a sun-synchronous nodal precession rate for a
+ * circular orbit at the given altitude (J2-driven, ~0.9856 deg/day).
+ *
+ * @param altitude_m Circular orbit altitude (m).
+ * @return Inclination in radians (> pi/2, i.e. retrograde).
+ */
+double sunSynchronousInclination(double altitude_m);
+
+/**
+ * Walker-delta constellation: @p total satellites spread over
+ * @p planes equally-spaced orbital planes, with in-plane satellites
+ * evenly phased and an inter-plane phasing offset of
+ * @p phasing * 360/total degrees (the Walker "f" parameter).
+ *
+ * @param total Total satellites; must be divisible by @p planes.
+ * @param planes Number of orbital planes (>= 1).
+ * @param phasing Walker phasing parameter f in [0, planes).
+ * @param altitude_m Circular orbit altitude (m).
+ * @param inclination_rad Inclination (rad).
+ * @return One element set per satellite.
+ */
+std::vector<OrbitalElements> walkerConstellation(int total, int planes,
+                                                 int phasing,
+                                                 double altitude_m,
+                                                 double inclination_rad);
+
+/**
+ * Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly.
+ *
+ * Newton iteration; converges in a handful of steps for e < 0.9.
+ *
+ * @param mean_anomaly Mean anomaly M (rad, any wrap).
+ * @param eccentricity Eccentricity e in [0, 1).
+ * @return Eccentric anomaly E in [0, 2*pi).
+ */
+double solveKepler(double mean_anomaly, double eccentricity);
+
+} // namespace kodan::orbit
+
+#endif // KODAN_ORBIT_ELEMENTS_HPP

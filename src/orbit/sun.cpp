@@ -1,0 +1,74 @@
+#include "orbit/sun.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+
+namespace {
+
+/** Tropical year in seconds. */
+constexpr double kYear = 365.2422 * 86400.0;
+
+} // namespace
+
+Vec3
+sunDirectionEci(double t)
+{
+    const double mean_longitude = util::kTwoPi * t / kYear;
+    const double cos_l = std::cos(mean_longitude);
+    const double sin_l = std::sin(mean_longitude);
+    return {cos_l, sin_l * std::cos(kObliquity),
+            sin_l * std::sin(kObliquity)};
+}
+
+double
+solarElevation(const Geodetic &point, double t)
+{
+    const Vec3 site_ecef = geodeticToEcef(point);
+    const Vec3 up = site_ecef.normalized();
+    const Vec3 sun_ecef = eciToEcef(sunDirectionEci(t), t);
+    return std::asin(util::clamp(up.dot(sun_ecef), -1.0, 1.0));
+}
+
+bool
+isDaylit(const Geodetic &point, double t, double min_elevation)
+{
+    return solarElevation(point, t) > min_elevation;
+}
+
+bool
+inEclipse(const Vec3 &sat_eci, double t)
+{
+    const Vec3 sun = sunDirectionEci(t);
+    const double along = sat_eci.dot(sun);
+    if (along >= 0.0) {
+        return false; // on the day side
+    }
+    // Distance from the shadow axis.
+    const Vec3 radial = sat_eci - sun * along;
+    return radial.norm() < util::kEarthRadius;
+}
+
+double
+localSolarTime(const Geodetic &point, double t)
+{
+    // Mean sun right ascension advances 2*pi per year; Greenwich hour
+    // angle of the mean sun = gmst - sun_ra. Local solar time = 12h +
+    // (hour angle + longitude) scaled to hours.
+    const double sun_ra = util::kTwoPi * t / kYear;
+    const double hour_angle =
+        util::wrapPi(gmst(t) - sun_ra + point.longitude);
+    double hours = 12.0 + hour_angle * 24.0 / util::kTwoPi;
+    if (hours >= 24.0) {
+        hours -= 24.0;
+    }
+    if (hours < 0.0) {
+        hours += 24.0;
+    }
+    return hours;
+}
+
+} // namespace kodan::orbit

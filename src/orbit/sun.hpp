@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sun direction and illumination model.
+ *
+ * Earth-observation imagers only produce useful data over daylit ground;
+ * sun-synchronous orbits exist precisely to keep the descending node at
+ * a constant local solar time. This model provides the sun direction in
+ * ECI, solar elevation at a ground point, and satellite eclipse state at
+ * the fidelity of a circular ecliptic sun (adequate for constellation
+ * studies).
+ */
+
+#ifndef KODAN_ORBIT_SUN_HPP
+#define KODAN_ORBIT_SUN_HPP
+
+#include "orbit/earth.hpp"
+#include "orbit/vec3.hpp"
+
+namespace kodan::orbit {
+
+/** Obliquity of the ecliptic (rad). */
+inline constexpr double kObliquity = 0.40909;
+
+/**
+ * Unit vector from Earth toward the Sun in ECI at simulation time t.
+ *
+ * The Sun moves along a circular ecliptic with a period of one tropical
+ * year; at t = 0 it lies at the vernal equinox direction (+X).
+ *
+ * @param t Seconds since epoch.
+ */
+Vec3 sunDirectionEci(double t);
+
+/**
+ * Solar elevation angle at a geodetic ground point (rad); positive when
+ * the Sun is above the local horizon.
+ *
+ * @param point Ground location.
+ * @param t Seconds since epoch.
+ */
+double solarElevation(const Geodetic &point, double t);
+
+/**
+ * True when the ground point is daylit (solar elevation above
+ * @p min_elevation, default ~ -0.8 deg accounting for refraction).
+ */
+bool isDaylit(const Geodetic &point, double t,
+              double min_elevation = -0.014);
+
+/**
+ * True when a satellite at ECI position @p sat_eci is inside Earth's
+ * cylindrical shadow at time t (umbra approximation).
+ */
+bool inEclipse(const Vec3 &sat_eci, double t);
+
+/**
+ * Mean local solar time (hours, [0, 24)) at a ground point: the
+ * hour-angle of the mean sun offset to local longitude. Used to verify
+ * sun-synchronous geometry (Landsat 8 crosses the equator descending at
+ * ~10:11 local time).
+ */
+double localSolarTime(const Geodetic &point, double t);
+
+} // namespace kodan::orbit
+
+#endif // KODAN_ORBIT_SUN_HPP

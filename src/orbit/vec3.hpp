@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small 3-vector used by the orbital mechanics substrate.
+ */
+
+#ifndef KODAN_ORBIT_VEC3_HPP
+#define KODAN_ORBIT_VEC3_HPP
+
+#include <cmath>
+
+namespace kodan::orbit {
+
+/**
+ * Plain 3-vector of doubles with the usual algebraic operations.
+ *
+ * Used for positions/velocities in ECI and ECEF frames (meters, m/s).
+ */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    /** Dot product. */
+    constexpr double dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product. */
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Squared Euclidean norm. */
+    constexpr double normSq() const { return dot(*this); }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(normSq()); }
+
+    /** Unit vector in this direction; undefined for the zero vector. */
+    Vec3 normalized() const { return *this / norm(); }
+};
+
+/** Scalar * vector. */
+constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+} // namespace kodan::orbit
+
+#endif // KODAN_ORBIT_VEC3_HPP

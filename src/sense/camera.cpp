@@ -1,0 +1,59 @@
+#include "sense/camera.hpp"
+
+#include <cassert>
+
+namespace kodan::sense {
+
+double
+CameraModel::alongTrackLength() const
+{
+    return gsd_m * frame_height_px;
+}
+
+double
+CameraModel::swathWidth() const
+{
+    return gsd_m * frame_width_px;
+}
+
+double
+CameraModel::frameBits() const
+{
+    return framePixels() * bands * bits_per_sample;
+}
+
+double
+CameraModel::framePixels() const
+{
+    return static_cast<double>(frame_width_px) * frame_height_px;
+}
+
+double
+CameraModel::framePeriod(double ground_speed) const
+{
+    assert(ground_speed > 0.0);
+    return alongTrackLength() / ground_speed;
+}
+
+CameraModel
+CameraModel::landsat8Multispectral()
+{
+    CameraModel camera;
+    camera.gsd_m = 15.0;
+    camera.frame_width_px = 10000;
+    camera.frame_height_px = 10000;
+    camera.bands = 4;
+    camera.bits_per_sample = 11;
+    return camera;
+}
+
+CameraModel
+CameraModel::landsat8Hyperspectral()
+{
+    CameraModel camera = landsat8Multispectral();
+    camera.bands = 64;
+    camera.bits_per_sample = 12;
+    return camera;
+}
+
+} // namespace kodan::sense

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Imaging payload model: ground sample distance, frame geometry, data
+ * volume, and capture cadence (the frame deadline).
+ */
+
+#ifndef KODAN_SENSE_CAMERA_HPP
+#define KODAN_SENSE_CAMERA_HPP
+
+namespace kodan::sense {
+
+/**
+ * A pushbroom frame camera.
+ *
+ * The satellite continuously images its ground track; a "frame" is the
+ * image accumulated while the subsatellite point advances one along-track
+ * frame length. The time to do so is the frame deadline: all processing of
+ * a frame must finish before the next frame arrives.
+ */
+struct CameraModel
+{
+    /** Ground sample distance (m per pixel). */
+    double gsd_m = 15.0;
+    /** Frame width in pixels (cross-track). */
+    int frame_width_px = 10000;
+    /** Frame height in pixels (along-track). */
+    int frame_height_px = 10000;
+    /** Number of spectral bands. */
+    int bands = 4;
+    /** Bits per pixel per band. */
+    int bits_per_sample = 11;
+
+    /** Along-track length of one frame on the ground (m). */
+    double alongTrackLength() const;
+
+    /** Cross-track swath width (m). */
+    double swathWidth() const;
+
+    /** Raw data volume of one frame (bits). */
+    double frameBits() const;
+
+    /** Pixels per frame. */
+    double framePixels() const;
+
+    /**
+     * Frame capture period (s) — the frame deadline — for a satellite
+     * whose subsatellite point moves at @p ground_speed (m/s).
+     */
+    double framePeriod(double ground_speed) const;
+
+    /**
+     * Landsat-8-like multispectral camera: 10K x 10K px at 15 m GSD,
+     * 4 bands x 11 bits (~4.4 Gbit/frame, ~22 s frame deadline at the
+     * Landsat-8 ground speed).
+     */
+    static CameraModel landsat8Multispectral();
+
+    /**
+     * Hyperspectral variant: same geometry, 64 bands x 12 bits
+     * (~77 Gbit/frame). Used for the downlink-gap characterization
+     * (paper Fig. 2, "hyperspectral, 10K image frames").
+     */
+    static CameraModel landsat8Hyperspectral();
+};
+
+} // namespace kodan::sense
+
+#endif // KODAN_SENSE_CAMERA_HPP

@@ -1,0 +1,49 @@
+#include "sense/capture.hpp"
+
+#include <cassert>
+
+#include "orbit/sun.hpp"
+#include "util/units.hpp"
+
+namespace kodan::sense {
+
+FrameCapture::FrameCapture(const CameraModel &camera, const WrsGrid &grid)
+    : camera_(camera), grid_(grid)
+{
+}
+
+double
+FrameCapture::frameDeadline(const orbit::J2Propagator &sat) const
+{
+    return camera_.framePeriod(sat.groundTrackSpeed());
+}
+
+std::vector<FrameEvent>
+FrameCapture::capture(const orbit::J2Propagator &sat, std::size_t sat_index,
+                      double t0, double t1, bool daylit_only) const
+{
+    assert(t1 >= t0);
+    const double period = frameDeadline(sat);
+    std::vector<FrameEvent> frames;
+    frames.reserve(static_cast<std::size_t>((t1 - t0) / period) + 1);
+    for (double t = t0; t < t1; t += period) {
+        FrameEvent event;
+        event.time = t;
+        event.center = sat.subsatellitePoint(t);
+        if (daylit_only && !orbit::isDaylit(event.center, t)) {
+            continue;
+        }
+        event.scene = grid_.sceneAt(sat, t);
+        event.satellite = sat_index;
+        frames.push_back(event);
+    }
+    return frames;
+}
+
+double
+FrameCapture::framesPerDay(const orbit::J2Propagator &sat) const
+{
+    return util::kSecondsPerDay / frameDeadline(sat);
+}
+
+} // namespace kodan::sense

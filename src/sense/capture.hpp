@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Frame capture scheduling: turns an orbit + camera into a stream of
+ * frame events with scene identifiers and ground locations.
+ */
+
+#ifndef KODAN_SENSE_CAPTURE_HPP
+#define KODAN_SENSE_CAPTURE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "orbit/propagator.hpp"
+#include "sense/camera.hpp"
+#include "sense/wrs.hpp"
+
+namespace kodan::sense {
+
+/** One captured image frame. */
+struct FrameEvent
+{
+    /** Capture time (s since epoch). */
+    double time = 0.0;
+    /** Subsatellite point at capture. */
+    orbit::Geodetic center;
+    /** WRS scene containing the frame. */
+    SceneId scene;
+    /** Index of the capturing satellite. */
+    std::size_t satellite = 0;
+};
+
+/**
+ * Generates the frame stream of a satellite.
+ */
+class FrameCapture
+{
+  public:
+    /**
+     * @param camera Imaging payload.
+     * @param grid Scene grid used to label frames.
+     */
+    FrameCapture(const CameraModel &camera, const WrsGrid &grid);
+
+    /** The camera in use. */
+    const CameraModel &camera() const { return camera_; }
+
+    /**
+     * Frame capture period — the frame deadline — for this satellite (s).
+     */
+    double frameDeadline(const orbit::J2Propagator &sat) const;
+
+    /**
+     * All frames captured by @p sat in [t0, t1), labeled with scenes.
+     *
+     * @param sat Propagator.
+     * @param sat_index Satellite index stored into the events.
+     * @param t0 Start time (s).
+     * @param t1 End time (s).
+     * @param daylit_only Capture only frames whose subsatellite point is
+     *        sunlit (optical imagers produce no useful data at night).
+     */
+    std::vector<FrameEvent> capture(const orbit::J2Propagator &sat,
+                                    std::size_t sat_index, double t0,
+                                    double t1,
+                                    bool daylit_only = false) const;
+
+    /**
+     * Number of frames captured per day by @p sat (convenience).
+     */
+    double framesPerDay(const orbit::J2Propagator &sat) const;
+
+  private:
+    CameraModel camera_;
+    WrsGrid grid_;
+};
+
+} // namespace kodan::sense
+
+#endif // KODAN_SENSE_CAPTURE_HPP

@@ -1,0 +1,61 @@
+#include "sense/wrs.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace kodan::sense {
+
+using util::kEarthOmega;
+using util::kTwoPi;
+
+WrsGrid::WrsGrid(int paths, int rows)
+    : paths_(paths), rows_(rows)
+{
+    assert(paths > 0 && rows > 0);
+}
+
+SceneId
+WrsGrid::sceneAt(const orbit::J2Propagator &sat, double t) const
+{
+    const auto &elems = sat.elements();
+
+    // Argument of latitude: angle from the ascending node along the orbit.
+    // For the near-circular orbits modeled here the true anomaly equals the
+    // mean anomaly to within the eccentricity, which is < 1e-3.
+    const double mean_anom =
+        util::wrapTwoPi(elems.mean_anomaly + sat.meanMotion() * t);
+    const double argp =
+        util::wrapTwoPi(elems.arg_perigee + sat.argPerigeeRate() * t);
+    const double arg_lat = util::wrapTwoPi(argp + mean_anom);
+
+    // Time of this revolution's ascending-node crossing.
+    const double u_rate = sat.meanMotion() + sat.argPerigeeRate();
+    const double t_node = t - arg_lat / u_rate;
+
+    // Earth-fixed longitude of that crossing defines the path.
+    const double raan_node =
+        util::wrapTwoPi(elems.raan + sat.raanRate() * t_node);
+    const double lon_node = util::wrapTwoPi(raan_node - kEarthOmega * t_node);
+
+    // Paths are binned westward (like WRS) so successive revolutions of a
+    // prograde-precessing ground track land on increasing path numbers.
+    const double path_frac = util::wrapTwoPi(kTwoPi - lon_node) / kTwoPi;
+    const double row_frac = arg_lat / kTwoPi;
+
+    SceneId scene;
+    scene.path = static_cast<int>(path_frac * paths_) % paths_;
+    scene.row = static_cast<int>(row_frac * rows_) % rows_;
+    return scene;
+}
+
+std::size_t
+WrsGrid::flatIndex(const SceneId &scene) const
+{
+    assert(scene.path >= 0 && scene.path < paths_);
+    assert(scene.row >= 0 && scene.row < rows_);
+    return static_cast<std::size_t>(scene.path) * rows_ + scene.row;
+}
+
+} // namespace kodan::sense

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytic Landsat World Reference System (WRS-2-like) scene grid.
+ *
+ * The real WRS-2 is distributed as shapefiles; this substrate replaces the
+ * import with an analytic grid of the same dimensions (233 paths x 248
+ * rows = 57,784 scenes) derived from the orbit geometry: the row indexes
+ * position along the orbit (argument of latitude), and the path indexes
+ * the longitude of the revolution's ascending node.
+ */
+
+#ifndef KODAN_SENSE_WRS_HPP
+#define KODAN_SENSE_WRS_HPP
+
+#include <cstddef>
+
+#include "orbit/propagator.hpp"
+
+namespace kodan::sense {
+
+/** Identifier of one WRS scene. */
+struct SceneId
+{
+    /** Path number, [0, paths). */
+    int path = 0;
+    /** Row number, [0, rows). */
+    int row = 0;
+
+    bool operator==(const SceneId &o) const = default;
+};
+
+/**
+ * The path/row scene grid.
+ *
+ * Thread-compatible and stateless; scene lookup is pure geometry.
+ */
+class WrsGrid
+{
+  public:
+    /**
+     * @param paths Number of paths (longitudes of ascending node bins).
+     * @param rows Number of rows (along-orbit bins).
+     */
+    WrsGrid(int paths = 233, int rows = 248);
+
+    /** Number of paths. */
+    int paths() const { return paths_; }
+
+    /** Number of rows. */
+    int rows() const { return rows_; }
+
+    /** Total number of distinct scenes (paths x rows). */
+    std::size_t sceneCount() const
+    {
+        return static_cast<std::size_t>(paths_) * rows_;
+    }
+
+    /**
+     * Scene under the satellite at time t.
+     *
+     * @param sat Propagator of the observing satellite.
+     * @param t Time (s since epoch).
+     */
+    SceneId sceneAt(const orbit::J2Propagator &sat, double t) const;
+
+    /** Flat index of a scene in [0, sceneCount()). */
+    std::size_t flatIndex(const SceneId &scene) const;
+
+  private:
+    int paths_;
+    int rows_;
+};
+
+} // namespace kodan::sense
+
+#endif // KODAN_SENSE_WRS_HPP

@@ -1,0 +1,48 @@
+#include "sim/coverage.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "orbit/propagator.hpp"
+#include "sense/capture.hpp"
+
+namespace kodan::sim {
+
+CoverageResult
+uniqueSceneCoverage(const std::vector<orbit::OrbitalElements> &satellites,
+                    const sense::CameraModel &camera,
+                    const sense::WrsGrid &grid, double duration)
+{
+    CoverageResult result;
+    result.grid_scenes = grid.sceneCount();
+    std::vector<bool> seen(grid.sceneCount(), false);
+
+    const sense::FrameCapture capture(camera, grid);
+    for (std::size_t s = 0; s < satellites.size(); ++s) {
+        const orbit::J2Propagator sat(satellites[s]);
+        const auto frames = capture.capture(sat, s, 0.0, duration);
+        result.total_frames += frames.size();
+        for (const auto &frame : frames) {
+            seen[grid.flatIndex(frame.scene)] = true;
+        }
+    }
+    for (bool flag : seen) {
+        if (flag) {
+            ++result.unique_scenes;
+        }
+    }
+    return result;
+}
+
+int
+satellitesForFullCoverage(double frame_time, double frame_deadline)
+{
+    assert(frame_deadline > 0.0);
+    if (frame_time <= 0.0) {
+        return 1;
+    }
+    return std::max(1, static_cast<int>(
+                           std::ceil(frame_time / frame_deadline)));
+}
+
+} // namespace kodan::sim

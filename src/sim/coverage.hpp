@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Coverage analyses: unique scenes observed per day (paper Fig. 3) and
+ * the satellite count required for full ground-track processing coverage
+ * (paper Fig. 11, following the prior OEC work's pipeline distribution).
+ */
+
+#ifndef KODAN_SIM_COVERAGE_HPP
+#define KODAN_SIM_COVERAGE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "orbit/elements.hpp"
+#include "sense/camera.hpp"
+#include "sense/wrs.hpp"
+#include "util/units.hpp"
+
+namespace kodan::sim {
+
+/** Result of a unique-scene coverage run. */
+struct CoverageResult
+{
+    /** Frames captured by the whole constellation (with duplicates). */
+    std::size_t total_frames = 0;
+    /** Distinct WRS scenes observed at least once. */
+    std::size_t unique_scenes = 0;
+    /** Scenes in the grid. */
+    std::size_t grid_scenes = 0;
+
+    /** Fraction of the grid observed. */
+    double coverageFraction() const
+    {
+        return grid_scenes == 0
+                   ? 0.0
+                   : static_cast<double>(unique_scenes) / grid_scenes;
+    }
+};
+
+/**
+ * Count distinct WRS scenes observed by a constellation over a duration.
+ *
+ * @param satellites Constellation epoch elements.
+ * @param camera Imaging payload (sets the frame cadence).
+ * @param grid Scene grid.
+ * @param duration Observation window (s), typically one day.
+ */
+CoverageResult uniqueSceneCoverage(
+    const std::vector<orbit::OrbitalElements> &satellites,
+    const sense::CameraModel &camera, const sense::WrsGrid &grid,
+    double duration = util::kSecondsPerDay);
+
+/**
+ * Satellites required for full ground-track *processing* coverage when
+ * per-frame processing takes @p frame_time but frames arrive every
+ * @p frame_deadline: work is distributed across a pipeline of satellites
+ * as in prior OEC work, so the count is ceil(frame_time / deadline).
+ *
+ * @param frame_time Processing time per frame on the target (s).
+ * @param frame_deadline Frame capture period (s).
+ * @return Pipeline length (>= 1).
+ */
+int satellitesForFullCoverage(double frame_time, double frame_deadline);
+
+} // namespace kodan::sim
+
+#endif // KODAN_SIM_COVERAGE_HPP

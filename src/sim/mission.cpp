@@ -1,0 +1,225 @@
+#include "sim/mission.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "sense/wrs.hpp"
+#include "util/stats.hpp"
+
+namespace kodan::sim {
+
+MissionConfig
+MissionConfig::landsatConstellation(int satellite_count)
+{
+    assert(satellite_count >= 1);
+    MissionConfig config;
+    for (int k = 0; k < satellite_count; ++k) {
+        const double phase =
+            util::kTwoPi * k / static_cast<double>(satellite_count);
+        config.satellites.push_back(
+            orbit::OrbitalElements::landsat8(0.0, phase));
+    }
+    config.stations = ground::landsatGroundSegment();
+    config.camera = sense::CameraModel::landsat8Multispectral();
+    return config;
+}
+
+FilterBehavior
+FilterBehavior::bentPipe()
+{
+    FilterBehavior filter;
+    // Modeled as "no processing at all": every frame stays raw and is
+    // queued for downlink in capture order (indiscriminate).
+    filter.frame_time = std::numeric_limits<double>::infinity();
+    filter.send_unprocessed = true;
+    return filter;
+}
+
+FilterBehavior
+FilterBehavior::idealFilter()
+{
+    FilterBehavior filter;
+    filter.frame_time = 0.0;
+    filter.keep_high = 1.0;
+    filter.keep_low = 0.0;
+    filter.send_unprocessed = false;
+    return filter;
+}
+
+MissionSim::MissionSim(const data::GeoModel *world, double fixed_prevalence)
+    : world_(world), fixed_prevalence_(fixed_prevalence)
+{
+    assert(fixed_prevalence >= 0.0 && fixed_prevalence <= 1.0);
+}
+
+double
+MissionSim::frameValueFraction(const orbit::Geodetic &center, double time,
+                               util::Rng &rng) const
+{
+    if (world_ == nullptr) {
+        return rng.bernoulli(fixed_prevalence_) ? 1.0 : 0.0;
+    }
+    // Sample a 3x3 lattice across the frame footprint.
+    const double spread = 50.0e3 / util::kEarthRadius; // ~ frame third
+    int clear = 0;
+    for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+            const double lat = util::clamp(center.latitude + dr * spread,
+                                           -util::kPi / 2.0 + 1e-6,
+                                           util::kPi / 2.0 - 1e-6);
+            const double lon = center.longitude + dc * spread;
+            if (!world_->cloudyAt(lat, lon, time)) {
+                ++clear;
+            }
+        }
+    }
+    return clear / 9.0;
+}
+
+SatelliteResult
+MissionResult::totals() const
+{
+    SatelliteResult sum;
+    for (const auto &sat : per_satellite) {
+        sum.frames_observed += sat.frames_observed;
+        sum.frames_processed += sat.frames_processed;
+        sum.frames_downlinked += sat.frames_downlinked;
+        sum.bits_observed += sat.bits_observed;
+        sum.high_bits_observed += sat.high_bits_observed;
+        sum.bits_downlinked += sat.bits_downlinked;
+        sum.high_bits_downlinked += sat.high_bits_downlinked;
+        sum.contact_seconds += sat.contact_seconds;
+        sum.frame_deadline = sat.frame_deadline;
+    }
+    return sum;
+}
+
+MissionResult
+MissionSim::run(const MissionConfig &config,
+                const FilterBehavior &filter) const
+{
+    assert(!config.satellites.empty());
+    assert(!config.stations.empty());
+
+    std::vector<orbit::J2Propagator> sats;
+    sats.reserve(config.satellites.size());
+    for (const auto &elems : config.satellites) {
+        sats.emplace_back(elems);
+    }
+
+    // Ground segment: find all windows, then allocate under contention.
+    const ground::ContactFinder finder(config.contact_scan_step);
+    const auto windows =
+        finder.findAll(sats, config.stations, 0.0, config.duration);
+    const ground::GroundSegmentScheduler scheduler(config.scheduler_step);
+    const auto allocation = scheduler.allocate(
+        windows, sats.size(), config.stations.size(), 0.0, config.duration);
+
+    MissionResult result;
+    result.idle_station_seconds = allocation.idle_station_seconds;
+    result.busy_station_seconds = allocation.busy_station_seconds;
+
+    const double frame_bits = config.camera.frameBits();
+    const sense::WrsGrid grid;
+    const sense::FrameCapture capture(config.camera, grid);
+    util::Rng rng(config.seed);
+
+    for (std::size_t s = 0; s < sats.size(); ++s) {
+        SatelliteResult sat_result;
+        sat_result.contact_seconds = allocation.seconds_per_satellite[s];
+        const double deadline = capture.frameDeadline(sats[s]);
+        sat_result.frame_deadline = deadline;
+
+        const double processed_fraction =
+            filter.frame_time <= deadline
+                ? 1.0
+                : deadline / filter.frame_time;
+
+        const auto frames = capture.capture(sats[s], s, 0.0,
+                                            config.duration);
+        // Downlink queue: products first (highest value density first),
+        // then raw frames in capture order.
+        struct QueueItem
+        {
+            double bits;
+            double high_bits;
+        };
+        std::vector<QueueItem> products;
+        std::vector<QueueItem> raws;
+        std::vector<QueueItem> fifo; // capture order, products + raws
+
+        for (const auto &frame : frames) {
+            const double value =
+                frameValueFraction(frame.center, frame.time, rng);
+            ++sat_result.frames_observed;
+            sat_result.bits_observed += frame_bits;
+            sat_result.high_bits_observed += frame_bits * value;
+
+            const bool processed =
+                processed_fraction >= 1.0 ||
+                rng.bernoulli(processed_fraction);
+            if (!processed) {
+                if (filter.send_unprocessed) {
+                    raws.push_back({frame_bits, frame_bits * value});
+                    fifo.push_back(raws.back());
+                }
+                continue;
+            }
+            ++sat_result.frames_processed;
+            const bool high = value >= 0.5;
+            const double keep_prob =
+                high ? filter.keep_high : filter.keep_low;
+            if (!rng.bernoulli(keep_prob)) {
+                continue; // discarded on orbit
+            }
+            const double bits = frame_bits * filter.product_fraction;
+            const double high_bits =
+                filter.product_precision >= 0.0
+                    ? bits * filter.product_precision
+                    : frame_bits * filter.product_fraction * value;
+            products.push_back({bits, high_bits});
+            fifo.push_back(products.back());
+        }
+
+        std::sort(products.begin(), products.end(),
+                  [](const QueueItem &a, const QueueItem &b) {
+                      const double da =
+                          a.bits > 0.0 ? a.high_bits / a.bits : 0.0;
+                      const double db =
+                          b.bits > 0.0 ? b.high_bits / b.bits : 0.0;
+                      return da > db;
+                  });
+
+        double budget = config.radio.bitsForContact(
+            allocation.seconds_per_satellite[s],
+            allocation.passes_per_satellite[s]);
+        auto drain = [&](const std::vector<QueueItem> &queue) {
+            for (const auto &item : queue) {
+                if (budget <= 0.0) {
+                    break;
+                }
+                const double sent = std::min(budget, item.bits);
+                const double frac =
+                    item.bits > 0.0 ? sent / item.bits : 0.0;
+                sat_result.bits_downlinked += sent;
+                sat_result.high_bits_downlinked += item.high_bits * frac;
+                sat_result.frames_downlinked +=
+                    frame_bits > 0.0 ? sent / frame_bits : 0.0;
+                budget -= sent;
+            }
+        };
+        if (filter.prioritize_products) {
+            drain(products);
+            drain(raws);
+        } else {
+            drain(fifo);
+        }
+
+        result.per_satellite.push_back(sat_result);
+    }
+    return result;
+}
+
+} // namespace kodan::sim

@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace kodan::util {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "DEBUG";
+      case LogLevel::Info:
+        return "INFO";
+      case LogLevel::Warn:
+        return "WARN";
+      case LogLevel::Error:
+        return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(global_level)) {
+        return;
+    }
+    std::cerr << "[kodan " << levelName(level) << "] " << message << '\n';
+}
+
+void
+fatal(const std::string &message)
+{
+    std::cerr << "[kodan FATAL] " << message << '\n';
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::cerr << "[kodan PANIC] " << message << '\n';
+    std::abort();
+}
+
+} // namespace kodan::util

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal leveled logging for the library.
+ *
+ * Follows the gem5 fatal/panic distinction: fatal() is a user/configuration
+ * error (clean exit), panic() is an internal invariant violation (abort).
+ */
+
+#ifndef KODAN_UTIL_LOG_HPP
+#define KODAN_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace kodan::util {
+
+/** Logging verbosity levels, in increasing severity. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Set the global minimum level that is actually emitted. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/** Emit one log line at @p level (filtered by the global level). */
+void logMessage(LogLevel level, const std::string &message);
+
+/**
+ * Terminate due to a user-facing configuration error (exit(1)).
+ * @param message Explanation printed to stderr.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Terminate due to an internal invariant violation (abort()).
+ * @param message Explanation printed to stderr.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace kodan::util
+
+/** Stream-style logging convenience macro. */
+#define KODAN_LOG(level, expr)                                               \
+    do {                                                                     \
+        if (static_cast<int>(level) >=                                       \
+            static_cast<int>(::kodan::util::logLevel())) {                   \
+            std::ostringstream kodan_log_oss;                                \
+            kodan_log_oss << expr;                                           \
+            ::kodan::util::logMessage(level, kodan_log_oss.str());           \
+        }                                                                    \
+    } while (0)
+
+#endif // KODAN_UTIL_LOG_HPP

@@ -1,0 +1,123 @@
+#include "util/noise.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace kodan::util {
+
+namespace {
+
+/** Quintic smoothstep: C2-continuous interpolation weight. */
+double
+smooth(double t)
+{
+    return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace
+
+ValueNoise::ValueNoise(std::uint64_t seed)
+    : seed_(seed)
+{
+}
+
+double
+ValueNoise::cellValue(std::int64_t ix, std::int64_t iy, std::int64_t iz) const
+{
+    std::uint64_t h = seed_;
+    h = splitMix64(h ^ static_cast<std::uint64_t>(ix) * 0x8da6b343ULL);
+    h = splitMix64(h ^ static_cast<std::uint64_t>(iy) * 0xd8163841ULL);
+    h = splitMix64(h ^ static_cast<std::uint64_t>(iz) * 0xcb1ab31fULL);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double
+ValueNoise::at(double x, double y, double z) const
+{
+    const double fx = std::floor(x);
+    const double fy = std::floor(y);
+    const double fz = std::floor(z);
+    const auto ix = static_cast<std::int64_t>(fx);
+    const auto iy = static_cast<std::int64_t>(fy);
+    const auto iz = static_cast<std::int64_t>(fz);
+    const double tx = smooth(x - fx);
+    const double ty = smooth(y - fy);
+    const double tz = smooth(z - fz);
+
+    double corner[2][2][2];
+    for (int dx = 0; dx < 2; ++dx) {
+        for (int dy = 0; dy < 2; ++dy) {
+            for (int dz = 0; dz < 2; ++dz) {
+                corner[dx][dy][dz] = cellValue(ix + dx, iy + dy, iz + dz);
+            }
+        }
+    }
+    const double x00 = lerp(corner[0][0][0], corner[1][0][0], tx);
+    const double x10 = lerp(corner[0][1][0], corner[1][1][0], tx);
+    const double x01 = lerp(corner[0][0][1], corner[1][0][1], tx);
+    const double x11 = lerp(corner[0][1][1], corner[1][1][1], tx);
+    const double y0 = lerp(x00, x10, ty);
+    const double y1 = lerp(x01, x11, ty);
+    return lerp(y0, y1, tz);
+}
+
+FbmNoise::FbmNoise(std::uint64_t seed, int octaves, double lacunarity,
+                   double gain)
+    : base_(seed), octaves_(octaves), lacunarity_(lacunarity), gain_(gain)
+{
+    assert(octaves >= 1);
+    double amplitude = 1.0;
+    double total = 0.0;
+    for (int i = 0; i < octaves_; ++i) {
+        total += amplitude;
+        amplitude *= gain_;
+    }
+    norm_ = 1.0 / total;
+}
+
+double
+FbmNoise::at(double x, double y, double z) const
+{
+    double sum = 0.0;
+    double amplitude = 1.0;
+    double frequency = 1.0;
+    for (int i = 0; i < octaves_; ++i) {
+        // Offset each octave so features of different scales decorrelate.
+        const double offset = 31.416 * i;
+        sum += amplitude * base_.at(x * frequency + offset,
+                                    y * frequency + offset,
+                                    z * frequency);
+        amplitude *= gain_;
+        frequency *= lacunarity_;
+    }
+    return sum * norm_;
+}
+
+SphericalFbm::SphericalFbm(std::uint64_t seed, int octaves, double frequency)
+    : fbm_(seed, octaves), frequency_(frequency)
+{
+}
+
+double
+SphericalFbm::at(double lat_rad, double lon_rad, double time) const
+{
+    const double cos_lat = std::cos(lat_rad);
+    const double x = cos_lat * std::cos(lon_rad);
+    const double y = cos_lat * std::sin(lon_rad);
+    const double z = std::sin(lat_rad);
+    // Embed on the sphere of radius `frequency_` and fold time into all
+    // three axes so the field genuinely evolves rather than translating.
+    return fbm_.at(x * frequency_ + 0.31 * time,
+                   y * frequency_ + 0.47 * time,
+                   z * frequency_ + 0.59 * time);
+}
+
+} // namespace kodan::util

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic lattice value-noise and fractal Brownian motion fields.
+ *
+ * The procedural geospatial model (kodan::data::GeoModel) builds terrain
+ * classes and cloud cover from these fields. They are stateless functions
+ * of (seed, coordinates), so any tile of the synthetic Earth can be
+ * evaluated independently and reproducibly.
+ */
+
+#ifndef KODAN_UTIL_NOISE_HPP
+#define KODAN_UTIL_NOISE_HPP
+
+#include <cstdint>
+
+namespace kodan::util {
+
+/**
+ * Smooth lattice value noise in up to three dimensions.
+ *
+ * Values at integer lattice points are uniform in [0, 1] from a hash of
+ * (seed, cell); between lattice points values are interpolated with a
+ * quintic smoothstep, giving a C2-continuous field.
+ */
+class ValueNoise
+{
+  public:
+    /** @param seed Seed defining the entire infinite field. */
+    explicit ValueNoise(std::uint64_t seed);
+
+    /**
+     * Evaluate the noise field.
+     *
+     * @param x First coordinate (arbitrary units; features ~1 unit wide).
+     * @param y Second coordinate.
+     * @param z Third coordinate (use for time evolution); default 0.
+     * @return Smooth value in [0, 1].
+     */
+    double at(double x, double y, double z = 0.0) const;
+
+    /**
+     * Hash an integer lattice cell to a uniform double in [0, 1].
+     *
+     * Exposed for tests and for callers needing per-cell categorical
+     * draws (e.g. terrain class votes).
+     */
+    double cellValue(std::int64_t ix, std::int64_t iy, std::int64_t iz) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * Fractal Brownian motion: a weighted sum of ValueNoise octaves.
+ *
+ * Each octave doubles spatial frequency and halves amplitude (scaled by
+ * @c gain), producing natural-looking multi-scale structure for
+ * continents, biome boundaries, and cloud masses.
+ */
+class FbmNoise
+{
+  public:
+    /**
+     * @param seed Field seed.
+     * @param octaves Number of octaves to sum; must be >= 1.
+     * @param lacunarity Frequency multiplier per octave (typically 2).
+     * @param gain Amplitude multiplier per octave (typically 0.5).
+     */
+    FbmNoise(std::uint64_t seed, int octaves, double lacunarity = 2.0,
+             double gain = 0.5);
+
+    /**
+     * Evaluate the fBm field, normalized back into [0, 1].
+     *
+     * @param x First coordinate.
+     * @param y Second coordinate.
+     * @param z Third coordinate (e.g. time); default 0.
+     */
+    double at(double x, double y, double z = 0.0) const;
+
+  private:
+    ValueNoise base_;
+    int octaves_;
+    double lacunarity_;
+    double gain_;
+    double norm_; // 1 / sum of octave amplitudes
+};
+
+/**
+ * Noise evaluated on the sphere via 3-D embedding.
+ *
+ * Evaluating lattice noise directly on (lat, lon) seams at the antimeridian
+ * and pinches at the poles; embedding the point on the unit sphere and
+ * sampling 3-D fBm avoids both artifacts.
+ */
+class SphericalFbm
+{
+  public:
+    /**
+     * @param seed Field seed.
+     * @param octaves fBm octave count.
+     * @param frequency Feature frequency; ~n features around the equator.
+     */
+    SphericalFbm(std::uint64_t seed, int octaves, double frequency);
+
+    /**
+     * Evaluate at a geodetic direction.
+     *
+     * @param lat_rad Geodetic latitude in radians, [-pi/2, pi/2].
+     * @param lon_rad Longitude in radians (any wrap).
+     * @param time Optional third axis for temporal evolution (e.g. cloud
+     *             advection), in arbitrary units.
+     * @return Smooth value in [0, 1], continuous across the antimeridian.
+     */
+    double at(double lat_rad, double lon_rad, double time = 0.0) const;
+
+  private:
+    FbmNoise fbm_;
+    double frequency_;
+};
+
+} // namespace kodan::util
+
+#endif // KODAN_UTIL_NOISE_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Streaming summary statistics and small numeric helpers.
+ */
+
+#ifndef KODAN_UTIL_STATS_HPP
+#define KODAN_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace kodan::util {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ *
+ * Used throughout simulation and evaluation code to summarize per-frame
+ * and per-sample measurements without storing them.
+ */
+class SummaryStats
+{
+  public:
+    SummaryStats();
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel-friendly). */
+    void merge(const SummaryStats &other);
+
+    /** Number of observations added. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of observations; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than two observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Percentile of a sample by linear interpolation.
+ *
+ * @param values Sample; copied and sorted internally. Must be non-empty.
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Relative improvement of @p value over @p baseline, as a fraction.
+ *
+ * Returns (value - baseline) / baseline. Baseline must be nonzero.
+ */
+double relativeImprovement(double value, double baseline);
+
+/** Clamp x into [lo, hi]. */
+double clamp(double x, double lo, double hi);
+
+} // namespace kodan::util
+
+#endif // KODAN_UTIL_STATS_HPP

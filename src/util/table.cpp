@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace kodan::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TablePrinter::fmt(long long value)
+{
+    return std::to_string(value);
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-') + "  ";
+    }
+    os << rule << '\n';
+    for (const auto &row : rows_) {
+        print_row(row);
+    }
+}
+
+void
+TablePrinter::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    csv.writeRow(headers_);
+    for (const auto &row : rows_) {
+        csv.writeRow(row);
+    }
+}
+
+CsvWriter::CsvWriter(std::ostream &os)
+    : os_(os)
+{
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string &cell = cells[i];
+        const bool needs_quote =
+            cell.find_first_of(",\"\n") != std::string::npos;
+        if (i != 0) {
+            os_ << ',';
+        }
+        if (needs_quote) {
+            os_ << '"';
+            for (char ch : cell) {
+                if (ch == '"') {
+                    os_ << "\"\"";
+                } else {
+                    os_ << ch;
+                }
+            }
+            os_ << '"';
+        } else {
+            os_ << cell;
+        }
+    }
+    os_ << '\n';
+}
+
+} // namespace kodan::util

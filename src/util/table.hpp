@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-width console tables and CSV emission for the benchmark harness.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure;
+ * TablePrinter keeps that output aligned and CsvWriter mirrors it to disk
+ * for plotting.
+ */
+
+#ifndef KODAN_UTIL_TABLE_HPP
+#define KODAN_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kodan::util {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    /** @param headers Column headers, printed first and underlined. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /**
+     * Append a row. Must have the same cell count as the header row.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimal places. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Convenience: format an integer. */
+    static std::string fmt(long long value);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Emit the table (header + rows) as CSV to @p os. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Minimal CSV writer with quoting of commas/quotes/newlines.
+ */
+class CsvWriter
+{
+  public:
+    /** @param os Output stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Write one row of cells, quoting when necessary. */
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace kodan::util
+
+#endif // KODAN_UTIL_TABLE_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Physical constants and unit-conversion helpers shared across kodan.
+ *
+ * All internal computation uses SI units (meters, seconds, radians);
+ * these helpers exist so call sites can state their units explicitly.
+ */
+
+#ifndef KODAN_UTIL_UNITS_HPP
+#define KODAN_UTIL_UNITS_HPP
+
+#include <numbers>
+
+namespace kodan::util {
+
+/** Pi, as a double. */
+inline constexpr double kPi = std::numbers::pi;
+
+/** Twice pi; one full revolution in radians. */
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/** Standard gravitational parameter of Earth (m^3/s^2), WGS-84. */
+inline constexpr double kEarthMu = 3.986004418e14;
+
+/** Mean equatorial radius of Earth (m), WGS-84. */
+inline constexpr double kEarthRadius = 6.378137e6;
+
+/** Earth J2 zonal harmonic coefficient (dimensionless). */
+inline constexpr double kEarthJ2 = 1.08262668e-3;
+
+/** Earth rotation rate (rad/s), sidereal. */
+inline constexpr double kEarthOmega = 7.2921150e-5;
+
+/** Seconds in one solar day. */
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/** Seconds in one sidereal day. */
+inline constexpr double kSiderealDay = 86164.0905;
+
+/** Convert degrees to radians. */
+constexpr double
+degToRad(double deg)
+{
+    return deg * kPi / 180.0;
+}
+
+/** Convert radians to degrees. */
+constexpr double
+radToDeg(double rad)
+{
+    return rad * 180.0 / kPi;
+}
+
+/** Convert kilometers to meters. */
+constexpr double
+kmToM(double km)
+{
+    return km * 1000.0;
+}
+
+/** Convert meters to kilometers. */
+constexpr double
+mToKm(double m)
+{
+    return m / 1000.0;
+}
+
+/** Convert minutes to seconds. */
+constexpr double
+minToS(double min)
+{
+    return min * 60.0;
+}
+
+/** Convert megabits per second to bits per second. */
+constexpr double
+mbpsToBps(double mbps)
+{
+    return mbps * 1.0e6;
+}
+
+/**
+ * Wrap an angle into [0, 2*pi).
+ * @param angle Angle in radians; may be any finite value.
+ * @return Equivalent angle in [0, 2*pi).
+ */
+constexpr double
+wrapTwoPi(double angle)
+{
+    double wrapped = angle - kTwoPi * static_cast<long long>(angle / kTwoPi);
+    if (wrapped < 0.0) {
+        wrapped += kTwoPi;
+    }
+    return wrapped;
+}
+
+/**
+ * Wrap an angle into [-pi, pi).
+ * @param angle Angle in radians; may be any finite value.
+ * @return Equivalent angle in [-pi, pi).
+ */
+constexpr double
+wrapPi(double angle)
+{
+    double wrapped = wrapTwoPi(angle);
+    if (wrapped >= kPi) {
+        wrapped -= kTwoPi;
+    }
+    return wrapped;
+}
+
+} // namespace kodan::util
+
+#endif // KODAN_UTIL_UNITS_HPP

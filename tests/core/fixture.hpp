@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared fixture for core-pipeline tests: a small synthetic dataset and
+ * transformed artifacts, built once per test binary.
+ */
+
+#ifndef KODAN_TESTS_CORE_FIXTURE_HPP
+#define KODAN_TESTS_CORE_FIXTURE_HPP
+
+#include "core/kodan.hpp"
+#include "data/generator.hpp"
+
+namespace kodan::testing {
+
+/** Small-transform options shared by the core tests. */
+inline core::TransformOptions
+smallOptions()
+{
+    core::TransformOptions options;
+    options.train_frames = 30;
+    options.val_frames = 12;
+    options.specialize.max_train_blocks = 12000;
+    return options;
+}
+
+/** Generate a small train/val frame set (grid 44 to keep tests quick). */
+inline std::pair<std::vector<data::FrameSample>,
+                 std::vector<data::FrameSample>>
+smallFrames(const data::GeoModel &geo, int train = 30, int val = 12)
+{
+    data::DatasetParams params;
+    params.grid = 44;
+    params.seed = 1234;
+    data::DatasetGenerator generator(geo, params);
+    auto frames = generator.generateGlobal(train + val);
+    std::vector<data::FrameSample> train_frames(
+        std::make_move_iterator(frames.begin()),
+        std::make_move_iterator(frames.begin() + train));
+    std::vector<data::FrameSample> val_frames(
+        std::make_move_iterator(frames.begin() + train),
+        std::make_move_iterator(frames.end()));
+    return {std::move(train_frames), std::move(val_frames)};
+}
+
+/** Lazily-built shared artifacts (one dataset + one transformed app). */
+struct SharedPipeline
+{
+    data::GeoModel geo;
+    core::Transformer transformer;
+    core::DataArtifacts shared;
+    core::AppArtifacts app4;
+
+    SharedPipeline()
+        : transformer(smallOptions())
+    {
+        auto [train, val] = smallFrames(geo);
+        shared = transformer.prepareData(std::move(train), std::move(val));
+        app4 = transformer.transformApp(core::Application{4}, shared);
+    }
+
+    /** Singleton accessor; built on first use. */
+    static const SharedPipeline &instance()
+    {
+        static const SharedPipeline pipeline;
+        return pipeline;
+    }
+};
+
+} // namespace kodan::testing
+
+#endif // KODAN_TESTS_CORE_FIXTURE_HPP

@@ -1,0 +1,74 @@
+/** @file Unit tests for the context engine. */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "fixture.hpp"
+
+namespace kodan::core {
+namespace {
+
+using kodan::testing::SharedPipeline;
+
+TEST(ContextEngine, MatchesPartitionContextCount)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    EXPECT_EQ(pipeline.shared.engine->contextCount(),
+              pipeline.shared.partition.context_count);
+}
+
+TEST(ContextEngine, HighAgreementWithPartition)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    // The engine imitates the truth-label clustering from features; the
+    // paper relies on this being accurate and fast.
+    EXPECT_GT(pipeline.shared.engine_agreement, 0.75);
+}
+
+TEST(ContextEngine, ClassifiesIntoValidRange)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const data::Tiler tiler(4);
+    for (const auto &frame : pipeline.shared.val) {
+        for (const auto &tile : tiler.tile(frame)) {
+            const int c = pipeline.shared.engine->classify(tile);
+            ASSERT_GE(c, 0);
+            ASSERT_LT(c, pipeline.shared.engine->contextCount());
+        }
+    }
+}
+
+TEST(ContextEngine, DeterministicClassification)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const data::Tiler tiler(4);
+    const auto tiles = tiler.tile(pipeline.shared.val.front());
+    for (const auto &tile : tiles) {
+        EXPECT_EQ(pipeline.shared.engine->classify(tile),
+                  pipeline.shared.engine->classify(tile));
+    }
+}
+
+TEST(ContextEngine, AllContextsReachable)
+{
+    // Over the validation frames, every context should receive at least
+    // one tile at the reference tiling (no dead contexts).
+    const auto &pipeline = SharedPipeline::instance();
+    std::vector<int> counts(pipeline.shared.engine->contextCount(), 0);
+    const data::Tiler tiler(6);
+    for (const auto &frame : pipeline.shared.val) {
+        for (const auto &tile : tiler.tile(frame)) {
+            ++counts[pipeline.shared.engine->classify(tile)];
+        }
+    }
+    int live = 0;
+    for (int count : counts) {
+        if (count > 0) {
+            ++live;
+        }
+    }
+    EXPECT_GE(live, pipeline.shared.engine->contextCount() - 1);
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,238 @@
+/** @file Unit tests for deployment evaluation (DVD accounting algebra). */
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+
+namespace kodan::core {
+namespace {
+
+/** Hand-built single-context table with one model candidate. */
+ContextActionTable
+simpleTable(double bits_fraction, double high_fraction,
+            std::size_t model_params, int tiles_per_side = 6)
+{
+    ContextActionTable table;
+    table.tiles_per_side = tiles_per_side;
+    table.contexts.resize(1);
+    table.contexts[0].id = 0;
+    table.contexts[0].tile_share = 1.0;
+    table.contexts[0].prevalence = 0.48;
+    table.actions.resize(1);
+    table.stats.resize(1);
+    table.actions[0] = {{ActionKind::Discard, -1},
+                        {ActionKind::Downlink, -1},
+                        {ActionKind::RunModel, 0}};
+    ActionStats discard;
+    discard.cell_accuracy = 0.52;
+    ActionStats downlink;
+    downlink.bits_fraction = 1.0;
+    downlink.high_fraction = 0.48;
+    downlink.cell_accuracy = 0.48;
+    ActionStats model;
+    model.bits_fraction = bits_fraction;
+    model.high_fraction = high_fraction;
+    model.cell_accuracy = 0.9;
+    model.model_params = model_params;
+    table.stats[0] = {discard, downlink, model};
+    return table;
+}
+
+SystemProfile
+testProfile(hw::Target target = hw::Target::Orin15W)
+{
+    SystemProfile profile;
+    profile.target = target;
+    profile.frame_deadline = 22.0;
+    profile.frames_per_day = 1000.0;
+    profile.frame_bits = 1.0e9;
+    profile.downlink_bits_per_day = 2.0e11;
+    profile.prevalence = 0.48;
+    return profile;
+}
+
+TEST(SystemProfile, Landsat8DerivedQuantities)
+{
+    const auto profile = SystemProfile::landsat8(hw::Target::Orin15W);
+    EXPECT_NEAR(profile.frame_deadline, 22.2, 0.3);
+    EXPECT_NEAR(profile.frames_per_day, 3890.0, 50.0);
+    EXPECT_DOUBLE_EQ(profile.frame_bits, 4.4e9);
+    EXPECT_EQ(profile.target, hw::Target::Orin15W);
+}
+
+TEST(BentPipe, DvdEqualsPrevalence)
+{
+    const auto outcome = bentPipeOutcome(testProfile());
+    EXPECT_DOUBLE_EQ(outcome.dvd, 0.48);
+    // 1000 frames * 1e9 bits = 1e12 observed > 2e11 budget: saturated.
+    EXPECT_DOUBLE_EQ(outcome.bits_sent, 2.0e11);
+    EXPECT_DOUBLE_EQ(outcome.high_bits_sent, 0.48 * 2.0e11);
+    EXPECT_NEAR(outcome.high_value_yield, 0.2, 1e-9);
+}
+
+TEST(BentPipe, UndersaturatedSendsEverything)
+{
+    auto profile = testProfile();
+    profile.downlink_bits_per_day = 1.0e13;
+    const auto outcome = bentPipeOutcome(profile);
+    EXPECT_DOUBLE_EQ(outcome.bits_sent, 1.0e12);
+    EXPECT_NEAR(outcome.high_value_yield, 1.0, 1e-9);
+}
+
+TEST(EvaluateLogic, DownlinkEverythingEqualsBentPipeDensity)
+{
+    const auto table = simpleTable(0.45, 0.42, 1000);
+    const auto outcome =
+        evaluateLogic(testProfile(), table, {{ActionKind::Downlink, -1}},
+                      /*use_context_engine=*/false);
+    EXPECT_NEAR(outcome.dvd, 0.48, 1e-9);
+    EXPECT_DOUBLE_EQ(outcome.frame_time, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.processed_fraction, 1.0);
+}
+
+TEST(EvaluateLogic, DiscardEverythingSendsNothingWithoutRawFill)
+{
+    const auto table = simpleTable(0.45, 0.42, 1000);
+    const auto outcome = evaluateLogic(
+        testProfile(), table, {{ActionKind::Discard, -1}}, false, false);
+    EXPECT_DOUBLE_EQ(outcome.bits_sent, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.dvd, 0.0);
+}
+
+TEST(EvaluateLogic, ModelProductsHaveMeasuredDensity)
+{
+    // Products: 45% of bits kept at density 0.42/0.45 = 0.933...
+    // (50-parameter model: cheap enough to meet the deadline easily).
+    const auto table = simpleTable(0.45, 0.42, 50);
+    auto profile = testProfile();
+    // Large budget: everything fits, no raw fill needed beyond products.
+    profile.downlink_bits_per_day = 1.0e13;
+    const auto outcome = evaluateLogic(
+        profile, table, {{ActionKind::RunModel, 0}}, false, false);
+    EXPECT_NEAR(outcome.product_precision, 0.42 / 0.45, 1e-9);
+    EXPECT_NEAR(outcome.dvd, 0.42 / 0.45, 1e-9);
+    // All products sent: 1000 frames * 1e9 * 0.45.
+    EXPECT_NEAR(outcome.bits_sent, 4.5e11, 1.0);
+}
+
+TEST(EvaluateLogic, FrameTimeFromCostModel)
+{
+    const std::size_t params = hw::CostModel::tierParamCount(3);
+    const auto table = simpleTable(0.45, 0.42, params);
+    const auto outcome =
+        evaluateLogic(testProfile(), table, {{ActionKind::RunModel, 0}},
+                      /*use_context_engine=*/false, false);
+    const double expected =
+        36.0 * hw::CostModel::tileTime(3, hw::Target::Orin15W);
+    EXPECT_NEAR(outcome.frame_time, expected, 1e-9);
+}
+
+TEST(EvaluateLogic, ContextEngineTimeCharged)
+{
+    const auto table = simpleTable(0.45, 0.42, 0);
+    const auto with_engine = evaluateLogic(
+        testProfile(), table, {{ActionKind::Downlink, -1}}, true, false);
+    const double expected =
+        36.0 * hw::CostModel::contextEngineTime(hw::Target::Orin15W);
+    EXPECT_NEAR(with_engine.frame_time, expected, 1e-9);
+}
+
+TEST(EvaluateLogic, DeadlineKneeLimitsProcessing)
+{
+    // Tier 7 on Orin at 36 tiles/frame: 36 * 2.04 = 73.4 s >> 22 s.
+    const std::size_t params = hw::CostModel::tierParamCount(7);
+    const auto table = simpleTable(0.45, 0.42, params);
+    const auto outcome =
+        evaluateLogic(testProfile(), table, {{ActionKind::RunModel, 0}},
+                      false, false);
+    EXPECT_LT(outcome.processed_fraction, 1.0);
+    EXPECT_NEAR(outcome.processed_fraction, 22.0 / (36.0 * 2.04), 1e-6);
+}
+
+TEST(EvaluateLogic, RawFillRaisesVolumeLowersDensity)
+{
+    const std::size_t params = hw::CostModel::tierParamCount(7);
+    const auto table = simpleTable(0.45, 0.42, params);
+    auto profile = testProfile();
+    profile.downlink_bits_per_day = 5.0e11; // big enough to need filling
+    const auto without = evaluateLogic(
+        profile, table, {{ActionKind::RunModel, 0}}, false, false);
+    const auto with_fill = evaluateLogic(
+        profile, table, {{ActionKind::RunModel, 0}}, false, true);
+    EXPECT_GT(with_fill.bits_sent, without.bits_sent);
+    EXPECT_GT(with_fill.high_bits_sent, without.high_bits_sent);
+    EXPECT_LT(with_fill.dvd, without.dvd);
+}
+
+TEST(EvaluateLogic, BestPoolsDrainFirst)
+{
+    // Two contexts: one pure (density 1), one poor (density 0.2); the
+    // budget only fits one pool - the pure one must win.
+    ContextActionTable table;
+    table.tiles_per_side = 1;
+    table.contexts.resize(2);
+    table.contexts[0] = {0, 0.5, 1.0, "pure"};
+    table.contexts[1] = {1, 0.5, 0.2, "poor"};
+    table.actions.resize(2);
+    table.stats.resize(2);
+    for (int c = 0; c < 2; ++c) {
+        table.actions[c] = {{ActionKind::Downlink, -1}};
+        ActionStats stats;
+        stats.bits_fraction = 1.0;
+        stats.high_fraction = table.contexts[c].prevalence;
+        stats.cell_accuracy = 1.0;
+        table.stats[c] = {stats};
+    }
+    auto profile = testProfile();
+    profile.downlink_bits_per_day = 0.5e12; // half of observed volume
+    const auto outcome = evaluateLogic(
+        profile, table,
+        {{ActionKind::Downlink, -1}, {ActionKind::Downlink, -1}}, false,
+        false);
+    // Pure pool (0.5e12 bits at density 1.0) fills the whole budget.
+    EXPECT_NEAR(outcome.dvd, 1.0, 1e-9);
+}
+
+TEST(EvaluateLogic, AccuracyIsShareWeighted)
+{
+    ContextActionTable table;
+    table.tiles_per_side = 2;
+    table.contexts.resize(2);
+    table.contexts[0] = {0, 0.75, 0.5, "a"};
+    table.contexts[1] = {1, 0.25, 0.5, "b"};
+    table.actions.resize(2);
+    table.stats.resize(2);
+    for (int c = 0; c < 2; ++c) {
+        table.actions[c] = {{ActionKind::Discard, -1}};
+        ActionStats stats;
+        stats.cell_accuracy = c == 0 ? 0.8 : 0.4;
+        table.stats[c] = {stats};
+    }
+    const auto outcome = evaluateLogic(
+        testProfile(), table,
+        {{ActionKind::Discard, -1}, {ActionKind::Discard, -1}}, false,
+        false);
+    EXPECT_NEAR(outcome.cell_accuracy, 0.75 * 0.8 + 0.25 * 0.4, 1e-9);
+}
+
+TEST(ActionStats, DensityDefinition)
+{
+    ActionStats stats;
+    stats.bits_fraction = 0.5;
+    stats.high_fraction = 0.4;
+    EXPECT_DOUBLE_EQ(stats.density(), 0.8);
+    ActionStats empty;
+    EXPECT_DOUBLE_EQ(empty.density(), 1.0);
+}
+
+TEST(ContextActionTable, FindAction)
+{
+    const auto table = simpleTable(0.5, 0.4, 10);
+    EXPECT_EQ(table.findAction(0, {ActionKind::Discard, -1}), 0);
+    EXPECT_EQ(table.findAction(0, {ActionKind::Downlink, -1}), 1);
+    EXPECT_EQ(table.findAction(0, {ActionKind::RunModel, 0}), 2);
+    EXPECT_EQ(table.findAction(0, {ActionKind::RunModel, 9}), -1);
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,73 @@
+/** @file Failure-injection tests: malformed artifacts must die loudly. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/io.hpp"
+#include "ml/mlp.hpp"
+
+namespace kodan::core {
+namespace {
+
+TEST(FailureInjection, LoadTableRejectsGarbage)
+{
+    std::stringstream stream("not-a-table 6 2");
+    EXPECT_EXIT(loadTable(stream), ::testing::ExitedWithCode(1),
+                "expected 'table'");
+}
+
+TEST(FailureInjection, LoadBundleRejectsWrongMagic)
+{
+    std::stringstream stream("kodan-pickle 1\n0.5 0\n");
+    EXPECT_EXIT(loadBundle(stream), ::testing::ExitedWithCode(1),
+                "expected 'kodan-bundle'");
+}
+
+TEST(FailureInjection, LoadBundleRejectsFutureVersion)
+{
+    std::stringstream stream("kodan-bundle 999\n0.5 0\n");
+    EXPECT_EXIT(loadBundle(stream), ::testing::ExitedWithCode(1),
+                "version mismatch");
+}
+
+TEST(FailureInjection, LoadTruncatedTableDies)
+{
+    // Second context missing entirely: fails the tag check.
+    std::stringstream stream("table 6 2\ncontext 0 0.5 0.5 ocean 1\n"
+                             "2 0 0.5 0.4 0.9 100\n");
+    EXPECT_EXIT(loadTable(stream), ::testing::ExitedWithCode(1),
+                "expected 'context'");
+}
+
+TEST(FailureInjection, LoadLogicRejectsGarbage)
+{
+    std::stringstream stream("selection-magic 6 1\n");
+    EXPECT_EXIT(loadLogic(stream), ::testing::ExitedWithCode(1),
+                "expected 'selection-logic'");
+}
+
+TEST(FailureInjection, MlpLoadRejectsBadHeader)
+{
+    std::stringstream stream("not-an-mlp 1\n");
+    EXPECT_EXIT(ml::Mlp::load(stream), ::testing::ExitedWithCode(1),
+                "bad header");
+}
+
+TEST(FailureInjection, MlpLoadRejectsTruncatedWeights)
+{
+    std::stringstream stream("mlp 1\n2 1 0 1 3\n0.5 0.25\n");
+    EXPECT_EXIT(ml::Mlp::load(stream), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(FailureInjection, DeploymentLoadRejectsWrongMagic)
+{
+    std::stringstream stream("kodan-spacecraft 1 2\n");
+    EXPECT_EXIT(DeploymentPackage::load(stream),
+                ::testing::ExitedWithCode(1),
+                "expected 'kodan-deployment'");
+}
+
+} // namespace
+} // namespace kodan::core

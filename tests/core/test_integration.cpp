@@ -1,0 +1,155 @@
+/** @file End-to-end integration tests of the Kodan pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "core/kodan.hpp"
+#include "fixture.hpp"
+
+namespace kodan::core {
+namespace {
+
+using kodan::testing::SharedPipeline;
+
+TEST(Integration, TablesMeasuredAtAllPaperTilings)
+{
+    const auto &artifacts = SharedPipeline::instance().app4;
+    ASSERT_EQ(artifacts.tables.size(), 4U);
+    std::set<int> tile_counts;
+    for (const auto &table : artifacts.tables) {
+        tile_counts.insert(table.tiles_per_side * table.tiles_per_side);
+    }
+    EXPECT_TRUE(tile_counts.count(121));
+    EXPECT_TRUE(tile_counts.count(36));
+    EXPECT_TRUE(tile_counts.count(16));
+    EXPECT_TRUE(tile_counts.count(9));
+}
+
+TEST(Integration, ContextSharesSumToOnePerTable)
+{
+    const auto &artifacts = SharedPipeline::instance().app4;
+    for (const auto &table : artifacts.tables) {
+        double total = 0.0;
+        for (const auto &info : table.contexts) {
+            total += info.tile_share;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(Integration, KodanBeatsBentPipeOnAllTargets)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    for (hw::Target target : hw::allTargets()) {
+        const auto profile =
+            SystemProfile::landsat8(target, pipeline.shared.prevalence);
+        const auto result =
+            pipeline.transformer.select(pipeline.app4, profile);
+        const auto bent = bentPipeOutcome(profile);
+        EXPECT_GT(result.outcome.dvd, 1.5 * bent.dvd)
+            << hw::targetName(target);
+    }
+}
+
+TEST(Integration, KodanBeatsDirectDeployOnConstrainedTargets)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto profile = SystemProfile::landsat8(
+        hw::Target::Orin15W, pipeline.shared.prevalence);
+    const auto kodan = pipeline.transformer.select(pipeline.app4, profile);
+    const auto direct =
+        Transformer::directDeploy(pipeline.app4, profile);
+    EXPECT_GT(kodan.outcome.dvd, direct.dvd);
+    EXPECT_GT(kodan.outcome.high_bits_sent, direct.high_bits_sent);
+}
+
+TEST(Integration, KodanMeetsDeadlineDirectDoesNot)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto profile = SystemProfile::landsat8(
+        hw::Target::Orin15W, pipeline.shared.prevalence);
+    const auto kodan = pipeline.transformer.select(pipeline.app4, profile);
+    const auto direct = Transformer::directDeploy(pipeline.app4, profile);
+    // Paper Fig. 9: Kodan stays at the soft frame deadline (the sweep
+    // may slightly exceed it when the marginal value is positive), while
+    // App 4 direct on the Orin runs several times over it.
+    EXPECT_LE(kodan.outcome.frame_time, profile.frame_deadline * 1.3);
+    EXPECT_GT(direct.frame_time, profile.frame_deadline);
+    EXPECT_LT(direct.processed_fraction, 1.0);
+    EXPECT_LT(kodan.outcome.frame_time, direct.frame_time);
+}
+
+TEST(Integration, SelectionLogicIsDeployable)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto profile = SystemProfile::landsat8(
+        hw::Target::Orin15W, pipeline.shared.prevalence);
+    const auto result = pipeline.transformer.select(pipeline.app4, profile);
+    ASSERT_EQ(static_cast<int>(result.logic.per_context.size()),
+              pipeline.shared.partition.context_count);
+    const Runtime runtime(result.logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Orin15W);
+    std::vector<FrameReport> reports;
+    for (const auto &frame : pipeline.shared.val) {
+        reports.push_back(runtime.processFrame(frame));
+    }
+    const auto measured = Runtime::aggregate(reports);
+    // The deployed runtime's average frame time matches the projection
+    // the logic was selected with.
+    EXPECT_NEAR(measured.compute_time, result.outcome.frame_time,
+                0.05 * result.outcome.frame_time + 0.2);
+}
+
+TEST(Integration, LessCapableHardwareNeverHelps)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto orin = pipeline.transformer.select(
+        pipeline.app4, SystemProfile::landsat8(
+                           hw::Target::Orin15W,
+                           pipeline.shared.prevalence));
+    const auto gpu = pipeline.transformer.select(
+        pipeline.app4, SystemProfile::landsat8(
+                           hw::Target::Gtx1070Ti,
+                           pipeline.shared.prevalence));
+    EXPECT_GE(gpu.outcome.high_bits_sent,
+              orin.outcome.high_bits_sent * 0.999);
+}
+
+TEST(Integration, ExpertContextPipelineAlsoWorks)
+{
+    // Run a small expert-context transform end-to-end.
+    const data::GeoModel geo;
+    auto options = kodan::testing::smallOptions();
+    options.expert_contexts = true;
+    options.train_frames = 20;
+    options.val_frames = 8;
+    const Transformer transformer(options);
+    auto [train, val] = kodan::testing::smallFrames(geo, 20, 8);
+    const auto shared =
+        transformer.prepareData(std::move(train), std::move(val));
+    EXPECT_TRUE(shared.partition.expert);
+    EXPECT_EQ(shared.partition.context_count, data::kTerrainCount);
+    const auto artifacts =
+        transformer.transformApp(Application{2}, shared);
+    const auto profile = SystemProfile::landsat8(
+        hw::Target::Orin15W, shared.prevalence);
+    const auto result = transformer.select(artifacts, profile);
+    const auto bent = bentPipeOutcome(profile);
+    EXPECT_GT(result.outcome.dvd, bent.dvd);
+}
+
+TEST(Integration, PrevalenceNearDatasetCalibration)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    EXPECT_NEAR(pipeline.shared.prevalence, 0.48, 0.1);
+}
+
+TEST(Integration, ApplicationListMatchesTable1)
+{
+    const auto apps = Application::all();
+    ASSERT_EQ(apps.size(), 7U);
+    EXPECT_STREQ(apps[0].name(), "mobilenetv2dilated-c1-deepsup");
+    EXPECT_STREQ(apps[6].name(), "resnet101dilated-ppm-deepsup");
+}
+
+} // namespace
+} // namespace kodan::core

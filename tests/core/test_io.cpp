@@ -1,0 +1,154 @@
+/** @file Unit tests for artifact serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/io.hpp"
+
+namespace kodan::core {
+namespace {
+
+ContextActionTable
+makeTable()
+{
+    ContextActionTable table;
+    table.tiles_per_side = 6;
+    table.contexts.resize(2);
+    table.contexts[0] = {0, 0.7, 0.65, "ocean"};
+    table.contexts[1] = {1, 0.3, 0.21, "ocean+cloudy"};
+    table.actions.resize(2);
+    table.stats.resize(2);
+    for (int c = 0; c < 2; ++c) {
+        table.actions[c] = {{ActionKind::Discard, -1},
+                            {ActionKind::RunModel, c}};
+        ActionStats discard;
+        discard.cell_accuracy = 0.4 + 0.1 * c;
+        ActionStats model;
+        model.bits_fraction = 0.5 + 0.01 * c;
+        model.high_fraction = 0.45;
+        model.cell_accuracy = 0.9;
+        model.model_params = 1234 + c;
+        table.stats[c] = {discard, model};
+    }
+    return table;
+}
+
+TEST(Io, TableRoundTrip)
+{
+    const ContextActionTable table = makeTable();
+    std::stringstream stream;
+    saveTable(stream, table);
+    const ContextActionTable loaded = loadTable(stream);
+
+    EXPECT_EQ(loaded.tiles_per_side, table.tiles_per_side);
+    ASSERT_EQ(loaded.contextCount(), table.contextCount());
+    for (int c = 0; c < table.contextCount(); ++c) {
+        EXPECT_DOUBLE_EQ(loaded.contexts[c].tile_share,
+                         table.contexts[c].tile_share);
+        EXPECT_DOUBLE_EQ(loaded.contexts[c].prevalence,
+                         table.contexts[c].prevalence);
+        EXPECT_EQ(loaded.contexts[c].description,
+                  table.contexts[c].description);
+        ASSERT_EQ(loaded.actions[c].size(), table.actions[c].size());
+        for (std::size_t a = 0; a < table.actions[c].size(); ++a) {
+            EXPECT_EQ(loaded.actions[c][a], table.actions[c][a]);
+            EXPECT_DOUBLE_EQ(loaded.stats[c][a].bits_fraction,
+                             table.stats[c][a].bits_fraction);
+            EXPECT_DOUBLE_EQ(loaded.stats[c][a].high_fraction,
+                             table.stats[c][a].high_fraction);
+            EXPECT_DOUBLE_EQ(loaded.stats[c][a].cell_accuracy,
+                             table.stats[c][a].cell_accuracy);
+            EXPECT_EQ(loaded.stats[c][a].model_params,
+                      table.stats[c][a].model_params);
+        }
+    }
+}
+
+TEST(Io, BundleRoundTrip)
+{
+    MeasuredBundle bundle;
+    bundle.prevalence = 0.477;
+    MeasuredApp app;
+    app.tier = 4;
+    app.direct_tiles_per_frame = 121;
+    app.tables.push_back(makeTable());
+    app.direct_tables.push_back(makeTable());
+    bundle.apps.push_back(app);
+    MeasuredApp app2;
+    app2.tier = 7;
+    bundle.apps.push_back(app2);
+
+    std::stringstream stream;
+    saveBundle(stream, bundle);
+    const MeasuredBundle loaded = loadBundle(stream);
+    EXPECT_DOUBLE_EQ(loaded.prevalence, 0.477);
+    ASSERT_EQ(loaded.apps.size(), 2U);
+    EXPECT_EQ(loaded.apps[0].tier, 4);
+    EXPECT_EQ(loaded.apps[0].direct_tiles_per_frame, 121);
+    EXPECT_EQ(loaded.apps[0].tables.size(), 1U);
+    EXPECT_EQ(loaded.apps[1].tier, 7);
+    EXPECT_TRUE(loaded.apps[1].tables.empty());
+}
+
+TEST(Io, RoundTripPreservesEvaluation)
+{
+    // A loaded table must give bit-identical evaluateLogic outcomes.
+    const ContextActionTable table = makeTable();
+    std::stringstream stream;
+    saveTable(stream, table);
+    const ContextActionTable loaded = loadTable(stream);
+
+    SystemProfile profile;
+    profile.frame_deadline = 22.0;
+    profile.frames_per_day = 1000.0;
+    profile.frame_bits = 1e9;
+    profile.downlink_bits_per_day = 1e11;
+    profile.prevalence = 0.5;
+    const std::vector<Action> actions = {{ActionKind::RunModel, 0},
+                                         {ActionKind::Discard, -1}};
+    const auto a = evaluateLogic(profile, table, actions);
+    const auto b = evaluateLogic(profile, loaded, actions);
+    EXPECT_DOUBLE_EQ(a.dvd, b.dvd);
+    EXPECT_DOUBLE_EQ(a.frame_time, b.frame_time);
+    EXPECT_DOUBLE_EQ(a.high_bits_sent, b.high_bits_sent);
+}
+
+TEST(Io, LogicRoundTrip)
+{
+    SelectionLogic logic;
+    logic.tiles_per_side = 11;
+    logic.per_context = {{ActionKind::Discard, -1},
+                         {ActionKind::RunModel, 3},
+                         {ActionKind::Downlink, -1}};
+    std::stringstream stream;
+    saveLogic(stream, logic);
+    const SelectionLogic loaded = loadLogic(stream);
+    EXPECT_EQ(loaded.tiles_per_side, 11);
+    ASSERT_EQ(loaded.per_context.size(), 3U);
+    EXPECT_EQ(loaded.per_context[0], logic.per_context[0]);
+    EXPECT_EQ(loaded.per_context[1], logic.per_context[1]);
+    EXPECT_EQ(loaded.per_context[2], logic.per_context[2]);
+}
+
+TEST(Io, MissingFileReturnsFalse)
+{
+    MeasuredBundle bundle;
+    EXPECT_FALSE(tryLoadBundle("/nonexistent/path/bundle.txt", bundle));
+}
+
+TEST(Io, FileRoundTripViaStoreAndTryLoad)
+{
+    MeasuredBundle bundle;
+    bundle.prevalence = 0.321;
+    const std::string path = "/tmp/kodan_test_bundle.txt";
+    storeBundle(path, bundle);
+    MeasuredBundle loaded;
+    ASSERT_TRUE(tryLoadBundle(path, loaded));
+    EXPECT_DOUBLE_EQ(loaded.prevalence, 0.321);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,164 @@
+/** @file Unit tests for context partitioning. */
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "data/generator.hpp"
+#include "data/tiler.hpp"
+
+namespace kodan::core {
+namespace {
+
+/** Frames plus the tiles referencing them (tiles hold frame pointers). */
+struct TileSet
+{
+    std::vector<data::FrameSample> frames;
+    std::vector<data::TileData> tiles;
+};
+
+TileSet
+sampleTiles(int frame_count = 20)
+{
+    data::DatasetParams params;
+    params.grid = 44;
+    params.seed = 77;
+    data::DatasetGenerator gen(data::GeoModel{}, params);
+    const data::Tiler tiler(4);
+    TileSet set;
+    set.frames = gen.generateGlobal(frame_count);
+    for (const auto &frame : set.frames) {
+        auto frame_tiles = tiler.tile(frame);
+        set.tiles.insert(set.tiles.end(),
+                         std::make_move_iterator(frame_tiles.begin()),
+                         std::make_move_iterator(frame_tiles.end()));
+    }
+    return set;
+}
+
+TEST(ContextPartitioner, AutoAssignsEveryTile)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    util::Rng rng(1);
+    const ContextPartitioner partitioner;
+    const Partition partition = partitioner.fitAuto(tiles, rng);
+    EXPECT_EQ(partition.assignment.size(), tiles.size());
+    EXPECT_GE(partition.context_count, 3);
+    EXPECT_LE(partition.context_count, 6);
+    for (int c : partition.assignment) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, partition.context_count);
+    }
+}
+
+TEST(ContextPartitioner, AutoSilhouetteIsPositive)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    util::Rng rng(2);
+    const Partition partition = ContextPartitioner().fitAuto(tiles, rng);
+    EXPECT_GT(partition.silhouette, 0.1);
+}
+
+TEST(ContextPartitioner, AssignTileMatchesFitAssignment)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    util::Rng rng(3);
+    const Partition partition = ContextPartitioner().fitAuto(tiles, rng);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        if (partition.assignTile(tiles[i]) == partition.assignment[i]) {
+            ++agree;
+        }
+    }
+    EXPECT_EQ(agree, tiles.size());
+}
+
+TEST(ContextPartitioner, ClusersSeparateByCloudiness)
+{
+    // The cloud-fraction dimension should differentiate at least two
+    // contexts markedly.
+    const auto set = sampleTiles(30);
+    const auto &tiles = set.tiles;
+    util::Rng rng(4);
+    const Partition partition = ContextPartitioner().fitAuto(tiles, rng);
+    const auto infos = summarizeContexts(tiles, partition.assignment,
+                                         partition.context_count);
+    double min_prev = 1.0;
+    double max_prev = 0.0;
+    for (const auto &info : infos) {
+        if (info.tile_share <= 0.0) {
+            continue;
+        }
+        min_prev = std::min(min_prev, info.prevalence);
+        max_prev = std::max(max_prev, info.prevalence);
+    }
+    EXPECT_GT(max_prev - min_prev, 0.12);
+}
+
+TEST(ContextPartitioner, ExpertUsesTerrainClasses)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    const Partition partition = ContextPartitioner().fitExpert(tiles);
+    EXPECT_TRUE(partition.expert);
+    EXPECT_EQ(partition.context_count, data::kTerrainCount);
+    // The dominant terrain of each tile is its context.
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        int dominant = 0;
+        for (int k = 1; k < data::kTerrainCount; ++k) {
+            if (tiles[i].label_vector[k] >
+                tiles[i].label_vector[dominant]) {
+                dominant = k;
+            }
+        }
+        EXPECT_EQ(partition.assignment[i], dominant);
+    }
+}
+
+TEST(SummarizeContexts, SharesSumToOne)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    const Partition partition = ContextPartitioner().fitExpert(tiles);
+    const auto infos = summarizeContexts(tiles, partition.assignment,
+                                         partition.context_count);
+    double total = 0.0;
+    for (const auto &info : infos) {
+        EXPECT_GE(info.tile_share, 0.0);
+        EXPECT_GE(info.prevalence, 0.0);
+        EXPECT_LE(info.prevalence, 1.0);
+        total += info.tile_share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SummarizeContexts, DescriptionsNamed)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    const Partition partition = ContextPartitioner().fitExpert(tiles);
+    const auto infos = summarizeContexts(tiles, partition.assignment,
+                                         partition.context_count);
+    for (const auto &info : infos) {
+        EXPECT_FALSE(info.description.empty());
+    }
+}
+
+TEST(ContextPartitioner, MetricSweepRespectsOptions)
+{
+    const auto set = sampleTiles();
+    const auto &tiles = set.tiles;
+    util::Rng rng(5);
+    PartitionOptions options;
+    options.k_candidates = {4};
+    options.metrics = {ml::Distance::Euclidean};
+    const Partition partition =
+        ContextPartitioner(options).fitAuto(tiles, rng);
+    EXPECT_EQ(partition.context_count, 4);
+    EXPECT_EQ(partition.metric, ml::Distance::Euclidean);
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,99 @@
+/** @file Tests for the PCA-projected context clustering option. */
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "data/generator.hpp"
+#include "data/tiler.hpp"
+
+namespace kodan::core {
+namespace {
+
+struct TileSet
+{
+    std::vector<data::FrameSample> frames;
+    std::vector<data::TileData> tiles;
+};
+
+TileSet
+sampleTiles(int frame_count = 16)
+{
+    data::DatasetParams params;
+    params.grid = 44;
+    params.seed = 321;
+    data::DatasetGenerator gen(data::GeoModel{}, params);
+    const data::Tiler tiler(4);
+    TileSet set;
+    set.frames = gen.generateGlobal(frame_count);
+    for (const auto &frame : set.frames) {
+        auto frame_tiles = tiler.tile(frame);
+        set.tiles.insert(set.tiles.end(),
+                         std::make_move_iterator(frame_tiles.begin()),
+                         std::make_move_iterator(frame_tiles.end()));
+    }
+    return set;
+}
+
+TEST(PcaPartition, SweepConsidersProjectedSpace)
+{
+    const auto set = sampleTiles();
+    util::Rng rng(1);
+    PartitionOptions options;
+    options.sweep_pca = true;
+    options.pca_components = 3;
+    const Partition partition =
+        ContextPartitioner(options).fitAuto(set.tiles, rng);
+    // Whatever space wins, the partition stays well-formed.
+    EXPECT_GE(partition.context_count, 3);
+    EXPECT_GT(partition.silhouette, 0.0);
+    for (int c : partition.assignment) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, partition.context_count);
+    }
+}
+
+TEST(PcaPartition, AssignTileConsistentWhenPcaWins)
+{
+    // Force the PCA space to win by offering only the projected space a
+    // favourable k and requiring it through an aggressive projection.
+    const auto set = sampleTiles();
+    util::Rng rng(2);
+    PartitionOptions options;
+    options.sweep_pca = true;
+    options.pca_components = 2;
+    const Partition partition =
+        ContextPartitioner(options).fitAuto(set.tiles, rng);
+    // Assignments must round-trip through assignTile regardless of
+    // which space was chosen.
+    for (std::size_t i = 0; i < set.tiles.size(); ++i) {
+        EXPECT_EQ(partition.assignTile(set.tiles[i]),
+                  partition.assignment[i]);
+    }
+}
+
+TEST(PcaPartition, PcaNeverLowersChosenSilhouette)
+{
+    const auto set = sampleTiles();
+    util::Rng rng_a(3);
+    util::Rng rng_b(3);
+    PartitionOptions base;
+    base.sweep_pca = false;
+    PartitionOptions with_pca = base;
+    with_pca.sweep_pca = true;
+    const Partition plain =
+        ContextPartitioner(base).fitAuto(set.tiles, rng_a);
+    const Partition swept =
+        ContextPartitioner(with_pca).fitAuto(set.tiles, rng_b);
+    // The sweep keeps the PCA candidate only when it scores at least as
+    // well, so the chosen silhouette can only improve.
+    EXPECT_GE(swept.silhouette, plain.silhouette - 1e-9);
+}
+
+TEST(PcaPartition, DefaultsOff)
+{
+    PartitionOptions options;
+    EXPECT_FALSE(options.sweep_pca);
+}
+
+} // namespace
+} // namespace kodan::core

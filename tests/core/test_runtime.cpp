@@ -1,0 +1,163 @@
+/** @file Unit tests for the deployed runtime. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "fixture.hpp"
+
+namespace kodan::core {
+namespace {
+
+using kodan::testing::SharedPipeline;
+
+SelectionLogic
+allModelLogic(const SharedPipeline &pipeline, int tiles_per_side = 6)
+{
+    SelectionLogic logic;
+    logic.tiles_per_side = tiles_per_side;
+    logic.per_context.assign(pipeline.shared.partition.context_count,
+                             {ActionKind::RunModel,
+                              pipeline.app4.zoo.reference});
+    return logic;
+}
+
+TEST(Runtime, ComputeTimeMatchesCostModel)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto logic = allModelLogic(pipeline);
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Orin15W);
+    const auto report =
+        runtime.processFrame(pipeline.shared.val.front());
+    const double expected =
+        36.0 * (hw::CostModel::contextEngineTime(hw::Target::Orin15W) +
+                hw::CostModel::tileTime(4, hw::Target::Orin15W));
+    EXPECT_NEAR(report.compute_time, expected, 1e-9);
+    EXPECT_EQ(report.tiles_modeled, 36);
+    EXPECT_EQ(report.tiles_discarded, 0);
+}
+
+TEST(Runtime, DiscardEverythingEmitsNothing)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    SelectionLogic logic;
+    logic.tiles_per_side = 4;
+    logic.per_context.assign(pipeline.shared.partition.context_count,
+                             {ActionKind::Discard, -1});
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Orin15W);
+    const auto report = runtime.processFrame(pipeline.shared.val[1]);
+    EXPECT_DOUBLE_EQ(report.product_fraction, 0.0);
+    EXPECT_EQ(report.tiles_discarded, 16);
+    // Engine still runs on every tile.
+    EXPECT_NEAR(report.compute_time,
+                16.0 *
+                    hw::CostModel::contextEngineTime(hw::Target::Orin15W),
+                1e-9);
+}
+
+TEST(Runtime, DownlinkEverythingEmitsWholeFrame)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    SelectionLogic logic;
+    logic.tiles_per_side = 4;
+    logic.per_context.assign(pipeline.shared.partition.context_count,
+                             {ActionKind::Downlink, -1});
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::I7_7800);
+    const auto &frame = pipeline.shared.val[2];
+    const auto report = runtime.processFrame(frame);
+    EXPECT_NEAR(report.product_fraction, 1.0, 1e-9);
+    EXPECT_NEAR(report.product_high_fraction, frame.highValueFraction(),
+                1e-9);
+}
+
+TEST(Runtime, ProductFractionsConsistentWithConfusion)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto logic = allModelLogic(pipeline);
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Gtx1070Ti);
+    const auto &frame = pipeline.shared.val[3];
+    const auto report = runtime.processFrame(frame);
+    const double cells = static_cast<double>(frame.cellCount());
+    EXPECT_NEAR(report.product_fraction,
+                (report.cells.tp() + report.cells.fp()) / cells, 1e-9);
+    EXPECT_NEAR(report.product_high_fraction, report.cells.tp() / cells,
+                1e-9);
+}
+
+TEST(Runtime, ModelDecisionsBeatChance)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto logic = allModelLogic(pipeline);
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Gtx1070Ti);
+    std::vector<FrameReport> reports;
+    for (const auto &frame : pipeline.shared.val) {
+        reports.push_back(runtime.processFrame(frame));
+    }
+    const auto total = Runtime::aggregate(reports);
+    EXPECT_GT(total.cells.accuracy(), 0.7);
+    EXPECT_GT(total.cells.precision(), total.cells.prevalence());
+}
+
+TEST(Runtime, AggregateAveragesTime)
+{
+    FrameReport a;
+    a.compute_time = 2.0;
+    a.product_fraction = 0.5;
+    a.tiles_modeled = 3;
+    FrameReport b;
+    b.compute_time = 4.0;
+    b.product_fraction = 0.1;
+    b.tiles_modeled = 5;
+    const auto total = Runtime::aggregate({a, b});
+    EXPECT_DOUBLE_EQ(total.compute_time, 3.0);
+    EXPECT_DOUBLE_EQ(total.product_fraction, 0.3);
+    EXPECT_EQ(total.tiles_modeled, 8);
+}
+
+TEST(Runtime, AgreesWithAnalyticProjection)
+{
+    // The analytic evaluateLogic() projection and the concrete runtime
+    // must agree on frame time and product volumes (same tiles, same
+    // models, same engine).
+    const auto &pipeline = SharedPipeline::instance();
+    const auto logic = allModelLogic(pipeline);
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Orin15W);
+    std::vector<FrameReport> reports;
+    for (const auto &frame : pipeline.shared.val) {
+        reports.push_back(runtime.processFrame(frame));
+    }
+    const auto measured = Runtime::aggregate(reports);
+
+    // Find the matching table (36 tiles/frame).
+    const ContextActionTable *table = nullptr;
+    for (const auto &candidate : pipeline.app4.tables) {
+        if (candidate.tiles_per_side == 6) {
+            table = &candidate;
+        }
+    }
+    ASSERT_NE(table, nullptr);
+    SystemProfile profile;
+    profile.target = hw::Target::Orin15W;
+    profile.frame_deadline = 1.0e9; // irrelevant here
+    profile.frames_per_day = 1.0;
+    profile.frame_bits = 1.0;
+    profile.downlink_bits_per_day = 1.0e12;
+    const auto projected =
+        evaluateLogic(profile, *table, logic.per_context, true, false);
+
+    EXPECT_NEAR(projected.frame_time, measured.compute_time, 1e-6);
+    EXPECT_NEAR(projected.bits_sent, measured.product_fraction, 0.01);
+    EXPECT_NEAR(projected.high_bits_sent, measured.product_high_fraction,
+                0.01);
+    EXPECT_NEAR(projected.cell_accuracy, measured.cells.accuracy(), 0.01);
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,175 @@
+/** @file Unit tests for the selection-logic sweep. */
+
+#include <gtest/gtest.h>
+
+#include "core/selection.hpp"
+
+namespace kodan::core {
+namespace {
+
+/**
+ * Two-context synthetic table:
+ *  - context 0 ("clear", share 0.6, prevalence 0.9)
+ *  - context 1 ("cloudy", share 0.4, prevalence 0.1)
+ * Candidates everywhere: Discard, Downlink, cheap model (entry 0,
+ * reference) and, in context 0, a better specialized model (entry 1).
+ */
+ContextActionTable
+twoContextTable()
+{
+    ContextActionTable table;
+    table.tiles_per_side = 6;
+    table.contexts.resize(2);
+    table.contexts[0] = {0, 0.6, 0.9, "clear"};
+    table.contexts[1] = {1, 0.4, 0.1, "cloudy"};
+    table.actions.resize(2);
+    table.stats.resize(2);
+
+    for (int c = 0; c < 2; ++c) {
+        const double prevalence = table.contexts[c].prevalence;
+        ActionStats discard;
+        discard.cell_accuracy = 1.0 - prevalence;
+        ActionStats downlink;
+        downlink.bits_fraction = 1.0;
+        downlink.high_fraction = prevalence;
+        downlink.cell_accuracy = prevalence;
+        ActionStats reference;
+        reference.bits_fraction = prevalence;
+        reference.high_fraction = prevalence * 0.92;
+        reference.cell_accuracy = 0.9;
+        reference.model_params = hw::CostModel::tierParamCount(4);
+        table.actions[c] = {{ActionKind::Discard, -1},
+                            {ActionKind::Downlink, -1},
+                            {ActionKind::RunModel, 0}};
+        table.stats[c] = {discard, downlink, reference};
+    }
+    // Specialized candidate in context 0: cheaper and more precise.
+    ActionStats specialized;
+    specialized.bits_fraction = 0.88;
+    specialized.high_fraction = 0.87;
+    specialized.cell_accuracy = 0.95;
+    specialized.model_params = hw::CostModel::tierParamCount(1);
+    table.actions[0].push_back({ActionKind::RunModel, 1});
+    table.stats[0].push_back(specialized);
+    return table;
+}
+
+SystemProfile
+orinProfile()
+{
+    SystemProfile profile;
+    profile.target = hw::Target::Orin15W;
+    profile.frame_deadline = 22.0;
+    profile.frames_per_day = 3900.0;
+    profile.frame_bits = 4.4e9;
+    profile.downlink_bits_per_day = 3.3e12;
+    profile.prevalence = 0.58; // 0.6*0.9 + 0.4*0.1
+    return profile;
+}
+
+TEST(SelectionOptimizer, DiscardsLowValueContextUnderPressure)
+{
+    const auto table = twoContextTable();
+    const SelectionOptimizer optimizer;
+    const auto [actions, outcome] =
+        optimizer.optimizeAtTiling(orinProfile(), table);
+    // Context 1 is 90% clouds; running the big model everywhere blows
+    // the deadline, so the sweep must elide it (discard) or filter it
+    // with something cheap - never downlink it raw ahead of better data.
+    EXPECT_NE(actions[1].kind, ActionKind::Downlink);
+    EXPECT_GT(outcome.dvd, 0.8);
+}
+
+TEST(SelectionOptimizer, PrefersSpecializedModelInClearContext)
+{
+    const auto table = twoContextTable();
+    const SelectionOptimizer optimizer;
+    const auto [actions, outcome] =
+        optimizer.optimizeAtTiling(orinProfile(), table);
+    // The tier-1 specialized model dominates the tier-4 reference in
+    // both time and precision for context 0.
+    if (actions[0].kind == ActionKind::RunModel) {
+        EXPECT_EQ(actions[0].model, 1);
+    }
+    EXPECT_LE(outcome.frame_time, 22.0 + 1e-9);
+}
+
+TEST(SelectionOptimizer, ElisionFlagRestrictsActions)
+{
+    const auto table = twoContextTable();
+    SweepOptions options;
+    options.allow_elision = false;
+    const SelectionOptimizer optimizer(options);
+    const auto [actions, outcome] =
+        optimizer.optimizeAtTiling(orinProfile(), table);
+    for (const auto &action : actions) {
+        EXPECT_EQ(action.kind, ActionKind::RunModel);
+    }
+}
+
+TEST(SelectionOptimizer, SpecializationFlagRestrictsToReference)
+{
+    const auto table = twoContextTable();
+    SweepOptions options;
+    options.allow_specialization = false;
+    const SelectionOptimizer optimizer(options);
+    const auto [actions, outcome] =
+        optimizer.optimizeAtTiling(orinProfile(), table);
+    for (const auto &action : actions) {
+        if (action.kind == ActionKind::RunModel) {
+            EXPECT_EQ(action.model, 0);
+        }
+    }
+}
+
+TEST(SelectionOptimizer, SweepPicksBestTiling)
+{
+    // Same candidates at two tilings; the table with 36 tiles/frame has
+    // better stats than the 121 one, so it must win.
+    auto good = twoContextTable();
+    auto bad = twoContextTable();
+    bad.tiles_per_side = 11;
+    for (auto &context_stats : bad.stats) {
+        for (auto &stats : context_stats) {
+            stats.high_fraction *= 0.7;
+            stats.cell_accuracy *= 0.8;
+        }
+    }
+    SweepOptions options;
+    options.tile_counts = {36, 121};
+    const SelectionOptimizer optimizer(options);
+    const auto result = optimizer.optimize(orinProfile(), {good, bad});
+    EXPECT_EQ(result.logic.tiles_per_side, 6);
+    EXPECT_EQ(result.per_tiling.size(), 2U);
+}
+
+TEST(SelectionOptimizer, OutcomeBeatsAllSingleActions)
+{
+    // The optimized mixture is at least as good as any uniform policy.
+    const auto table = twoContextTable();
+    const SelectionOptimizer optimizer;
+    const auto profile = orinProfile();
+    const auto [actions, best] = optimizer.optimizeAtTiling(profile, table);
+    for (const Action &uniform :
+         {Action{ActionKind::Discard, -1}, Action{ActionKind::Downlink, -1},
+          Action{ActionKind::RunModel, 0}}) {
+        const auto outcome =
+            evaluateLogic(profile, table, {uniform, uniform}, true, true);
+        EXPECT_GE(best.high_bits_sent, outcome.high_bits_sent - 1.0);
+    }
+}
+
+TEST(SelectionOptimizer, CoordinateAscentFallbackWorks)
+{
+    const auto table = twoContextTable();
+    SweepOptions options;
+    options.max_enumeration = 1; // force the fallback path
+    const SelectionOptimizer optimizer(options);
+    const auto [actions, outcome] =
+        optimizer.optimizeAtTiling(orinProfile(), table);
+    EXPECT_GT(outcome.dvd, 0.7);
+    EXPECT_EQ(actions.size(), 2U);
+}
+
+} // namespace
+} // namespace kodan::core

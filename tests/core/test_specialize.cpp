@@ -1,0 +1,126 @@
+/** @file Unit tests for model specialization. */
+
+#include <gtest/gtest.h>
+
+#include "core/specialize.hpp"
+#include "fixture.hpp"
+
+namespace kodan::core {
+namespace {
+
+using kodan::testing::SharedPipeline;
+
+TEST(SpecializedZoo, ReferenceIsGlobalAndTopTier)
+{
+    const auto &zoo = SharedPipeline::instance().app4.zoo;
+    ASSERT_FALSE(zoo.entries.empty());
+    const auto &ref = zoo.entries[zoo.reference];
+    EXPECT_EQ(ref.context, -1);
+    EXPECT_EQ(ref.tier, 4);
+}
+
+TEST(SpecializedZoo, SpecializedTiersNeverExceedApplication)
+{
+    const auto &zoo = SharedPipeline::instance().app4.zoo;
+    for (const auto &entry : zoo.entries) {
+        EXPECT_GE(entry.tier, 1);
+        EXPECT_LE(entry.tier, 4);
+    }
+}
+
+TEST(SpecializedZoo, EveryLiveContextHasCandidates)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto &zoo = pipeline.app4.zoo;
+    int contexts_with_models = 0;
+    for (int c = 0; c < pipeline.shared.partition.context_count; ++c) {
+        const auto candidates = zoo.candidatesFor(c);
+        // Always at least the reference.
+        EXPECT_GE(candidates.size(), 1U);
+        if (candidates.size() > 1) {
+            ++contexts_with_models;
+        }
+    }
+    EXPECT_GE(contexts_with_models, 2);
+}
+
+TEST(SpecializedZoo, CandidatesForIncludesReference)
+{
+    const auto &zoo = SharedPipeline::instance().app4.zoo;
+    for (int c = 0; c < 4; ++c) {
+        const auto candidates = zoo.candidatesFor(c);
+        bool has_reference = false;
+        for (int entry : candidates) {
+            if (zoo.entries[entry].context == -1) {
+                has_reference = true;
+            }
+            // Candidates must be global or for this context.
+            EXPECT_TRUE(zoo.entries[entry].context == -1 ||
+                        zoo.entries[entry].context == c);
+        }
+        EXPECT_TRUE(has_reference);
+    }
+}
+
+TEST(SpecializedZoo, PredictBlockIsProbability)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    const auto &zoo = pipeline.app4.zoo;
+    const data::Tiler tiler(4);
+    const auto tiles = tiler.tile(pipeline.shared.val.front());
+    for (std::size_t e = 0; e < zoo.entries.size(); ++e) {
+        for (int b = 0; b < data::kBlocksPerTile; b += 7) {
+            const double p =
+                zoo.predictBlock(static_cast<int>(e), tiles[0], b);
+            ASSERT_GE(p, 0.0);
+            ASSERT_LE(p, 1.0);
+        }
+    }
+}
+
+TEST(SpecializedZoo, ReferenceModelBeatsChance)
+{
+    // The reference model's block predictions must correlate with truth:
+    // measure cell accuracy through the evaluator on validation tiles.
+    const auto &pipeline = SharedPipeline::instance();
+    const DeploymentEvaluator evaluator(&pipeline.app4.zoo,
+                                        pipeline.shared.engine.get());
+    const auto table = evaluator.measureDirectTable(pipeline.shared.val, 4);
+    EXPECT_GT(table.stats[0][0].cell_accuracy, 0.7);
+}
+
+TEST(ModelSpecializer, TruthLabelAblationTrains)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    SpecializeOptions options;
+    options.labels_from_reference = false;
+    options.max_train_blocks = 4000;
+    options.train.epochs = 2;
+    const ModelSpecializer specializer(Application{2}, options);
+    util::Rng rng(5);
+    const auto zoo = specializer.trainZoo(
+        pipeline.shared.train_tiles, pipeline.shared.train_contexts,
+        pipeline.shared.partition.context_count, rng);
+    EXPECT_GE(zoo.entries.size(), 3U);
+    EXPECT_EQ(zoo.entries[zoo.reference].tier, 2);
+}
+
+TEST(ModelSpecializer, SmallerAppHasFewerCandidateTiers)
+{
+    const auto &pipeline = SharedPipeline::instance();
+    SpecializeOptions options;
+    options.max_train_blocks = 4000;
+    options.train.epochs = 2;
+    const ModelSpecializer specializer(Application{1}, options);
+    util::Rng rng(6);
+    const auto zoo = specializer.trainZoo(
+        pipeline.shared.train_tiles, pipeline.shared.train_contexts,
+        pipeline.shared.partition.context_count, rng);
+    // App 1 candidates collapse to tier {1}: one per live context + ref.
+    for (const auto &entry : zoo.entries) {
+        EXPECT_EQ(entry.tier, 1);
+    }
+}
+
+} // namespace
+} // namespace kodan::core

@@ -1,0 +1,157 @@
+/** @file Unit tests for the Transformer's options and staging. */
+
+#include <gtest/gtest.h>
+
+#include "core/transformer.hpp"
+#include "fixture.hpp"
+
+namespace kodan::core {
+namespace {
+
+TEST(Transformer, LegacyCorpusGeneratedByDefault)
+{
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    EXPECT_FALSE(pipeline.shared.legacy.empty());
+    EXPECT_FALSE(pipeline.shared.legacy_tiles.empty());
+    // Legacy frames use the same grid as the representative frames.
+    EXPECT_EQ(pipeline.shared.legacy.front().grid,
+              pipeline.shared.train.front().grid);
+}
+
+TEST(Transformer, LegacyCorpusDisabledOnRequest)
+{
+    const data::GeoModel geo;
+    auto options = kodan::testing::smallOptions();
+    options.legacy_reference = false;
+    options.train_frames = 8;
+    options.val_frames = 4;
+    const Transformer transformer(options);
+    auto [train, val] = kodan::testing::smallFrames(geo, 8, 4);
+    const auto shared =
+        transformer.prepareData(std::move(train), std::move(val));
+    EXPECT_TRUE(shared.legacy.empty());
+    EXPECT_TRUE(shared.legacy_tiles.empty());
+}
+
+TEST(Transformer, ReferenceTilingControlsTrainingTiles)
+{
+    const data::GeoModel geo;
+    auto options = kodan::testing::smallOptions();
+    options.reference_tiling = 4;
+    options.train_frames = 6;
+    options.val_frames = 3;
+    options.legacy_reference = false;
+    const Transformer transformer(options);
+    auto [train, val] = kodan::testing::smallFrames(geo, 6, 3);
+    const auto shared =
+        transformer.prepareData(std::move(train), std::move(val));
+    EXPECT_EQ(shared.train_tiles.size(), 6U * 16U);
+    EXPECT_EQ(shared.train_tiles.front().tiles_per_side, 4);
+}
+
+TEST(Transformer, SweepTileCountsControlTables)
+{
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    const data::GeoModel geo;
+    auto options = kodan::testing::smallOptions();
+    options.sweep.tile_counts = {16, 9};
+    options.train_frames = 8;
+    options.val_frames = 4;
+    const Transformer transformer(options);
+    auto [train, val] = kodan::testing::smallFrames(geo, 8, 4);
+    const auto shared =
+        transformer.prepareData(std::move(train), std::move(val));
+    const auto artifacts =
+        transformer.transformApp(Application{2}, shared);
+    ASSERT_EQ(artifacts.tables.size(), 2U);
+    EXPECT_EQ(artifacts.tables[0].tiles_per_side, 4);
+    EXPECT_EQ(artifacts.tables[1].tiles_per_side, 3);
+    (void)pipeline;
+}
+
+TEST(Transformer, DirectTableMatchesChosenTiling)
+{
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    const auto &artifacts = pipeline.app4;
+    const auto &table = artifacts.directTable();
+    EXPECT_EQ(table.tiles_per_side * table.tiles_per_side,
+              artifacts.direct_tiles_per_frame);
+    // The direct table has exactly one context with one model action.
+    ASSERT_EQ(table.contextCount(), 1);
+    ASSERT_EQ(table.actions[0].size(), 1U);
+    EXPECT_EQ(table.actions[0][0].kind, ActionKind::RunModel);
+}
+
+TEST(Transformer, SelectReportsEverySweptTiling)
+{
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    const auto profile = SystemProfile::landsat8(
+        hw::Target::I7_7800, pipeline.shared.prevalence);
+    const auto result =
+        pipeline.transformer.select(pipeline.app4, profile);
+    EXPECT_EQ(result.per_tiling.size(), pipeline.app4.tables.size());
+    // The winning tiling's outcome equals the reported best outcome.
+    bool found = false;
+    for (const auto &[tiles, outcome] : result.per_tiling) {
+        if (tiles == result.logic.tiles_per_side *
+                         result.logic.tiles_per_side) {
+            EXPECT_DOUBLE_EQ(outcome.dvd, result.outcome.dvd);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Transformer, AugmentationOffStillTrains)
+{
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    SpecializeOptions options;
+    options.augment_noise = 0.0;
+    options.max_train_blocks = 3000;
+    options.train.epochs = 2;
+    const ModelSpecializer specializer(Application{1}, options);
+    util::Rng rng(3);
+    const auto zoo = specializer.trainZoo(
+        pipeline.shared.train_tiles, pipeline.shared.train_contexts,
+        pipeline.shared.partition.context_count, rng);
+    EXPECT_GE(zoo.entries.size(), 2U);
+    const DeploymentEvaluator evaluator(&zoo,
+                                        pipeline.shared.engine.get());
+    const auto table = evaluator.measureDirectTable(pipeline.shared.val, 4);
+    EXPECT_GT(table.stats[0][0].cell_accuracy, 0.6);
+}
+
+TEST(Transformer, LegacyReferenceIsWorseInDomain)
+{
+    // The domain-shifted reference must measurably underperform a
+    // reference trained in-domain (that gap powers Fig. 12).
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+
+    SpecializeOptions options;
+    options.max_train_blocks = 8000;
+    options.train.epochs = 3;
+    const ModelSpecializer specializer(Application{4}, options);
+    util::Rng rng_a(9);
+    const auto legacy_zoo = specializer.trainZoo(
+        pipeline.shared.train_tiles, pipeline.shared.train_contexts,
+        pipeline.shared.partition.context_count, rng_a,
+        &pipeline.shared.legacy_tiles);
+    util::Rng rng_b(9);
+    const auto in_domain_zoo = specializer.trainZoo(
+        pipeline.shared.train_tiles, pipeline.shared.train_contexts,
+        pipeline.shared.partition.context_count, rng_b, nullptr);
+
+    const DeploymentEvaluator legacy_eval(&legacy_zoo,
+                                          pipeline.shared.engine.get());
+    const DeploymentEvaluator domain_eval(&in_domain_zoo,
+                                          pipeline.shared.engine.get());
+    const auto legacy_table =
+        legacy_eval.measureDirectTable(pipeline.shared.val, 6);
+    const auto domain_table =
+        domain_eval.measureDirectTable(pipeline.shared.val, 6);
+    EXPECT_LT(legacy_table.stats[0][0].cell_accuracy,
+              domain_table.stats[0][0].cell_accuracy + 0.02);
+}
+
+} // namespace
+} // namespace kodan::core

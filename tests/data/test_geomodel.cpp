@@ -1,0 +1,232 @@
+/** @file Unit tests for the procedural geospatial world. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/geomodel.hpp"
+#include "util/units.hpp"
+
+namespace kodan::data {
+namespace {
+
+using util::degToRad;
+
+double
+measuredCloudFraction(const GeoModel &geo, double time = 0.0)
+{
+    util::Rng rng(123);
+    int cloudy = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const double lat = std::asin(2.0 * rng.uniform() - 1.0);
+        const double lon = rng.uniform(-util::kPi, util::kPi);
+        if (geo.cloudyAt(lat, lon, time)) {
+            ++cloudy;
+        }
+    }
+    return static_cast<double>(cloudy) / n;
+}
+
+TEST(GeoModel, CloudFractionCalibrated)
+{
+    GeoModel geo;
+    EXPECT_NEAR(measuredCloudFraction(geo), 0.52, 0.04);
+}
+
+TEST(GeoModel, CloudFractionParameterized)
+{
+    GeoModelParams params;
+    params.cloud_fraction = 0.67; // MODIS global average
+    GeoModel geo(params);
+    EXPECT_NEAR(measuredCloudFraction(geo), 0.67, 0.04);
+}
+
+TEST(GeoModel, CloudCalibrationHoldsAtLaterTimes)
+{
+    GeoModel geo;
+    EXPECT_NEAR(measuredCloudFraction(geo, 43200.0), 0.52, 0.06);
+}
+
+TEST(GeoModel, TerrainIsDeterministic)
+{
+    GeoModel a;
+    GeoModel b;
+    for (double lat = -1.4; lat < 1.4; lat += 0.17) {
+        for (double lon = -3.0; lon < 3.0; lon += 0.37) {
+            EXPECT_EQ(a.terrainAt(lat, lon), b.terrainAt(lat, lon));
+        }
+    }
+}
+
+TEST(GeoModel, PolesAreIce)
+{
+    GeoModel geo;
+    EXPECT_EQ(geo.terrainAt(degToRad(85.0), 0.3), Terrain::Ice);
+    EXPECT_EQ(geo.terrainAt(degToRad(-85.0), 2.1), Terrain::Ice);
+}
+
+TEST(GeoModel, OceanDominatesSurface)
+{
+    GeoModel geo;
+    util::Rng rng(7);
+    int ocean = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const double lat = std::asin(2.0 * rng.uniform() - 1.0);
+        const double lon = rng.uniform(-util::kPi, util::kPi);
+        if (geo.terrainAt(lat, lon) == Terrain::Ocean) {
+            ++ocean;
+        }
+    }
+    const double fraction = static_cast<double>(ocean) / n;
+    EXPECT_GT(fraction, 0.40);
+    EXPECT_LT(fraction, 0.70);
+}
+
+TEST(GeoModel, AllTerrainClassesOccur)
+{
+    GeoModel geo;
+    util::Rng rng(8);
+    std::array<int, kTerrainCount> counts{};
+    for (int i = 0; i < 20000; ++i) {
+        const double lat = std::asin(2.0 * rng.uniform() - 1.0);
+        const double lon = rng.uniform(-util::kPi, util::kPi);
+        ++counts[static_cast<int>(geo.terrainAt(lat, lon))];
+    }
+    for (int k = 0; k < kTerrainCount; ++k) {
+        EXPECT_GT(counts[k], 0) << terrainName(static_cast<Terrain>(k));
+    }
+}
+
+TEST(GeoModel, CloudFieldEvolvesOverTime)
+{
+    GeoModel geo;
+    int changed = 0;
+    util::Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        const double lat = rng.uniform(-1.0, 1.0);
+        const double lon = rng.uniform(-3.0, 3.0);
+        if (geo.cloudyAt(lat, lon, 0.0) !=
+            geo.cloudyAt(lat, lon, 24.0 * 3600.0)) {
+            ++changed;
+        }
+    }
+    EXPECT_GT(changed, 50);
+}
+
+TEST(GeoModel, OpacityBoundsRespected)
+{
+    GeoModel geo;
+    util::Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const double lat = rng.uniform(-1.5, 1.5);
+        const double lon = rng.uniform(-3.1, 3.1);
+        const double op = geo.cloudOpacityAt(lat, lon, 0.0);
+        ASSERT_GE(op, 0.0);
+        ASSERT_LE(op, 1.0);
+    }
+}
+
+TEST(GeoModel, CloudBrightensDarkTerrain)
+{
+    GeoModel geo;
+    util::Rng noise_free(11);
+    GeoModelParams quiet;
+    quiet.sensor_noise = 0.0;
+    GeoModel geo_quiet(quiet);
+    // Find an ocean point that is cloudy and one that is clear; the
+    // cloudy one must be brighter in band 0.
+    double clear_b0 = -1.0;
+    double cloudy_b0 = -1.0;
+    util::Rng rng(12);
+    for (int i = 0; i < 20000 && (clear_b0 < 0.0 || cloudy_b0 < 0.0);
+         ++i) {
+        const double lat = rng.uniform(-0.9, 0.9);
+        const double lon = rng.uniform(-util::kPi, util::kPi);
+        if (geo_quiet.terrainAt(lat, lon) != Terrain::Ocean) {
+            continue;
+        }
+        const double op = geo_quiet.cloudOpacityAt(lat, lon, 0.0);
+        const auto f = geo_quiet.featuresAt(lat, lon, 0.0, noise_free);
+        if (op <= 0.0 && clear_b0 < 0.0) {
+            clear_b0 = f[0];
+        } else if (op >= 1.0 && cloudy_b0 < 0.0) {
+            cloudy_b0 = f[0];
+        }
+    }
+    ASSERT_GE(clear_b0, 0.0);
+    ASSERT_GE(cloudy_b0, 0.0);
+    EXPECT_GT(cloudy_b0, clear_b0 + 0.3);
+}
+
+TEST(GeoModel, SignaturesDiffer)
+{
+    const auto ocean = GeoModel::terrainSignature(Terrain::Ocean);
+    const auto ice = GeoModel::terrainSignature(Terrain::Ice);
+    const auto cloud = GeoModel::cloudSignature(Terrain::Ocean);
+    EXPECT_GT(ice[0], ocean[0] + 0.5);
+    EXPECT_GT(cloud[0], 0.7);
+    // Ice and cloud-over-ice are both bright but differ in texture and
+    // thermal channels (the hard snow/cloud confusion).
+    const auto cloud_ice = GeoModel::cloudSignature(Terrain::Ice);
+    EXPECT_LT(std::fabs(cloud_ice[0] - ice[0]), 0.15);
+    EXPECT_NE(cloud_ice[6], ice[6]);
+}
+
+TEST(GeoModel, LegacyDomainIsDifferentWorld)
+{
+    const GeoModelParams legacy = GeoModelParams::legacyDomain();
+    const GeoModelParams standard;
+    EXPECT_NE(legacy.seed, standard.seed);
+    EXPECT_GT(legacy.cloud_fraction, standard.cloud_fraction);
+    EXPECT_NE(legacy.band_gain, standard.band_gain);
+
+    // Different terrain layout and calibrated cloud climate.
+    const GeoModel legacy_world(legacy);
+    EXPECT_NEAR(measuredCloudFraction(legacy_world),
+                legacy.cloud_fraction, 0.05);
+}
+
+TEST(GeoModel, BandGainShiftsVisualChannelsOnly)
+{
+    GeoModelParams shifted;
+    shifted.sensor_noise = 0.0;
+    shifted.band_gain = 1.2;
+    shifted.band_offset = 0.1;
+    GeoModelParams plain = shifted;
+    plain.band_gain = 1.0;
+    plain.band_offset = 0.0;
+
+    const GeoModel a(shifted);
+    const GeoModel b(plain);
+    util::Rng rng_a(1);
+    util::Rng rng_b(1);
+    const auto fa = a.featuresAt(0.4, 0.8, 0.0, rng_a);
+    const auto fb = b.featuresAt(0.4, 0.8, 0.0, rng_b);
+    for (int c = 0; c < 7; ++c) {
+        EXPECT_NEAR(fa[c], 1.2 * fb[c] + 0.1, 1e-12) << "channel " << c;
+    }
+    // Ancillary priors (7, 8) are calibration-independent.
+    EXPECT_NEAR(fa[7], fb[7], 1e-12);
+    EXPECT_NEAR(fa[8], fb[8], 1e-12);
+}
+
+TEST(GeoModel, SensorNoiseAppliedPerChannel)
+{
+    GeoModel geo;
+    util::Rng rng_a(13);
+    util::Rng rng_b(14);
+    const auto fa = geo.featuresAt(0.3, 0.4, 0.0, rng_a);
+    const auto fb = geo.featuresAt(0.3, 0.4, 0.0, rng_b);
+    int differing = 0;
+    for (int c = 0; c < kFeatureDim; ++c) {
+        if (fa[c] != fb[c]) {
+            ++differing;
+        }
+    }
+    EXPECT_EQ(differing, kFeatureDim);
+}
+
+} // namespace
+} // namespace kodan::data

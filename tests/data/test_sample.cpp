@@ -1,0 +1,138 @@
+/** @file Unit tests for frame samples and the dataset generator. */
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "util/units.hpp"
+
+namespace kodan::data {
+namespace {
+
+DatasetGenerator
+smallGenerator()
+{
+    DatasetParams params;
+    params.grid = 24;
+    params.seed = 99;
+    return DatasetGenerator(GeoModel(), params);
+}
+
+TEST(FrameSample, ShapesMatchGrid)
+{
+    auto gen = smallGenerator();
+    const FrameSample frame = gen.makeFrame(0.3, 0.5, 0.0);
+    EXPECT_EQ(frame.grid, 24);
+    EXPECT_EQ(frame.features.size(), 24U * 24U * kFeatureDim);
+    EXPECT_EQ(frame.cloudy.size(), 576U);
+    EXPECT_EQ(frame.terrain.size(), 576U);
+    EXPECT_EQ(frame.cellCount(), 576U);
+}
+
+TEST(FrameSample, HighValueFractionConsistent)
+{
+    auto gen = smallGenerator();
+    const FrameSample frame = gen.makeFrame(0.1, -0.7, 0.0);
+    std::size_t clear = 0;
+    for (int r = 0; r < frame.grid; ++r) {
+        for (int c = 0; c < frame.grid; ++c) {
+            if (!frame.cloudyAt(r, c)) {
+                ++clear;
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(frame.highValueFraction(),
+                     static_cast<double>(clear) / 576.0);
+}
+
+TEST(FrameSample, EmptyFrameHasZeroValue)
+{
+    FrameSample frame;
+    EXPECT_DOUBLE_EQ(frame.highValueFraction(), 0.0);
+}
+
+TEST(FrameSample, AccessorsMatchStorage)
+{
+    auto gen = smallGenerator();
+    const FrameSample frame = gen.makeFrame(0.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(frame.featureAt(3, 5, 2),
+                     frame.features[(3 * 24 + 5) * kFeatureDim + 2]);
+}
+
+TEST(DatasetGenerator, GlobalSamplingProducesRequestedCount)
+{
+    auto gen = smallGenerator();
+    const auto frames = gen.generateGlobal(10);
+    EXPECT_EQ(frames.size(), 10U);
+    // Times advance by the configured interval.
+    EXPECT_DOUBLE_EQ(frames[1].time - frames[0].time, 22.0);
+}
+
+TEST(DatasetGenerator, GlobalSamplingCoversBothHemispheres)
+{
+    auto gen = smallGenerator();
+    const auto frames = gen.generateGlobal(40);
+    int north = 0;
+    for (const auto &frame : frames) {
+        if (frame.center_lat > 0.0) {
+            ++north;
+        }
+    }
+    EXPECT_GT(north, 5);
+    EXPECT_LT(north, 35);
+}
+
+TEST(DatasetGenerator, PrevalenceNearCalibration)
+{
+    auto gen = smallGenerator();
+    const auto frames = gen.generateGlobal(60);
+    double high = 0.0;
+    for (const auto &frame : frames) {
+        high += frame.highValueFraction();
+    }
+    // Global cloud fraction 0.52 -> prevalence ~0.48.
+    EXPECT_NEAR(high / 60.0, 0.48, 0.08);
+}
+
+TEST(DatasetGenerator, AlongTrackFollowsOrbit)
+{
+    auto gen = smallGenerator();
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto frames = gen.generateAlongTrack(sat, 22.0, 5, 0.0);
+    ASSERT_EQ(frames.size(), 5U);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const auto point = sat.subsatellitePoint(i * 22.0);
+        EXPECT_NEAR(frames[i].center_lat, point.latitude, 1e-9);
+        EXPECT_NEAR(frames[i].center_lon, point.longitude, 1e-9);
+    }
+}
+
+TEST(DatasetGenerator, DeterministicForSameSeed)
+{
+    auto gen_a = smallGenerator();
+    auto gen_b = smallGenerator();
+    const auto fa = gen_a.generateGlobal(3);
+    const auto fb = gen_b.generateGlobal(3);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(fa[i].features, fb[i].features);
+        EXPECT_EQ(fa[i].cloudy, fb[i].cloudy);
+    }
+}
+
+TEST(DatasetGenerator, PolarFrameIsWellDefined)
+{
+    auto gen = smallGenerator();
+    const FrameSample frame =
+        gen.makeFrame(util::degToRad(89.0), 0.0, 0.0);
+    EXPECT_EQ(frame.cellCount(), 576U);
+    // Polar frames are ice.
+    int ice = 0;
+    for (auto t : frame.terrain) {
+        if (static_cast<Terrain>(t) == Terrain::Ice) {
+            ++ice;
+        }
+    }
+    EXPECT_GT(ice, 500);
+}
+
+} // namespace
+} // namespace kodan::data

@@ -1,0 +1,124 @@
+/** @file Unit tests for contact-window finding. */
+
+#include <gtest/gtest.h>
+
+#include "ground/contact.hpp"
+#include "orbit/elements.hpp"
+#include "util/units.hpp"
+
+namespace kodan::ground {
+namespace {
+
+using util::degToRad;
+using util::kSecondsPerDay;
+
+GroundStation
+station(double lat_deg, double lon_deg, double mask_deg = 10.0)
+{
+    GroundStation s;
+    s.name = "test";
+    s.location = {degToRad(lat_deg), degToRad(lon_deg), 0.0};
+    s.min_elevation = degToRad(mask_deg);
+    return s;
+}
+
+TEST(ContactFinder, PolarStationSeesPolarOrbitEveryRevolution)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto windows =
+        finder.find(sat, station(89.0, 0.0), 0.0, kSecondsPerDay);
+    // ~14.5 revolutions per day; a near-pole station sees nearly all.
+    EXPECT_GE(windows.size(), 12U);
+    EXPECT_LE(windows.size(), 16U);
+}
+
+TEST(ContactFinder, PassDurationsAreMinutes)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto windows =
+        finder.find(sat, station(89.0, 0.0), 0.0, kSecondsPerDay);
+    for (const auto &w : windows) {
+        EXPECT_GT(w.duration(), 30.0);
+        EXPECT_LT(w.duration(), 16.0 * 60.0);
+    }
+}
+
+TEST(ContactFinder, WindowsAreOrderedAndDisjoint)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto windows =
+        finder.find(sat, station(60.0, 20.0), 0.0, kSecondsPerDay);
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+        EXPECT_GT(windows[i].start, windows[i - 1].end);
+    }
+}
+
+TEST(ContactFinder, ElevationAtBoundariesEqualsMask)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const GroundStation s = station(45.0, 10.0);
+    const auto windows = finder.find(sat, s, 0.0, kSecondsPerDay);
+    ASSERT_FALSE(windows.empty());
+    for (const auto &w : windows) {
+        const double elev_start = orbit::elevationAngle(
+            s.ecef(), sat.positionEcef(w.start));
+        EXPECT_NEAR(util::radToDeg(elev_start), 10.0, 0.05);
+    }
+}
+
+TEST(ContactFinder, TighterMaskShortensWindows)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto loose =
+        finder.find(sat, station(70.0, 0.0, 5.0), 0.0, kSecondsPerDay);
+    const auto tight =
+        finder.find(sat, station(70.0, 0.0, 30.0), 0.0, kSecondsPerDay);
+    EXPECT_GT(totalContactSeconds(loose), totalContactSeconds(tight));
+}
+
+TEST(ContactFinder, EquatorialStationSeesFewPasses)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto equatorial =
+        finder.find(sat, station(0.0, 0.0), 0.0, kSecondsPerDay);
+    const auto polar =
+        finder.find(sat, station(89.0, 0.0), 0.0, kSecondsPerDay);
+    EXPECT_LT(equatorial.size(), polar.size());
+}
+
+TEST(ContactFinder, FindAllTagsIndices)
+{
+    std::vector<orbit::J2Propagator> sats = {
+        orbit::J2Propagator(orbit::OrbitalElements::landsat8(0.0, 0.0)),
+        orbit::J2Propagator(
+            orbit::OrbitalElements::landsat8(0.0, util::kPi))};
+    std::vector<GroundStation> stations = {station(89.0, 0.0),
+                                           station(45.0, 100.0)};
+    const ContactFinder finder;
+    const auto windows = finder.findAll(sats, stations, 0.0, 20000.0);
+    ASSERT_FALSE(windows.empty());
+    for (const auto &w : windows) {
+        EXPECT_LT(w.satellite, 2U);
+        EXPECT_LT(w.station, 2U);
+    }
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+        EXPECT_GE(windows[i].start, windows[i - 1].start);
+    }
+}
+
+TEST(ContactFinder, EmptyIntervalYieldsNoWindows)
+{
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const ContactFinder finder;
+    const auto windows = finder.find(sat, station(45.0, 0.0), 100.0, 100.0);
+    EXPECT_TRUE(windows.empty());
+}
+
+} // namespace
+} // namespace kodan::ground

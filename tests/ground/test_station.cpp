@@ -1,0 +1,51 @@
+/** @file Unit tests for ground stations. */
+
+#include <gtest/gtest.h>
+
+#include "ground/station.hpp"
+#include "util/units.hpp"
+
+namespace kodan::ground {
+namespace {
+
+TEST(GroundSegment, LandsatHasFiveStations)
+{
+    const auto stations = landsatGroundSegment();
+    ASSERT_EQ(stations.size(), 5U);
+    for (const auto &station : stations) {
+        EXPECT_FALSE(station.name.empty());
+        EXPECT_NEAR(util::radToDeg(station.min_elevation), 10.0, 1e-9);
+    }
+}
+
+TEST(GroundSegment, SvalbardIsPolar)
+{
+    const auto stations = landsatGroundSegment();
+    bool found = false;
+    for (const auto &station : stations) {
+        if (station.name == "Svalbard") {
+            found = true;
+            EXPECT_GT(util::radToDeg(station.location.latitude), 70.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(GroundSegment, SparseIsSubset)
+{
+    const auto sparse = sparseGroundSegment();
+    EXPECT_EQ(sparse.size(), 2U);
+}
+
+TEST(GroundStation, EcefOnSurface)
+{
+    const auto stations = landsatGroundSegment();
+    for (const auto &station : stations) {
+        const double r = station.ecef().norm();
+        EXPECT_GT(r, 6.35e6);
+        EXPECT_LT(r, 6.38e6);
+    }
+}
+
+} // namespace
+} // namespace kodan::ground

@@ -1,0 +1,128 @@
+/** @file Unit tests for the hardware cost model (Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "hw/target.hpp"
+
+namespace kodan::hw {
+namespace {
+
+TEST(CostModel, Table1AnchorsExact)
+{
+    // Spot-check Table 1 values (converted to seconds).
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(1, Target::Gtx1070Ti), 0.1782);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(1, Target::I7_7800), 0.4406);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(1, Target::Orin15W), 0.6188);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(7, Target::Gtx1070Ti), 0.4752);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(7, Target::I7_7800), 2.545);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(7, Target::Orin15W), 2.040);
+    EXPECT_DOUBLE_EQ(CostModel::tileTime(4, Target::Orin15W), 1.594);
+}
+
+TEST(CostModel, TimesIncreaseWithTier)
+{
+    for (Target target : allTargets()) {
+        for (int tier = 2; tier <= kAppCount; ++tier) {
+            EXPECT_GT(CostModel::tileTime(tier, target),
+                      CostModel::tileTime(tier - 1, target))
+                << targetName(target) << " tier " << tier;
+        }
+    }
+}
+
+TEST(CostModel, GpuIsFastestTarget)
+{
+    for (int tier = 1; tier <= kAppCount; ++tier) {
+        EXPECT_LT(CostModel::tileTime(tier, Target::Gtx1070Ti),
+                  CostModel::tileTime(tier, Target::I7_7800));
+        EXPECT_LT(CostModel::tileTime(tier, Target::Gtx1070Ti),
+                  CostModel::tileTime(tier, Target::Orin15W));
+    }
+}
+
+TEST(CostModel, ParamCountsMonotonic)
+{
+    for (int tier = 2; tier <= kAppCount; ++tier) {
+        EXPECT_GT(CostModel::tierParamCount(tier),
+                  CostModel::tierParamCount(tier - 1));
+    }
+}
+
+TEST(CostModel, ModelTimePassesThroughAnchors)
+{
+    for (Target target : allTargets()) {
+        for (int tier = 1; tier <= kAppCount; ++tier) {
+            EXPECT_NEAR(
+                CostModel::modelTime(CostModel::tierParamCount(tier),
+                                     target),
+                CostModel::tileTime(tier, target), 1e-12);
+        }
+    }
+}
+
+TEST(CostModel, ModelTimeInterpolatesBetweenAnchors)
+{
+    const std::size_t p_lo = CostModel::tierParamCount(2);
+    const std::size_t p_hi = CostModel::tierParamCount(3);
+    const std::size_t mid = (p_lo + p_hi) / 2;
+    const double t = CostModel::modelTime(mid, Target::Orin15W);
+    EXPECT_GT(t, CostModel::tileTime(2, Target::Orin15W));
+    EXPECT_LT(t, CostModel::tileTime(3, Target::Orin15W));
+}
+
+TEST(CostModel, TinyModelsFlooredAtEngineCost)
+{
+    for (Target target : allTargets()) {
+        EXPECT_GE(CostModel::modelTime(1, target),
+                  CostModel::contextEngineTime(target));
+    }
+}
+
+TEST(CostModel, ExtrapolatesAboveLargestTier)
+{
+    const std::size_t big = 4 * CostModel::tierParamCount(kAppCount);
+    EXPECT_NEAR(CostModel::modelTime(big, Target::Gtx1070Ti),
+                4.0 * CostModel::tileTime(kAppCount, Target::Gtx1070Ti),
+                1e-9);
+}
+
+TEST(CostModel, ContextEngineIsMuchCheaperThanModels)
+{
+    for (Target target : allTargets()) {
+        EXPECT_LT(CostModel::contextEngineTime(target),
+                  0.05 * CostModel::tileTime(1, target));
+    }
+}
+
+TEST(CostModel, TierNamesMatchPaper)
+{
+    EXPECT_STREQ(CostModel::tierName(1), "mobilenetv2dilated-c1-deepsup");
+    EXPECT_STREQ(CostModel::tierName(7),
+                 "resnet101dilated-ppm-deepsup");
+}
+
+TEST(CostModel, HiddenWidthsConsistentWithParamCounts)
+{
+    for (int tier = 1; tier <= kAppCount; ++tier) {
+        const auto &hidden = CostModel::tierHidden(tier);
+        std::size_t params = 0;
+        int prev = CostModel::kSurrogateInputDim;
+        for (int h : hidden) {
+            params += static_cast<std::size_t>(prev) * h + h;
+            prev = h;
+        }
+        params += static_cast<std::size_t>(prev) + 1;
+        EXPECT_EQ(params, CostModel::tierParamCount(tier));
+    }
+}
+
+TEST(Targets, NamesAndCount)
+{
+    EXPECT_EQ(allTargets().size(), 3U);
+    EXPECT_STREQ(targetName(Target::Orin15W), "Orin15W");
+    EXPECT_STREQ(targetName(Target::Gtx1070Ti), "1070Ti");
+    EXPECT_STREQ(targetName(Target::I7_7800), "i7-7800");
+}
+
+} // namespace
+} // namespace kodan::hw

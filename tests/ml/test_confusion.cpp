@@ -1,0 +1,83 @@
+/** @file Unit tests for the confusion-matrix accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "ml/confusion.hpp"
+
+namespace kodan::ml {
+namespace {
+
+TEST(ConfusionStats, CountsQuadrants)
+{
+    ConfusionStats stats;
+    stats.add(true, true);   // TP
+    stats.add(true, false);  // FP
+    stats.add(false, false); // TN
+    stats.add(false, true);  // FN
+    EXPECT_EQ(stats.tp(), 1);
+    EXPECT_EQ(stats.fp(), 1);
+    EXPECT_EQ(stats.tn(), 1);
+    EXPECT_EQ(stats.fn(), 1);
+    EXPECT_EQ(stats.total(), 4);
+}
+
+TEST(ConfusionStats, Metrics)
+{
+    ConfusionStats stats;
+    stats.addWeighted(true, true, 8);
+    stats.addWeighted(true, false, 2);
+    stats.addWeighted(false, false, 6);
+    stats.addWeighted(false, true, 4);
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 14.0 / 20.0);
+    EXPECT_DOUBLE_EQ(stats.precision(), 0.8);
+    EXPECT_DOUBLE_EQ(stats.recall(), 8.0 / 12.0);
+    EXPECT_DOUBLE_EQ(stats.positiveRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.prevalence(), 0.6);
+    const double p = 0.8;
+    const double r = 8.0 / 12.0;
+    EXPECT_DOUBLE_EQ(stats.f1(), 2.0 * p * r / (p + r));
+}
+
+TEST(ConfusionStats, EmptyDefaults)
+{
+    ConfusionStats stats;
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+}
+
+TEST(ConfusionStats, NoPositivePredictions)
+{
+    ConfusionStats stats;
+    stats.add(false, true);
+    EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.recall(), 0.0);
+}
+
+TEST(ConfusionStats, Merge)
+{
+    ConfusionStats a;
+    a.add(true, true);
+    ConfusionStats b;
+    b.add(false, false);
+    b.add(true, false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3);
+    EXPECT_EQ(a.tp(), 1);
+    EXPECT_EQ(a.fp(), 1);
+    EXPECT_EQ(a.tn(), 1);
+}
+
+TEST(ConfusionStats, PerfectClassifier)
+{
+    ConfusionStats stats;
+    stats.addWeighted(true, true, 10);
+    stats.addWeighted(false, false, 10);
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.f1(), 1.0);
+}
+
+} // namespace
+} // namespace kodan::ml

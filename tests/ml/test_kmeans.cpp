@@ -1,0 +1,186 @@
+/** @file Unit tests for k-means clustering. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "ml/kmeans.hpp"
+
+namespace kodan::ml {
+namespace {
+
+/** Three well-separated 2-D blobs, 60 points each. */
+Matrix
+blobs(util::Rng &rng)
+{
+    const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    Matrix x(180, 2);
+    for (int i = 0; i < 180; ++i) {
+        const int cls = i / 60;
+        x.at(i, 0) = centers[cls][0] + rng.normal(0.0, 0.5);
+        x.at(i, 1) = centers[cls][1] + rng.normal(0.0, 0.5);
+    }
+    return x;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs)
+{
+    util::Rng rng(1);
+    const Matrix x = blobs(rng);
+    const KMeans kmeans(3);
+    const KMeansResult result = kmeans.fit(x, rng);
+
+    // All points of one blob share an assignment, and the three blobs
+    // get three distinct clusters.
+    std::set<int> blob_clusters;
+    for (int blob = 0; blob < 3; ++blob) {
+        const int expected = result.assignment[blob * 60];
+        for (int i = 0; i < 60; ++i) {
+            ASSERT_EQ(result.assignment[blob * 60 + i], expected);
+        }
+        blob_clusters.insert(expected);
+    }
+    EXPECT_EQ(blob_clusters.size(), 3U);
+}
+
+TEST(KMeans, CentroidsNearBlobCenters)
+{
+    util::Rng rng(2);
+    const Matrix x = blobs(rng);
+    const KMeans kmeans(3);
+    const KMeansResult result = kmeans.fit(x, rng);
+    int matched = 0;
+    const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    for (int c = 0; c < 3; ++c) {
+        for (const auto &center : centers) {
+            const double dx = result.centroids.at(c, 0) - center[0];
+            const double dy = result.centroids.at(c, 1) - center[1];
+            if (std::sqrt(dx * dx + dy * dy) < 0.5) {
+                ++matched;
+            }
+        }
+    }
+    EXPECT_EQ(matched, 3);
+}
+
+TEST(KMeans, NearestIsConsistentWithAssignment)
+{
+    util::Rng rng(3);
+    const Matrix x = blobs(rng);
+    const KMeans kmeans(3);
+    const KMeansResult result = kmeans.fit(x, rng);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        EXPECT_EQ(result.nearest(x.row(i)), result.assignment[i]);
+    }
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean)
+{
+    util::Rng rng(4);
+    Matrix x(10, 1);
+    double sum = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        x.at(i, 0) = i;
+        sum += i;
+    }
+    const KMeans kmeans(1);
+    const KMeansResult result = kmeans.fit(x, rng);
+    EXPECT_NEAR(result.centroids.at(0, 0), sum / 10.0, 1e-9);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters)
+{
+    util::Rng rng(5);
+    const Matrix x = blobs(rng);
+    const KMeansResult k2 = KMeans(2).fit(x, rng);
+    const KMeansResult k3 = KMeans(3).fit(x, rng);
+    EXPECT_LT(k3.inertia, k2.inertia);
+}
+
+TEST(Distance, Euclidean)
+{
+    const double a[2] = {0.0, 0.0};
+    const double b[2] = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(KMeans::distance(a, b, 2, Distance::Euclidean), 5.0);
+}
+
+TEST(Distance, HammingBinarizes)
+{
+    const double a[4] = {0.9, 0.1, 0.8, 0.2};
+    const double b[4] = {0.7, 0.9, 0.1, 0.1};
+    // Binarized: a = 1,0,1,0; b = 1,1,0,0 -> 2 disagreements.
+    EXPECT_DOUBLE_EQ(KMeans::distance(a, b, 4, Distance::Hamming), 2.0);
+}
+
+TEST(Distance, CosineOfParallelAndOrthogonal)
+{
+    const double a[2] = {1.0, 0.0};
+    const double b[2] = {2.0, 0.0};
+    const double c[2] = {0.0, 1.0};
+    EXPECT_NEAR(KMeans::distance(a, b, 2, Distance::Cosine), 0.0, 1e-12);
+    EXPECT_NEAR(KMeans::distance(a, c, 2, Distance::Cosine), 1.0, 1e-12);
+}
+
+TEST(Distance, CosineZeroVectorIsMaximal)
+{
+    const double a[2] = {0.0, 0.0};
+    const double b[2] = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(KMeans::distance(a, b, 2, Distance::Cosine), 1.0);
+}
+
+TEST(Silhouette, HighForSeparatedBlobs)
+{
+    util::Rng rng(6);
+    const Matrix x = blobs(rng);
+    const KMeansResult result = KMeans(3).fit(x, rng);
+    EXPECT_GT(silhouetteScore(x, result), 0.8);
+}
+
+TEST(Silhouette, LowerForWrongK)
+{
+    util::Rng rng(7);
+    const Matrix x = blobs(rng);
+    const KMeansResult right = KMeans(3).fit(x, rng);
+    const KMeansResult wrong = KMeans(6).fit(x, rng);
+    EXPECT_GT(silhouetteScore(x, right), silhouetteScore(x, wrong));
+}
+
+TEST(Silhouette, DegenerateInputs)
+{
+    util::Rng rng(8);
+    Matrix x(5, 2);
+    const KMeansResult one = KMeans(1).fit(x, rng);
+    EXPECT_DOUBLE_EQ(silhouetteScore(x, one), 0.0);
+}
+
+TEST(KMeans, WorksWithHammingMetric)
+{
+    util::Rng rng(9);
+    // Binary-ish data: two clusters of bit patterns.
+    Matrix x(40, 3);
+    for (int i = 0; i < 40; ++i) {
+        const bool second = i >= 20;
+        x.at(i, 0) = second ? 1.0 : 0.0;
+        x.at(i, 1) = second ? 1.0 : 0.0;
+        x.at(i, 2) = rng.uniform();
+    }
+    const KMeansResult result = KMeans(2, Distance::Hamming).fit(x, rng);
+    EXPECT_NE(result.assignment[0], result.assignment[39]);
+    EXPECT_EQ(result.assignment[0], result.assignment[19]);
+}
+
+TEST(KMeans, DeterministicGivenRngState)
+{
+    util::Rng rng_a(10);
+    util::Rng rng_b(10);
+    const Matrix xa = blobs(rng_a);
+    const Matrix xb = blobs(rng_b);
+    const KMeansResult ra = KMeans(3).fit(xa, rng_a);
+    const KMeansResult rb = KMeans(3).fit(xb, rng_b);
+    EXPECT_EQ(ra.assignment, rb.assignment);
+}
+
+} // namespace
+} // namespace kodan::ml

@@ -1,0 +1,93 @@
+/** @file Unit tests for Matrix. */
+
+#include <gtest/gtest.h>
+
+#include "ml/matrix.hpp"
+
+namespace kodan::ml {
+namespace {
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3U);
+    EXPECT_EQ(m.cols(), 4U);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+        }
+    }
+}
+
+TEST(Matrix, RowMajorLayout)
+{
+    Matrix m(2, 3);
+    m.at(1, 2) = 7.0;
+    EXPECT_DOUBLE_EQ(m.data()[5], 7.0);
+    EXPECT_DOUBLE_EQ(m.row(1)[2], 7.0);
+}
+
+TEST(Matrix, FillAndScale)
+{
+    Matrix m(2, 2);
+    m.fill(3.0);
+    m.scale(2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 6.0);
+}
+
+TEST(Matrix, Add)
+{
+    Matrix a(2, 2);
+    Matrix b(2, 2);
+    a.fill(1.0);
+    b.fill(2.5);
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 3.5);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+    double av[] = {1, 2, 3, 4, 5, 6};
+    double bv[] = {7, 8, 9, 10, 11, 12};
+    a.data().assign(av, av + 6);
+    b.data().assign(bv, bv + 6);
+    const Matrix c = Matrix::multiply(a, b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyByIdentity)
+{
+    Matrix a(3, 3);
+    for (std::size_t i = 0; i < 9; ++i) {
+        a.data()[i] = static_cast<double>(i);
+    }
+    Matrix eye(3, 3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        eye.at(i, i) = 1.0;
+    }
+    const Matrix c = Matrix::multiply(a, eye);
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_DOUBLE_EQ(c.data()[i], a.data()[i]);
+    }
+}
+
+TEST(Matrix, Transposed)
+{
+    Matrix a(2, 3);
+    a.at(0, 2) = 5.0;
+    a.at(1, 0) = -2.0;
+    const Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3U);
+    EXPECT_EQ(t.cols(), 2U);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(0, 1), -2.0);
+}
+
+} // namespace
+} // namespace kodan::ml

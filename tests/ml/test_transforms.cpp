@@ -1,0 +1,198 @@
+/** @file Unit tests for feature transforms (standardizer, Jacobi, PCA). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace kodan::ml {
+namespace {
+
+TEST(Standardizer, ZeroMeanUnitVariance)
+{
+    util::Rng rng(1);
+    Matrix x(500, 3);
+    for (std::size_t i = 0; i < 500; ++i) {
+        x.at(i, 0) = rng.normal(5.0, 2.0);
+        x.at(i, 1) = rng.normal(-3.0, 0.5);
+        x.at(i, 2) = rng.normal(0.0, 10.0);
+    }
+    Standardizer scaler;
+    scaler.fit(x);
+    const Matrix z = scaler.transform(x);
+    for (std::size_t d = 0; d < 3; ++d) {
+        double mean = 0.0;
+        double var = 0.0;
+        for (std::size_t i = 0; i < 500; ++i) {
+            mean += z.at(i, d);
+        }
+        mean /= 500.0;
+        for (std::size_t i = 0; i < 500; ++i) {
+            var += (z.at(i, d) - mean) * (z.at(i, d) - mean);
+        }
+        var /= 500.0;
+        EXPECT_NEAR(mean, 0.0, 1e-9);
+        EXPECT_NEAR(var, 1.0, 1e-6);
+    }
+}
+
+TEST(Standardizer, ConstantDimensionDoesNotBlowUp)
+{
+    Matrix x(10, 2);
+    for (std::size_t i = 0; i < 10; ++i) {
+        x.at(i, 0) = 7.0;
+        x.at(i, 1) = static_cast<double>(i);
+    }
+    Standardizer scaler;
+    scaler.fit(x);
+    const Matrix z = scaler.transform(x);
+    for (std::size_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(std::isfinite(z.at(i, 0)));
+    }
+}
+
+TEST(Standardizer, TransformRowMatchesMatrix)
+{
+    util::Rng rng(2);
+    Matrix x(50, 4);
+    for (auto &v : x.data()) {
+        v = rng.uniform(-3.0, 9.0);
+    }
+    Standardizer scaler;
+    scaler.fit(x);
+    const Matrix z = scaler.transform(x);
+    double row[4];
+    std::copy(x.row(7), x.row(7) + 4, row);
+    scaler.transformRow(row);
+    for (int d = 0; d < 4; ++d) {
+        EXPECT_DOUBLE_EQ(row[d], z.at(7, d));
+    }
+}
+
+TEST(JacobiEigen, DiagonalMatrix)
+{
+    Matrix m(3, 3);
+    m.at(0, 0) = 3.0;
+    m.at(1, 1) = 1.0;
+    m.at(2, 2) = 2.0;
+    std::vector<double> values;
+    Matrix vectors;
+    jacobiEigen(m, values, vectors);
+    ASSERT_EQ(values.size(), 3U);
+    EXPECT_NEAR(values[0], 3.0, 1e-10);
+    EXPECT_NEAR(values[1], 2.0, 1e-10);
+    EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix m(2, 2);
+    m.at(0, 0) = 2.0;
+    m.at(0, 1) = 1.0;
+    m.at(1, 0) = 1.0;
+    m.at(1, 1) = 2.0;
+    std::vector<double> values;
+    Matrix vectors;
+    jacobiEigen(m, values, vectors);
+    EXPECT_NEAR(values[0], 3.0, 1e-10);
+    EXPECT_NEAR(values[1], 1.0, 1e-10);
+    // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(vectors.at(0, 0)), std::sqrt(0.5), 1e-8);
+    EXPECT_NEAR(std::fabs(vectors.at(0, 1)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal)
+{
+    // Random symmetric matrix.
+    util::Rng rng(3);
+    Matrix m(5, 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = i; j < 5; ++j) {
+            const double v = rng.uniform(-1.0, 1.0);
+            m.at(i, j) = v;
+            m.at(j, i) = v;
+        }
+    }
+    std::vector<double> values;
+    Matrix vectors;
+    jacobiEigen(m, values, vectors);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < 5; ++d) {
+                dot += vectors.at(i, d) * vectors.at(j, d);
+            }
+            EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(JacobiEigen, ReconstructsMatrix)
+{
+    util::Rng rng(4);
+    Matrix m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = i; j < 4; ++j) {
+            const double v = rng.uniform(-2.0, 2.0);
+            m.at(i, j) = v;
+            m.at(j, i) = v;
+        }
+    }
+    std::vector<double> values;
+    Matrix vectors;
+    jacobiEigen(m, values, vectors);
+    // m == sum_k lambda_k v_k v_k^T.
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            double sum = 0.0;
+            for (std::size_t k = 0; k < 4; ++k) {
+                sum += values[k] * vectors.at(k, i) * vectors.at(k, j);
+            }
+            EXPECT_NEAR(sum, m.at(i, j), 1e-8);
+        }
+    }
+}
+
+TEST(Pca, RecoversDominantAxis)
+{
+    util::Rng rng(5);
+    // Data stretched along (1, 1)/sqrt(2).
+    Matrix x(400, 2);
+    for (std::size_t i = 0; i < 400; ++i) {
+        const double major = rng.normal(0.0, 5.0);
+        const double minor = rng.normal(0.0, 0.3);
+        x.at(i, 0) = (major + minor) / std::sqrt(2.0);
+        x.at(i, 1) = (major - minor) / std::sqrt(2.0);
+    }
+    Pca pca;
+    pca.fit(x, 1);
+    EXPECT_GT(pca.explainedVariance(), 0.98);
+    const Matrix projected = pca.transform(x);
+    EXPECT_EQ(projected.cols(), 1U);
+    // Projected variance ~ major variance (25).
+    double var = 0.0;
+    for (std::size_t i = 0; i < 400; ++i) {
+        var += projected.at(i, 0) * projected.at(i, 0);
+    }
+    var /= 400.0;
+    EXPECT_NEAR(var, 25.0, 4.0);
+}
+
+TEST(Pca, FullRankKeepsAllVariance)
+{
+    util::Rng rng(6);
+    Matrix x(100, 3);
+    for (auto &v : x.data()) {
+        v = rng.normal(0.0, 1.0);
+    }
+    Pca pca;
+    pca.fit(x, 3);
+    EXPECT_NEAR(pca.explainedVariance(), 1.0, 1e-9);
+    EXPECT_EQ(pca.components(), 3U);
+}
+
+} // namespace
+} // namespace kodan::ml

@@ -1,0 +1,119 @@
+/** @file Unit tests for Earth rotation and frame conversions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/earth.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+using util::degToRad;
+using util::kEarthRadius;
+
+TEST(Gmst, ZeroAtEpoch)
+{
+    EXPECT_DOUBLE_EQ(gmst(0.0), 0.0);
+}
+
+TEST(Gmst, FullTurnPerSiderealDay)
+{
+    // One sidereal day later the rotation angle is back near 0 (mod 2pi).
+    EXPECT_NEAR(util::wrapPi(gmst(util::kSiderealDay)), 0.0, 1e-4);
+    EXPECT_NEAR(gmst(util::kSiderealDay / 2.0), util::kPi, 1e-4);
+}
+
+TEST(Frames, EciEcefRoundTrip)
+{
+    const Vec3 eci{7.0e6, -1.0e6, 2.0e6};
+    for (double t : {0.0, 1234.5, 86400.0}) {
+        const Vec3 back = ecefToEci(eciToEcef(eci, t), t);
+        EXPECT_NEAR(back.x, eci.x, 1e-3);
+        EXPECT_NEAR(back.y, eci.y, 1e-3);
+        EXPECT_NEAR(back.z, eci.z, 1e-3);
+    }
+}
+
+TEST(Frames, RotationPreservesNorm)
+{
+    const Vec3 eci{6.8e6, 1.2e6, -0.4e6};
+    const Vec3 ecef = eciToEcef(eci, 5000.0);
+    EXPECT_NEAR(ecef.norm(), eci.norm(), 1e-6);
+}
+
+TEST(Frames, ZAxisInvariant)
+{
+    const Vec3 pole{0.0, 0.0, 7.0e6};
+    const Vec3 rotated = eciToEcef(pole, 12345.0);
+    EXPECT_DOUBLE_EQ(rotated.z, pole.z);
+    EXPECT_DOUBLE_EQ(rotated.x, 0.0);
+}
+
+TEST(Geodetic, RoundTripAtVariousLatitudes)
+{
+    for (double lat_deg : {-80.0, -45.0, 0.0, 30.0, 60.0, 89.0}) {
+        for (double alt : {0.0, 500.0e3, 705.0e3}) {
+            const Geodetic geo{degToRad(lat_deg), degToRad(17.0), alt};
+            const Geodetic back = ecefToGeodetic(geodeticToEcef(geo));
+            EXPECT_NEAR(back.latitude, geo.latitude, 1e-9);
+            EXPECT_NEAR(back.longitude, geo.longitude, 1e-9);
+            EXPECT_NEAR(back.altitude, geo.altitude, 1e-3);
+        }
+    }
+}
+
+TEST(Geodetic, EquatorialPointOnXAxis)
+{
+    const Vec3 ecef = geodeticToEcef({0.0, 0.0, 0.0});
+    EXPECT_NEAR(ecef.x, kEarthRadius, 1.0);
+    EXPECT_NEAR(ecef.y, 0.0, 1e-6);
+    EXPECT_NEAR(ecef.z, 0.0, 1e-6);
+}
+
+TEST(Geodetic, PolarRadiusIsSmaller)
+{
+    const Vec3 pole = geodeticToEcef({degToRad(90.0), 0.0, 0.0});
+    // WGS-84 polar radius ~6356.75 km.
+    EXPECT_NEAR(pole.norm() / 1.0e3, 6356.75, 1.0);
+}
+
+TEST(GreatCircle, KnownAngles)
+{
+    const Geodetic a{0.0, 0.0, 0.0};
+    const Geodetic b{0.0, degToRad(90.0), 0.0};
+    EXPECT_NEAR(greatCircleAngle(a, b), util::kPi / 2.0, 1e-12);
+    EXPECT_NEAR(greatCircleAngle(a, a), 0.0, 1e-6);
+    const Geodetic antipode{0.0, degToRad(180.0), 0.0};
+    EXPECT_NEAR(greatCircleAngle(a, antipode), util::kPi, 1e-6);
+}
+
+TEST(Elevation, ZenithIsNinetyDegrees)
+{
+    const Vec3 site = geodeticToEcef({degToRad(40.0), degToRad(-100.0), 0.0});
+    const Vec3 overhead = site * ((site.norm() + 500.0e3) / site.norm());
+    EXPECT_NEAR(util::radToDeg(elevationAngle(site, overhead)), 90.0, 0.5);
+}
+
+TEST(Elevation, OppositeSideIsBelowHorizon)
+{
+    const Vec3 site = geodeticToEcef({0.0, 0.0, 0.0});
+    const Vec3 opposite =
+        geodeticToEcef({0.0, degToRad(180.0), 705.0e3});
+    EXPECT_LT(elevationAngle(site, opposite), 0.0);
+}
+
+TEST(Elevation, HorizonGeometry)
+{
+    // A satellite at 705 km is above the 10-degree mask only within
+    // ~2000 km ground distance; check the sign flips with distance.
+    const Vec3 site = geodeticToEcef({0.0, 0.0, 0.0});
+    const Vec3 near_sat = geodeticToEcef({0.0, degToRad(5.0), 705.0e3});
+    const Vec3 far_sat = geodeticToEcef({0.0, degToRad(40.0), 705.0e3});
+    EXPECT_GT(elevationAngle(site, near_sat), degToRad(10.0));
+    EXPECT_LT(elevationAngle(site, far_sat), 0.0);
+}
+
+} // namespace
+} // namespace kodan::orbit

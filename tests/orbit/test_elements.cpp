@@ -1,0 +1,96 @@
+/** @file Unit tests for orbital elements and the Kepler solver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/elements.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+using util::degToRad;
+using util::kTwoPi;
+
+TEST(OrbitalElements, Landsat8PeriodIsAbout99Minutes)
+{
+    const auto elems = OrbitalElements::landsat8();
+    EXPECT_NEAR(elems.period() / 60.0, 98.8, 0.5);
+}
+
+TEST(OrbitalElements, CircularLeoAltitude)
+{
+    const auto elems = OrbitalElements::circularLeo(500.0e3, degToRad(51.6));
+    EXPECT_NEAR(elems.semi_major_axis, util::kEarthRadius + 500.0e3, 1.0);
+    EXPECT_DOUBLE_EQ(elems.eccentricity, 0.0);
+}
+
+TEST(OrbitalElements, HigherOrbitsAreSlower)
+{
+    const auto low = OrbitalElements::circularLeo(400.0e3, 0.9);
+    const auto high = OrbitalElements::circularLeo(800.0e3, 0.9);
+    EXPECT_GT(low.meanMotion(), high.meanMotion());
+    EXPECT_LT(low.period(), high.period());
+}
+
+TEST(SunSynchronous, InclinationIsRetrogradeNearPolar)
+{
+    const double incl = sunSynchronousInclination(705.0e3);
+    // Landsat 8 flies at ~98.2 degrees.
+    EXPECT_NEAR(util::radToDeg(incl), 98.2, 0.5);
+}
+
+TEST(SunSynchronous, InclinationGrowsWithAltitude)
+{
+    EXPECT_LT(sunSynchronousInclination(500.0e3),
+              sunSynchronousInclination(900.0e3));
+}
+
+TEST(SolveKepler, CircularOrbitIdentity)
+{
+    for (double m = 0.0; m < kTwoPi; m += 0.3) {
+        EXPECT_NEAR(solveKepler(m, 0.0), m, 1e-12);
+    }
+}
+
+TEST(SolveKepler, SatisfiesKeplersEquation)
+{
+    for (double ecc : {0.01, 0.1, 0.3, 0.7, 0.85}) {
+        for (double m = 0.05; m < kTwoPi; m += 0.37) {
+            const double e_anom = solveKepler(m, ecc);
+            const double m_back = e_anom - ecc * std::sin(e_anom);
+            EXPECT_NEAR(util::wrapTwoPi(m_back), util::wrapTwoPi(m), 1e-9)
+                << "ecc=" << ecc << " M=" << m;
+        }
+    }
+}
+
+TEST(SolveKepler, WrapsLargeMeanAnomaly)
+{
+    const double e1 = solveKepler(0.5, 0.2);
+    const double e2 = solveKepler(0.5 + 4.0 * kTwoPi, 0.2);
+    EXPECT_NEAR(e1, e2, 1e-9);
+}
+
+/** Parameterized residual sweep across eccentricities. */
+class KeplerResidual : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(KeplerResidual, ResidualBelowTolerance)
+{
+    const double ecc = GetParam();
+    for (double m = 0.0; m < kTwoPi; m += 0.05) {
+        const double e_anom = solveKepler(m, ecc);
+        const double residual =
+            e_anom - ecc * std::sin(e_anom) - util::wrapTwoPi(m);
+        EXPECT_LT(std::fabs(residual), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eccentricities, KeplerResidual,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5, 0.8, 0.9));
+
+} // namespace
+} // namespace kodan::orbit

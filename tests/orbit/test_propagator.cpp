@@ -1,0 +1,128 @@
+/** @file Unit tests for the J2 propagator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+using util::degToRad;
+using util::kEarthMu;
+using util::kEarthRadius;
+
+TEST(J2Propagator, CircularOrbitKeepsRadius)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    const double expected = kEarthRadius + 705.0e3;
+    for (double t = 0.0; t < 6000.0; t += 500.0) {
+        EXPECT_NEAR(sat.stateAt(t).position.norm(), expected, 1.0);
+    }
+}
+
+TEST(J2Propagator, VelocityMatchesVisViva)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    const auto state = sat.stateAt(1000.0);
+    const double r = state.position.norm();
+    const double v_expected = std::sqrt(kEarthMu / r);
+    EXPECT_NEAR(state.velocity.norm(), v_expected, v_expected * 0.01);
+}
+
+TEST(J2Propagator, VelocityIsTangential)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    const auto state = sat.stateAt(2500.0);
+    const double radial =
+        state.position.normalized().dot(state.velocity);
+    EXPECT_NEAR(radial, 0.0, 1.0); // m/s, tiny for a circular orbit
+}
+
+TEST(J2Propagator, ReturnsNearStartAfterOnePeriod)
+{
+    const auto elems = OrbitalElements::circularLeo(705.0e3, degToRad(98.2));
+    const J2Propagator sat(elems);
+    const double period = util::kTwoPi / sat.meanMotion();
+    const auto p0 = sat.stateAt(0.0).position;
+    const auto p1 = sat.stateAt(period).position;
+    // J2 precession moves the plane slightly; tolerance is a few km.
+    EXPECT_NEAR((p1 - p0).norm(), 0.0, 50.0e3);
+}
+
+TEST(J2Propagator, SunSyncRaanRateIsOneDegreePerDay)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    const double deg_per_day =
+        util::radToDeg(sat.raanRate()) * util::kSecondsPerDay;
+    EXPECT_NEAR(deg_per_day, 0.9856, 0.02);
+}
+
+TEST(J2Propagator, ProgradeOrbitRegresses)
+{
+    // A 51.6-degree ISS-like orbit must have westward (negative) RAAN
+    // drift.
+    const J2Propagator sat(
+        OrbitalElements::circularLeo(420.0e3, degToRad(51.6)));
+    EXPECT_LT(sat.raanRate(), 0.0);
+}
+
+TEST(J2Propagator, GroundTrackSpeedNearSevenKmPerSecond)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    EXPECT_NEAR(sat.groundTrackSpeed(), 6760.0, 100.0);
+}
+
+TEST(J2Propagator, SubsatellitePointReachesHighLatitudes)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    double max_lat = 0.0;
+    for (double t = 0.0; t < 6000.0; t += 30.0) {
+        max_lat = std::max(max_lat,
+                           std::fabs(sat.subsatellitePoint(t).latitude));
+    }
+    // Near-polar orbit: |lat| reaches ~81.8 deg (180 - 98.2).
+    EXPECT_GT(util::radToDeg(max_lat), 80.0);
+    EXPECT_LT(util::radToDeg(max_lat), 83.0);
+}
+
+TEST(J2Propagator, PhasedSatellitesAreSeparated)
+{
+    const J2Propagator a(OrbitalElements::landsat8(0.0, 0.0));
+    const J2Propagator b(OrbitalElements::landsat8(0.0, util::kPi));
+    const auto pa = a.stateAt(0.0).position;
+    const auto pb = b.stateAt(0.0).position;
+    // Opposite sides of the orbit: separation ~ 2 * (Re + h).
+    EXPECT_NEAR((pa - pb).norm(), 2.0 * (kEarthRadius + 705.0e3), 50.0e3);
+}
+
+TEST(J2Propagator, NodalPeriodCloseToKeplerian)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    const double keplerian = OrbitalElements::landsat8().period();
+    EXPECT_NEAR(sat.nodalPeriod(), keplerian, keplerian * 0.01);
+}
+
+TEST(J2Propagator, EccentricOrbitRadiusVaries)
+{
+    OrbitalElements elems =
+        OrbitalElements::circularLeo(705.0e3, degToRad(98.2));
+    elems.eccentricity = 0.01;
+    const J2Propagator sat(elems);
+    const double a = elems.semi_major_axis;
+    double min_r = 1e12;
+    double max_r = 0.0;
+    const double period = util::kTwoPi / sat.meanMotion();
+    for (double t = 0.0; t < period; t += period / 64.0) {
+        const double r = sat.stateAt(t).position.norm();
+        min_r = std::min(min_r, r);
+        max_r = std::max(max_r, r);
+    }
+    EXPECT_NEAR(min_r, a * 0.99, a * 1e-3);
+    EXPECT_NEAR(max_r, a * 1.01, a * 1e-3);
+}
+
+} // namespace
+} // namespace kodan::orbit

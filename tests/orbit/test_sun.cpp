@@ -1,0 +1,150 @@
+/** @file Unit tests for the sun/illumination model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/propagator.hpp"
+#include "orbit/sun.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+using util::degToRad;
+using util::kSecondsPerDay;
+
+TEST(Sun, UnitDirection)
+{
+    for (double t : {0.0, 1.0e6, 1.0e7, 2.0e7}) {
+        EXPECT_NEAR(sunDirectionEci(t).norm(), 1.0, 1e-12);
+    }
+}
+
+TEST(Sun, StartsAtVernalEquinox)
+{
+    const Vec3 sun = sunDirectionEci(0.0);
+    EXPECT_NEAR(sun.x, 1.0, 1e-12);
+    EXPECT_NEAR(sun.y, 0.0, 1e-12);
+}
+
+TEST(Sun, ReturnsAfterOneYear)
+{
+    const double year = 365.2422 * kSecondsPerDay;
+    const Vec3 sun = sunDirectionEci(year);
+    EXPECT_NEAR(sun.x, 1.0, 1e-6);
+}
+
+TEST(Sun, SummerSolsticeTiltsNorth)
+{
+    const double quarter_year = 0.25 * 365.2422 * kSecondsPerDay;
+    const Vec3 sun = sunDirectionEci(quarter_year);
+    // Declination = obliquity (~23.4 deg): z component positive.
+    EXPECT_NEAR(std::asin(sun.z), kObliquity, 1e-3);
+}
+
+TEST(Sun, DayNightCycleAtEquator)
+{
+    // Over one day, an equatorial point must see both day and night.
+    const Geodetic point{0.0, 0.0, 0.0};
+    bool saw_day = false;
+    bool saw_night = false;
+    for (double t = 0.0; t < kSecondsPerDay; t += 600.0) {
+        (isDaylit(point, t) ? saw_day : saw_night) = true;
+    }
+    EXPECT_TRUE(saw_day);
+    EXPECT_TRUE(saw_night);
+}
+
+TEST(Sun, PolarSummerIsAllDay)
+{
+    // At t ~ northern summer solstice, a high-Arctic point never sets.
+    const double solstice = 0.25 * 365.2422 * kSecondsPerDay;
+    const Geodetic point{degToRad(85.0), degToRad(40.0), 0.0};
+    for (double t = solstice; t < solstice + kSecondsPerDay; t += 900.0) {
+        EXPECT_TRUE(isDaylit(point, t));
+    }
+}
+
+TEST(Sun, SolarElevationBounded)
+{
+    const Geodetic point{degToRad(45.0), degToRad(-120.0), 0.0};
+    for (double t = 0.0; t < kSecondsPerDay; t += 777.0) {
+        const double elev = solarElevation(point, t);
+        EXPECT_GE(elev, -util::kPi / 2.0);
+        EXPECT_LE(elev, util::kPi / 2.0);
+    }
+}
+
+TEST(Sun, NoonHasMaxElevation)
+{
+    // Local solar time of the daily elevation maximum should be ~12h.
+    const Geodetic point{degToRad(30.0), degToRad(25.0), 0.0};
+    double best_elev = -10.0;
+    double best_time = 0.0;
+    for (double t = 0.0; t < kSecondsPerDay; t += 120.0) {
+        const double elev = solarElevation(point, t);
+        if (elev > best_elev) {
+            best_elev = elev;
+            best_time = t;
+        }
+    }
+    EXPECT_NEAR(localSolarTime(point, best_time), 12.0, 0.4);
+}
+
+TEST(Sun, EclipseOnNightSideOnly)
+{
+    const double r = util::kEarthRadius + 705.0e3;
+    // Directly behind Earth from the Sun: eclipsed.
+    const Vec3 behind = sunDirectionEci(0.0) * -r;
+    EXPECT_TRUE(inEclipse(behind, 0.0));
+    // Sun side: never eclipsed.
+    const Vec3 front = sunDirectionEci(0.0) * r;
+    EXPECT_FALSE(inEclipse(front, 0.0));
+    // Perpendicular: outside the shadow cylinder.
+    const Vec3 side{0.0, 0.0, r};
+    EXPECT_FALSE(inEclipse(side, 0.0));
+}
+
+TEST(Sun, LeoSatelliteCyclesThroughEclipse)
+{
+    const J2Propagator sat(OrbitalElements::landsat8());
+    int eclipsed = 0;
+    int total = 0;
+    const double period = sat.nodalPeriod();
+    for (double t = 0.0; t < period; t += 60.0) {
+        if (inEclipse(sat.stateAt(t).position, t)) {
+            ++eclipsed;
+        }
+        ++total;
+    }
+    // A LEO spends roughly a third of its orbit in shadow.
+    const double fraction = static_cast<double>(eclipsed) / total;
+    EXPECT_GT(fraction, 0.15);
+    EXPECT_LT(fraction, 0.55);
+}
+
+TEST(Sun, LocalSolarTimeWrapsCorrectly)
+{
+    const Geodetic greenwich{0.0, 0.0, 0.0};
+    for (double t = 0.0; t < 3.0 * kSecondsPerDay; t += 1111.0) {
+        const double lst = localSolarTime(greenwich, t);
+        EXPECT_GE(lst, 0.0);
+        EXPECT_LT(lst, 24.0);
+    }
+}
+
+TEST(Sun, LongitudeShiftsLocalTime)
+{
+    // 90 degrees east = +6 hours of local solar time.
+    const double t = 4321.0;
+    const Geodetic west{0.0, 0.0, 0.0};
+    const Geodetic east{0.0, degToRad(90.0), 0.0};
+    const double delta =
+        localSolarTime(east, t) - localSolarTime(west, t);
+    const double wrapped = std::fmod(delta + 24.0, 24.0);
+    EXPECT_NEAR(wrapped, 6.0, 0.01);
+}
+
+} // namespace
+} // namespace kodan::orbit

@@ -1,0 +1,64 @@
+/** @file Unit tests for Vec3. */
+
+#include <gtest/gtest.h>
+
+#include "orbit/vec3.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1.0, 2.0, 3.0};
+    const Vec3 b{4.0, -5.0, 6.0};
+    const Vec3 sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.x, 5.0);
+    EXPECT_DOUBLE_EQ(sum.y, -3.0);
+    EXPECT_DOUBLE_EQ(sum.z, 9.0);
+    const Vec3 diff = a - b;
+    EXPECT_DOUBLE_EQ(diff.x, -3.0);
+    const Vec3 scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+    const Vec3 left_scaled = 2.0 * a;
+    EXPECT_DOUBLE_EQ(left_scaled.z, 6.0);
+    const Vec3 neg = -a;
+    EXPECT_DOUBLE_EQ(neg.x, -1.0);
+    const Vec3 div = a / 2.0;
+    EXPECT_DOUBLE_EQ(div.y, 1.0);
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x{1.0, 0.0, 0.0};
+    const Vec3 y{0.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+    const Vec3 z = x.cross(y);
+    EXPECT_DOUBLE_EQ(z.x, 0.0);
+    EXPECT_DOUBLE_EQ(z.y, 0.0);
+    EXPECT_DOUBLE_EQ(z.z, 1.0);
+    // Anticommutative.
+    const Vec3 nz = y.cross(x);
+    EXPECT_DOUBLE_EQ(nz.z, -1.0);
+}
+
+TEST(Vec3, NormAndNormalize)
+{
+    const Vec3 v{3.0, 4.0, 0.0};
+    EXPECT_DOUBLE_EQ(v.normSq(), 25.0);
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    const Vec3 unit = v.normalized();
+    EXPECT_NEAR(unit.norm(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(unit.x, 0.6);
+}
+
+TEST(Vec3, CrossIsOrthogonal)
+{
+    const Vec3 a{1.3, -2.7, 0.4};
+    const Vec3 b{-0.2, 5.5, 1.9};
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace kodan::orbit

@@ -1,0 +1,95 @@
+/** @file Unit tests for Walker-delta constellations. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "orbit/elements.hpp"
+#include "orbit/propagator.hpp"
+#include "util/units.hpp"
+
+namespace kodan::orbit {
+namespace {
+
+using util::degToRad;
+
+TEST(Walker, CountAndStructure)
+{
+    const auto sats =
+        walkerConstellation(24, 6, 1, 550.0e3, degToRad(53.0));
+    ASSERT_EQ(sats.size(), 24U);
+    std::set<double> raans;
+    for (const auto &elems : sats) {
+        raans.insert(elems.raan);
+        EXPECT_NEAR(elems.semi_major_axis, util::kEarthRadius + 550.0e3,
+                    1.0);
+        EXPECT_NEAR(elems.inclination, degToRad(53.0), 1e-12);
+    }
+    EXPECT_EQ(raans.size(), 6U);
+}
+
+TEST(Walker, PlanesEquallySpaced)
+{
+    const auto sats =
+        walkerConstellation(12, 4, 0, 700.0e3, degToRad(98.0));
+    std::set<double> raans;
+    for (const auto &elems : sats) {
+        raans.insert(elems.raan);
+    }
+    std::vector<double> sorted(raans.begin(), raans.end());
+    ASSERT_EQ(sorted.size(), 4U);
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        EXPECT_NEAR(sorted[i] - sorted[i - 1], util::kTwoPi / 4.0, 1e-9);
+    }
+}
+
+TEST(Walker, InPlanePhasingEven)
+{
+    const auto sats =
+        walkerConstellation(9, 3, 0, 600.0e3, degToRad(97.8));
+    // First plane: satellites 0..2 with mean anomalies 0, 120, 240 deg.
+    EXPECT_NEAR(sats[0].mean_anomaly, 0.0, 1e-9);
+    EXPECT_NEAR(sats[1].mean_anomaly, util::kTwoPi / 3.0, 1e-9);
+    EXPECT_NEAR(sats[2].mean_anomaly, 2.0 * util::kTwoPi / 3.0, 1e-9);
+}
+
+TEST(Walker, PhasingParameterOffsetsPlanes)
+{
+    const auto f0 = walkerConstellation(8, 4, 0, 600.0e3, 1.7);
+    const auto f1 = walkerConstellation(8, 4, 1, 600.0e3, 1.7);
+    // Plane 0 identical; later planes offset by f * 2pi / total.
+    EXPECT_NEAR(f0[2].mean_anomaly + util::kTwoPi / 8.0,
+                f1[2].mean_anomaly, 1e-9);
+}
+
+TEST(Walker, SatellitesAreDistinctInSpace)
+{
+    const auto sats =
+        walkerConstellation(12, 3, 1, 550.0e3, degToRad(53.0));
+    std::vector<J2Propagator> props;
+    for (const auto &elems : sats) {
+        props.emplace_back(elems);
+    }
+    for (std::size_t i = 0; i < props.size(); ++i) {
+        for (std::size_t j = i + 1; j < props.size(); ++j) {
+            const double separation =
+                (props[i].stateAt(0.0).position -
+                 props[j].stateAt(0.0).position)
+                    .norm();
+            EXPECT_GT(separation, 100.0e3)
+                << "sats " << i << " and " << j << " overlap";
+        }
+    }
+}
+
+TEST(Walker, SinglePlaneDegeneratesToPhasedRing)
+{
+    const auto sats = walkerConstellation(4, 1, 0, 705.0e3, 1.7);
+    for (const auto &elems : sats) {
+        EXPECT_DOUBLE_EQ(elems.raan, 0.0);
+    }
+    EXPECT_NEAR(sats[1].mean_anomaly, util::kPi / 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace kodan::orbit

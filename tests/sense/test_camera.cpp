@@ -1,0 +1,47 @@
+/** @file Unit tests for the camera model. */
+
+#include <gtest/gtest.h>
+
+#include "sense/camera.hpp"
+
+namespace kodan::sense {
+namespace {
+
+TEST(CameraModel, Landsat8Geometry)
+{
+    const auto camera = CameraModel::landsat8Multispectral();
+    EXPECT_DOUBLE_EQ(camera.alongTrackLength(), 150.0e3);
+    EXPECT_DOUBLE_EQ(camera.swathWidth(), 150.0e3);
+    EXPECT_DOUBLE_EQ(camera.framePixels(), 1.0e8);
+}
+
+TEST(CameraModel, Landsat8DataVolume)
+{
+    const auto camera = CameraModel::landsat8Multispectral();
+    // 1e8 px * 4 bands * 11 bits = 4.4e9 bits.
+    EXPECT_DOUBLE_EQ(camera.frameBits(), 4.4e9);
+}
+
+TEST(CameraModel, HyperspectralIsMuchLarger)
+{
+    const auto multi = CameraModel::landsat8Multispectral();
+    const auto hyper = CameraModel::landsat8Hyperspectral();
+    EXPECT_GT(hyper.frameBits(), 15.0 * multi.frameBits());
+}
+
+TEST(CameraModel, FramePeriodMatchesGroundSpeed)
+{
+    const auto camera = CameraModel::landsat8Multispectral();
+    // 150 km at ~6.76 km/s -> ~22 s (the paper's frame deadline).
+    EXPECT_NEAR(camera.framePeriod(6760.0), 22.2, 0.3);
+}
+
+TEST(CameraModel, PeriodScalesInverselyWithSpeed)
+{
+    const auto camera = CameraModel::landsat8Multispectral();
+    EXPECT_DOUBLE_EQ(camera.framePeriod(1000.0),
+                     2.0 * camera.framePeriod(2000.0));
+}
+
+} // namespace
+} // namespace kodan::sense

@@ -1,0 +1,78 @@
+/** @file Unit tests for frame capture scheduling. */
+
+#include <gtest/gtest.h>
+
+#include "sense/capture.hpp"
+#include "util/units.hpp"
+
+namespace kodan::sense {
+namespace {
+
+TEST(FrameCapture, DeadlineMatchesPaper)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    // The paper quotes a ~22 s frame deadline for the Landsat-8 case.
+    EXPECT_NEAR(capture.frameDeadline(sat), 22.2, 0.3);
+}
+
+TEST(FrameCapture, FramesPerDayNearPaperValue)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    // Paper Fig. 4: ~3600 observable frames per satellite per day.
+    EXPECT_NEAR(capture.framesPerDay(sat), 3890.0, 100.0);
+}
+
+TEST(FrameCapture, EventCountMatchesCadence)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const double deadline = capture.frameDeadline(sat);
+    const auto frames = capture.capture(sat, 3, 0.0, 100.0 * deadline);
+    EXPECT_EQ(frames.size(), 100U);
+    for (const auto &frame : frames) {
+        EXPECT_EQ(frame.satellite, 3U);
+    }
+}
+
+TEST(FrameCapture, EventsAreEquallySpaced)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto frames = capture.capture(sat, 0, 0.0, 500.0);
+    ASSERT_GE(frames.size(), 3U);
+    const double gap = frames[1].time - frames[0].time;
+    for (std::size_t i = 2; i < frames.size(); ++i) {
+        EXPECT_NEAR(frames[i].time - frames[i - 1].time, gap, 1e-9);
+    }
+}
+
+TEST(FrameCapture, CentersMoveAlongTrack)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto frames = capture.capture(sat, 0, 0.0, 200.0);
+    ASSERT_GE(frames.size(), 2U);
+    const double moved = orbit::greatCircleAngle(frames[0].center,
+                                                 frames[1].center) *
+                         util::kEarthRadius;
+    // One frame length apart (~150 km).
+    EXPECT_NEAR(moved, 150.0e3, 15.0e3);
+}
+
+TEST(FrameCapture, EmptyWindow)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    EXPECT_TRUE(capture.capture(sat, 0, 50.0, 50.0).empty());
+}
+
+} // namespace
+} // namespace kodan::sense

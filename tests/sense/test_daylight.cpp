@@ -1,0 +1,52 @@
+/** @file Tests for daylight-gated frame capture. */
+
+#include <gtest/gtest.h>
+
+#include "orbit/sun.hpp"
+#include "sense/capture.hpp"
+#include "util/units.hpp"
+
+namespace kodan::sense {
+namespace {
+
+TEST(DaylitCapture, SubsetOfAllFrames)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto all = capture.capture(sat, 0, 0.0, util::kSecondsPerDay);
+    const auto daylit =
+        capture.capture(sat, 0, 0.0, util::kSecondsPerDay, true);
+    EXPECT_LT(daylit.size(), all.size());
+    EXPECT_GT(daylit.size(), all.size() / 4);
+}
+
+TEST(DaylitCapture, RoughlyHalfTheOrbitIsLit)
+{
+    // A sun-synchronous orbit spends roughly half its revolution over
+    // lit ground (the day-side pass).
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto all = capture.capture(sat, 0, 0.0, util::kSecondsPerDay);
+    const auto daylit =
+        capture.capture(sat, 0, 0.0, util::kSecondsPerDay, true);
+    const double fraction =
+        static_cast<double>(daylit.size()) / all.size();
+    EXPECT_GT(fraction, 0.35);
+    EXPECT_LT(fraction, 0.75);
+}
+
+TEST(DaylitCapture, EveryKeptFrameIsLit)
+{
+    const FrameCapture capture(CameraModel::landsat8Multispectral(),
+                               WrsGrid());
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const auto daylit = capture.capture(sat, 0, 0.0, 20000.0, true);
+    for (const auto &frame : daylit) {
+        EXPECT_TRUE(orbit::isDaylit(frame.center, frame.time));
+    }
+}
+
+} // namespace
+} // namespace kodan::sense

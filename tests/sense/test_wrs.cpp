@@ -1,0 +1,99 @@
+/** @file Unit tests for the WRS scene grid. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "orbit/propagator.hpp"
+#include "sense/wrs.hpp"
+#include "util/units.hpp"
+
+namespace kodan::sense {
+namespace {
+
+TEST(WrsGrid, DefaultDimensionsMatchWrs2)
+{
+    const WrsGrid grid;
+    EXPECT_EQ(grid.paths(), 233);
+    EXPECT_EQ(grid.rows(), 248);
+    EXPECT_EQ(grid.sceneCount(), 57784U);
+}
+
+TEST(WrsGrid, SceneIdsWithinRange)
+{
+    const WrsGrid grid;
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    for (double t = 0.0; t < 20000.0; t += 111.0) {
+        const SceneId scene = grid.sceneAt(sat, t);
+        EXPECT_GE(scene.path, 0);
+        EXPECT_LT(scene.path, 233);
+        EXPECT_GE(scene.row, 0);
+        EXPECT_LT(scene.row, 248);
+    }
+}
+
+TEST(WrsGrid, RowAdvancesAlongOrbit)
+{
+    const WrsGrid grid;
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const double period = sat.nodalPeriod();
+    const double row_time = period / 248.0;
+    const SceneId a = grid.sceneAt(sat, 10.0);
+    const SceneId b = grid.sceneAt(sat, 10.0 + 3.0 * row_time);
+    EXPECT_EQ((a.row + 3) % 248, b.row);
+}
+
+TEST(WrsGrid, PathStableWithinRevolution)
+{
+    const WrsGrid grid;
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    // Sample well inside one revolution (avoid the node crossing).
+    const SceneId a = grid.sceneAt(sat, 100.0);
+    const SceneId b = grid.sceneAt(sat, 1500.0);
+    EXPECT_EQ(a.path, b.path);
+}
+
+TEST(WrsGrid, PathChangesBetweenRevolutions)
+{
+    const WrsGrid grid;
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    const double period = sat.nodalPeriod();
+    const SceneId rev0 = grid.sceneAt(sat, 100.0);
+    const SceneId rev1 = grid.sceneAt(sat, 100.0 + period);
+    EXPECT_NE(rev0.path, rev1.path);
+}
+
+TEST(WrsGrid, OneDayCoversAboutFifteenPaths)
+{
+    const WrsGrid grid;
+    const orbit::J2Propagator sat(orbit::OrbitalElements::landsat8());
+    std::set<int> paths;
+    for (double t = 0.0; t < util::kSecondsPerDay; t += 60.0) {
+        paths.insert(grid.sceneAt(sat, t).path);
+    }
+    // ~14.5 revolutions per day; node-crossing samples may add one more.
+    EXPECT_GE(paths.size(), 14U);
+    EXPECT_LE(paths.size(), 16U);
+}
+
+TEST(WrsGrid, FlatIndexIsBijective)
+{
+    const WrsGrid grid(7, 11);
+    std::set<std::size_t> seen;
+    for (int p = 0; p < 7; ++p) {
+        for (int r = 0; r < 11; ++r) {
+            seen.insert(grid.flatIndex({p, r}));
+        }
+    }
+    EXPECT_EQ(seen.size(), 77U);
+    EXPECT_EQ(*seen.rbegin(), 76U);
+}
+
+TEST(WrsGrid, CustomDimensions)
+{
+    const WrsGrid grid(10, 20);
+    EXPECT_EQ(grid.sceneCount(), 200U);
+}
+
+} // namespace
+} // namespace kodan::sense

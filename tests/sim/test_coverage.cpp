@@ -1,0 +1,77 @@
+/** @file Unit tests for coverage analyses. */
+
+#include <gtest/gtest.h>
+
+#include "sim/coverage.hpp"
+
+namespace kodan::sim {
+namespace {
+
+std::vector<orbit::OrbitalElements>
+constellation(int count)
+{
+    std::vector<orbit::OrbitalElements> sats;
+    for (int k = 0; k < count; ++k) {
+        sats.push_back(orbit::OrbitalElements::landsat8(
+            0.0, util::kTwoPi * k / count));
+    }
+    return sats;
+}
+
+TEST(Coverage, SingleSatelliteDailyFrames)
+{
+    const auto result = uniqueSceneCoverage(
+        constellation(1), sense::CameraModel::landsat8Multispectral(),
+        sense::WrsGrid());
+    // ~3890 captures/day, nearly all distinct scenes.
+    EXPECT_NEAR(static_cast<double>(result.total_frames), 3890.0, 60.0);
+    EXPECT_GT(result.unique_scenes, 3000U);
+    EXPECT_LE(result.unique_scenes, result.total_frames);
+}
+
+TEST(Coverage, UniqueScenesGrowWithConstellation)
+{
+    const auto camera = sense::CameraModel::landsat8Multispectral();
+    const sense::WrsGrid grid;
+    const auto one = uniqueSceneCoverage(constellation(1), camera, grid);
+    const auto eight = uniqueSceneCoverage(constellation(8), camera, grid);
+    EXPECT_GT(eight.unique_scenes, 4 * one.unique_scenes);
+}
+
+TEST(Coverage, FractionIsBounded)
+{
+    const auto result = uniqueSceneCoverage(
+        constellation(4), sense::CameraModel::landsat8Multispectral(),
+        sense::WrsGrid());
+    EXPECT_GT(result.coverageFraction(), 0.0);
+    EXPECT_LE(result.coverageFraction(), 1.0);
+}
+
+TEST(Coverage, ShortWindowSeesFewScenes)
+{
+    const auto result = uniqueSceneCoverage(
+        constellation(1), sense::CameraModel::landsat8Multispectral(),
+        sense::WrsGrid(), 3600.0);
+    EXPECT_LT(result.total_frames, 200U);
+}
+
+TEST(PipelineCoverage, FastAppNeedsOneSatellite)
+{
+    EXPECT_EQ(satellitesForFullCoverage(10.0, 22.0), 1);
+    EXPECT_EQ(satellitesForFullCoverage(0.0, 22.0), 1);
+}
+
+TEST(PipelineCoverage, SlowAppNeedsPipeline)
+{
+    // The paper's 98 s filter against a 22 s deadline needs 5 satellites.
+    EXPECT_EQ(satellitesForFullCoverage(98.0, 22.0), 5);
+}
+
+TEST(PipelineCoverage, ExactMultiple)
+{
+    EXPECT_EQ(satellitesForFullCoverage(44.0, 22.0), 2);
+    EXPECT_EQ(satellitesForFullCoverage(44.1, 22.0), 3);
+}
+
+} // namespace
+} // namespace kodan::sim

@@ -1,0 +1,88 @@
+/** @file Unit tests for the logging facility. */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace kodan::util {
+namespace {
+
+/** RAII capture of stderr. */
+class CaptureStderr
+{
+  public:
+    CaptureStderr()
+        : old_(std::cerr.rdbuf(buffer_.rdbuf()))
+    {
+    }
+
+    ~CaptureStderr() { std::cerr.rdbuf(old_); }
+
+    std::string text() const { return buffer_.str(); }
+
+  private:
+    std::ostringstream buffer_;
+    std::streambuf *old_;
+};
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { previous_ = logLevel(); }
+    void TearDown() override { setLogLevel(previous_); }
+
+  private:
+    LogLevel previous_;
+};
+
+TEST_F(LogTest, MessagesBelowLevelAreSuppressed)
+{
+    setLogLevel(LogLevel::Warn);
+    CaptureStderr capture;
+    logMessage(LogLevel::Info, "quiet please");
+    EXPECT_EQ(capture.text(), "");
+}
+
+TEST_F(LogTest, MessagesAtLevelAreEmitted)
+{
+    setLogLevel(LogLevel::Warn);
+    CaptureStderr capture;
+    logMessage(LogLevel::Warn, "heads up");
+    EXPECT_NE(capture.text().find("heads up"), std::string::npos);
+    EXPECT_NE(capture.text().find("WARN"), std::string::npos);
+}
+
+TEST_F(LogTest, MacroRespectsLevel)
+{
+    setLogLevel(LogLevel::Error);
+    CaptureStderr capture;
+    KODAN_LOG(LogLevel::Debug, "invisible " << 42);
+    EXPECT_EQ(capture.text(), "");
+    KODAN_LOG(LogLevel::Error, "visible " << 42);
+    EXPECT_NE(capture.text().find("visible 42"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrips)
+{
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+TEST_F(LogTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST_F(LogTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("broken invariant"), "broken invariant");
+}
+
+} // namespace
+} // namespace kodan::util

@@ -1,0 +1,134 @@
+/** @file Unit tests for the noise fields. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/noise.hpp"
+#include "util/units.hpp"
+
+namespace kodan::util {
+namespace {
+
+TEST(ValueNoise, Deterministic)
+{
+    ValueNoise a(99);
+    ValueNoise b(99);
+    EXPECT_DOUBLE_EQ(a.at(1.5, 2.5, 0.5), b.at(1.5, 2.5, 0.5));
+}
+
+TEST(ValueNoise, SeedChangesField)
+{
+    ValueNoise a(1);
+    ValueNoise b(2);
+    EXPECT_NE(a.at(1.5, 2.5), b.at(1.5, 2.5));
+}
+
+TEST(ValueNoise, StaysInUnitInterval)
+{
+    ValueNoise noise(3);
+    for (double x = -5.0; x < 5.0; x += 0.37) {
+        for (double y = -5.0; y < 5.0; y += 0.41) {
+            const double v = noise.at(x, y, 0.1 * x);
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(ValueNoise, IsContinuous)
+{
+    ValueNoise noise(4);
+    const double eps = 1.0e-4;
+    for (double x = 0.0; x < 3.0; x += 0.21) {
+        const double v0 = noise.at(x, 1.3);
+        const double v1 = noise.at(x + eps, 1.3);
+        ASSERT_NEAR(v0, v1, 1.0e-2);
+    }
+}
+
+TEST(ValueNoise, InterpolatesLatticeValues)
+{
+    ValueNoise noise(5);
+    // At integer lattice points the value equals the cell hash.
+    EXPECT_NEAR(noise.at(2.0, 3.0, 4.0), noise.cellValue(2, 3, 4), 1e-12);
+}
+
+TEST(ValueNoise, VariesAcrossSpace)
+{
+    ValueNoise noise(6);
+    double min_v = 1.0;
+    double max_v = 0.0;
+    for (double x = 0.0; x < 20.0; x += 0.5) {
+        const double v = noise.at(x, 0.7 * x);
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+    }
+    EXPECT_GT(max_v - min_v, 0.3);
+}
+
+TEST(FbmNoise, StaysInUnitInterval)
+{
+    FbmNoise fbm(7, 5);
+    for (double x = -3.0; x < 3.0; x += 0.29) {
+        const double v = fbm.at(x, -x, 0.0);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+    }
+}
+
+TEST(FbmNoise, MoreOctavesAddDetail)
+{
+    FbmNoise coarse(8, 1);
+    FbmNoise fine(8, 6);
+    // Fine field must differ from the single-octave base field.
+    double diff = 0.0;
+    for (double x = 0.0; x < 5.0; x += 0.11) {
+        diff += std::fabs(coarse.at(x, 1.0) - fine.at(x, 1.0));
+    }
+    EXPECT_GT(diff, 0.1);
+}
+
+TEST(SphericalFbm, ContinuousAcrossAntimeridian)
+{
+    SphericalFbm field(9, 4, 10.0);
+    const double lat = degToRad(25.0);
+    const double west = field.at(lat, degToRad(179.999));
+    const double east = field.at(lat, degToRad(-179.999));
+    EXPECT_NEAR(west, east, 1.0e-3);
+}
+
+TEST(SphericalFbm, WellDefinedAtPoles)
+{
+    SphericalFbm field(10, 4, 10.0);
+    const double north1 = field.at(degToRad(89.9999), 0.0);
+    const double north2 = field.at(degToRad(89.9999), degToRad(120.0));
+    EXPECT_NEAR(north1, north2, 1.0e-2);
+}
+
+TEST(SphericalFbm, TimeEvolvesField)
+{
+    SphericalFbm field(11, 4, 10.0);
+    const double now = field.at(0.3, 0.4, 0.0);
+    const double later = field.at(0.3, 0.4, 5.0);
+    EXPECT_NE(now, later);
+}
+
+TEST(SphericalFbm, FrequencyControlsFeatureScale)
+{
+    // Higher frequency -> nearby points decorrelate faster.
+    SphericalFbm low(12, 4, 2.0);
+    SphericalFbm high(12, 4, 200.0);
+    const double d = 0.01;
+    const double low_delta = std::fabs(low.at(0.5, 0.5) - low.at(0.5 + d, 0.5));
+    double high_delta = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        high_delta = std::max(
+            high_delta, std::fabs(high.at(0.5 + i * d, 0.5) -
+                                  high.at(0.5 + (i + 1) * d, 0.5)));
+    }
+    EXPECT_GT(high_delta, low_delta);
+}
+
+} // namespace
+} // namespace kodan::util

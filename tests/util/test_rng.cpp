@@ -1,0 +1,216 @@
+/** @file Unit tests for kodan::util::Rng. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace kodan::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic)
+{
+    EXPECT_EQ(splitMix64(42), splitMix64(42));
+    EXPECT_NE(splitMix64(42), splitMix64(43));
+}
+
+TEST(SplitMix64, MixesNearbyInputs)
+{
+    // Adjacent inputs should differ in roughly half their bits.
+    const std::uint64_t a = splitMix64(1000);
+    const std::uint64_t b = splitMix64(1001);
+    const int popcount = __builtin_popcountll(a ^ b);
+    EXPECT_GT(popcount, 16);
+    EXPECT_LT(popcount, 48);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7);
+    Rng b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.nextU64() == b.nextU64()) {
+            ++equal;
+        }
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 32; ++i) {
+        values.insert(rng.nextU64());
+    }
+    EXPECT_GT(values.size(), 30U);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(2, 5);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.normal(10.0, 2.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(7);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(9);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.weightedIndex(weights)];
+    }
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(10);
+    const auto perm = rng.permutation(100);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100U);
+    EXPECT_EQ(*seen.begin(), 0U);
+    EXPECT_EQ(*seen.rbegin(), 99U);
+}
+
+TEST(Rng, PermutationOfZeroAndOne)
+{
+    Rng rng(11);
+    EXPECT_TRUE(rng.permutation(0).empty());
+    const auto one = rng.permutation(1);
+    ASSERT_EQ(one.size(), 1U);
+    EXPECT_EQ(one[0], 0U);
+}
+
+TEST(Rng, PermutationShuffles)
+{
+    Rng rng(12);
+    const auto perm = rng.permutation(50);
+    std::size_t fixed = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] == i) {
+            ++fixed;
+        }
+    }
+    EXPECT_LT(fixed, 10U); // identity would have 50 fixed points
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated)
+{
+    Rng parent(13);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.nextU64() == b.nextU64()) {
+            ++equal;
+        }
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+} // namespace
+} // namespace kodan::util

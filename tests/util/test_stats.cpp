@@ -1,0 +1,115 @@
+/** @file Unit tests for summary statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace kodan::util {
+namespace {
+
+TEST(SummaryStats, EmptyDefaults)
+{
+    SummaryStats stats;
+    EXPECT_EQ(stats.count(), 0U);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(stats.min()));
+    EXPECT_TRUE(std::isinf(stats.max()));
+}
+
+TEST(SummaryStats, SingleValue)
+{
+    SummaryStats stats;
+    stats.add(4.5);
+    EXPECT_EQ(stats.count(), 1U);
+    EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(SummaryStats, KnownMoments)
+{
+    SummaryStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.add(x);
+    }
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(SummaryStats, MergeEqualsSequential)
+{
+    SummaryStats all;
+    SummaryStats left;
+    SummaryStats right;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.3 * i * i - 2.0 * i;
+        all.add(x);
+        (i < 25 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty)
+{
+    SummaryStats a;
+    a.add(1.0);
+    a.add(3.0);
+    SummaryStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2U);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    SummaryStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2U);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> v = {5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 37.0), 42.0);
+}
+
+TEST(RelativeImprovement, Basics)
+{
+    EXPECT_DOUBLE_EQ(relativeImprovement(1.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(relativeImprovement(0.5, 1.0), -0.5);
+}
+
+TEST(Clamp, Basics)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.25, 0.0, 1.0), 0.25);
+}
+
+} // namespace
+} // namespace kodan::util

@@ -1,0 +1,66 @@
+/** @file Unit tests for table/CSV output. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace kodan::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "2"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2U);
+}
+
+TEST(TablePrinter, FormatsDoubles)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::fmt(1.0, 0), "1");
+    EXPECT_EQ(TablePrinter::fmt(static_cast<long long>(42)), "42");
+}
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"has,comma", "has\"quote", "plain"});
+    EXPECT_EQ(oss.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, QuotesNewline)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"line1\nline2"});
+    EXPECT_EQ(oss.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, EmptyCells)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"", "x", ""});
+    EXPECT_EQ(oss.str(), ",x,\n");
+}
+
+} // namespace
+} // namespace kodan::util
