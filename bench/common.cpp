@@ -1,12 +1,12 @@
 #include "common.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <cstdlib>
-#include <future>
 #include <fstream>
 #include <iostream>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kodan::bench {
 
@@ -40,7 +40,9 @@ core::MeasuredBundle
 computeBundle()
 {
     std::cerr << "[kodan-bench] computing measured bundle "
-                 "(one-time transformation for Apps 1-7)...\n";
+                 "(one-time transformation for Apps 1-7, "
+              << util::globalThreadCount() << " thread(s))...\n";
+    const auto start = std::chrono::steady_clock::now();
     const data::GeoModel world;
     const core::Transformer transformer(benchOptions());
     const auto shared = transformer.prepareData(world);
@@ -49,32 +51,25 @@ computeBundle()
     bundle.prevalence = shared.prevalence;
     bundle.apps.resize(hw::kAppCount);
 
-    // Two worker threads (the build machines used here have two cores);
-    // each application transform is independent and deterministic.
-    std::vector<std::future<void>> workers;
-    std::atomic<int> next_tier{1};
-    auto work = [&]() {
-        while (true) {
-            const int tier = next_tier.fetch_add(1);
-            if (tier > hw::kAppCount) {
-                return;
-            }
-            const auto artifacts =
-                transformer.transformApp(core::Application{tier}, shared);
-            core::MeasuredApp &measured = bundle.apps[tier - 1];
-            measured.tier = tier;
-            measured.tables = artifacts.tables;
-            measured.direct_tables = artifacts.direct_tables;
-            measured.direct_tiles_per_frame =
-                artifacts.direct_tiles_per_frame;
-            std::cerr << "[kodan-bench]   app " << tier << " done\n";
-        }
-    };
-    workers.push_back(std::async(std::launch::async, work));
-    workers.push_back(std::async(std::launch::async, work));
-    for (auto &worker : workers) {
-        worker.get();
-    }
+    // Each application transform is independent and deterministic; fan
+    // the seven apps across the shared pool (KODAN_THREADS).
+    util::parallelFor(hw::kAppCount, [&](std::size_t i) {
+        const int tier = static_cast<int>(i) + 1;
+        const auto artifacts =
+            transformer.transformApp(core::Application{tier}, shared);
+        core::MeasuredApp &measured = bundle.apps[i];
+        measured.tier = tier;
+        measured.tables = artifacts.tables;
+        measured.direct_tables = artifacts.direct_tables;
+        measured.direct_tiles_per_frame = artifacts.direct_tiles_per_frame;
+        std::cerr << "[kodan-bench]   app " << tier << " done\n";
+    });
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::cerr << "[kodan-bench] bundle computed in " << elapsed
+              << " s wall clock\n";
     return bundle;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "data/tiler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kodan::core {
 
@@ -93,6 +94,19 @@ Runtime::processFrame(const data::FrameSample &frame) const
 }
 
 FrameReport
+Runtime::processFrames(const std::vector<data::FrameSample> &frames) const
+{
+    // Frames are independent; per-frame reports land at their frame
+    // index and are reduced in that order, so the batch aggregate is
+    // bit-identical to the serial loop for any thread count.
+    std::vector<FrameReport> reports(frames.size());
+    util::parallelFor(frames.size(), [&](std::size_t i) {
+        reports[i] = processFrame(frames[i]);
+    });
+    return aggregate(reports);
+}
+
+FrameReport
 Runtime::aggregate(const std::vector<FrameReport> &reports)
 {
     FrameReport total;
@@ -112,6 +126,35 @@ Runtime::aggregate(const std::vector<FrameReport> &reports)
     total.compute_time /= n;
     total.product_fraction /= n;
     total.product_high_fraction /= n;
+    return total;
+}
+
+FrameReport
+Runtime::mergeAggregates(const FrameReport &a, std::size_t frames_a,
+                         const FrameReport &b, std::size_t frames_b)
+{
+    if (frames_a == 0) {
+        return b;
+    }
+    if (frames_b == 0) {
+        return a;
+    }
+    const double na = static_cast<double>(frames_a);
+    const double nb = static_cast<double>(frames_b);
+    const double n = na + nb;
+    FrameReport total;
+    // The per-frame means must be recombined weighted by frame count;
+    // (a.x + b.x) / 2 would be the mean-of-means bug for na != nb.
+    total.compute_time = (a.compute_time * na + b.compute_time * nb) / n;
+    total.product_fraction =
+        (a.product_fraction * na + b.product_fraction * nb) / n;
+    total.product_high_fraction =
+        (a.product_high_fraction * na + b.product_high_fraction * nb) / n;
+    total.tiles_discarded = a.tiles_discarded + b.tiles_discarded;
+    total.tiles_downlinked = a.tiles_downlinked + b.tiles_downlinked;
+    total.tiles_modeled = a.tiles_modeled + b.tiles_modeled;
+    total.cells = a.cells;
+    total.cells.merge(b.cells);
     return total;
 }
 

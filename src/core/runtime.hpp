@@ -13,6 +13,7 @@
 #ifndef KODAN_CORE_RUNTIME_HPP
 #define KODAN_CORE_RUNTIME_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -33,12 +34,13 @@ struct FrameReport
     double product_fraction = 0.0;
     /** Truly high-value product bits, as a fraction of raw frame bits. */
     double product_high_fraction = 0.0;
-    /** Tiles elided to Discard. */
-    int tiles_discarded = 0;
+    /** Tiles elided to Discard (64-bit: aggregates span whole missions,
+     *  and 121 tiles/frame overflows int within ~18M frames). */
+    std::int64_t tiles_discarded = 0;
     /** Tiles elided to Downlink. */
-    int tiles_downlinked = 0;
+    std::int64_t tiles_downlinked = 0;
     /** Tiles filtered by a model. */
-    int tiles_modeled = 0;
+    std::int64_t tiles_modeled = 0;
     /** Cell-level confusion of the frame's keep/drop decisions. */
     ml::ConfusionStats cells;
 };
@@ -64,8 +66,32 @@ class Runtime
     /** Process one captured frame. */
     FrameReport processFrame(const data::FrameSample &frame) const;
 
-    /** Aggregate reports over a frame set (mean time, summed counts). */
+    /**
+     * Process a batch of frames, fanning the independent per-frame work
+     * across the global thread pool (KODAN_THREADS), and return the
+     * aggregate. Per-frame reports are merged in frame order, so the
+     * result is bit-identical to aggregating serial processFrame() calls
+     * for any thread count.
+     */
+    FrameReport processFrames(
+        const std::vector<data::FrameSample> &frames) const;
+
+    /**
+     * Aggregate PER-FRAME reports over a frame set (mean time/fractions,
+     * summed counts). Do not feed aggregates back into this function —
+     * that averages means over unequal chunks; use mergeAggregates().
+     */
     static FrameReport aggregate(const std::vector<FrameReport> &reports);
+
+    /**
+     * Merge two aggregates produced by aggregate() over @p frames_a and
+     * @p frames_b frames respectively, weighting the per-frame means by
+     * their frame counts (the mean-of-means-safe chunk merge).
+     */
+    static FrameReport mergeAggregates(const FrameReport &a,
+                                       std::size_t frames_a,
+                                       const FrameReport &b,
+                                       std::size_t frames_b);
 
   private:
     SelectionLogic logic_;

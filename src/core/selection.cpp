@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/thread_pool.hpp"
+
 namespace kodan::core {
 
 SelectionOptimizer::SelectionOptimizer(const SweepOptions &options)
@@ -154,15 +156,24 @@ SelectionOptimizer::optimize(
     const std::vector<ContextActionTable> &tables) const
 {
     assert(!tables.empty());
+    // Each tiling's candidate optimization is independent; the winner is
+    // picked serially in table order afterwards, so the selected logic
+    // is bit-identical to the serial sweep for any thread count.
+    std::vector<std::pair<std::vector<Action>, DeploymentOutcome>>
+        per_table(tables.size());
+    util::parallelFor(tables.size(), [&](std::size_t i) {
+        per_table[i] = optimizeAtTiling(profile, tables[i]);
+    });
+
     SweepResult result;
     bool first = true;
-    for (const auto &table : tables) {
-        auto [actions, outcome] = optimizeAtTiling(profile, table);
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        auto &[actions, outcome] = per_table[i];
         result.per_tiling.emplace_back(
-            table.tiles_per_side * table.tiles_per_side, outcome);
+            tables[i].tiles_per_side * tables[i].tiles_per_side, outcome);
         if (first || betterOutcome(outcome, result.outcome)) {
             first = false;
-            result.logic.tiles_per_side = table.tiles_per_side;
+            result.logic.tiles_per_side = tables[i].tiles_per_side;
             result.logic.per_context = std::move(actions);
             result.outcome = outcome;
         }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace kodan::core {
 
 const ContextActionTable &
@@ -144,16 +146,21 @@ Transformer::transformApp(const Application &app,
         shared.partition.context_count, rng,
         shared.legacy_tiles.empty() ? nullptr : &shared.legacy_tiles);
 
+    // Candidate sweep: each tiling's validation pass is independent, so
+    // the tilings run in parallel; results land at their sweep index, so
+    // table order (and everything downstream) is thread-count invariant.
     const DeploymentEvaluator evaluator(&artifacts.zoo,
                                         shared.engine.get());
-    for (int tiles_per_frame : options_.sweep.tile_counts) {
+    const auto &tile_counts = options_.sweep.tile_counts;
+    artifacts.tables.resize(tile_counts.size());
+    artifacts.direct_tables.resize(tile_counts.size());
+    util::parallelFor(tile_counts.size(), [&](std::size_t i) {
         const int side =
-            static_cast<int>(std::lround(std::sqrt(tiles_per_frame)));
-        artifacts.tables.push_back(
-            evaluator.measureTable(shared.val, side));
-        artifacts.direct_tables.push_back(
-            evaluator.measureDirectTable(shared.val, side));
-    }
+            static_cast<int>(std::lround(std::sqrt(tile_counts[i])));
+        artifacts.tables[i] = evaluator.measureTable(shared.val, side);
+        artifacts.direct_tables[i] =
+            evaluator.measureDirectTable(shared.val, side);
+    });
 
     // Direct deployment uses the accuracy-maximal tiling (prior work).
     double best_accuracy = -1.0;

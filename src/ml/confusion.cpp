@@ -1,5 +1,7 @@
 #include "ml/confusion.hpp"
 
+#include <cassert>
+
 namespace kodan::ml {
 
 void
@@ -12,6 +14,7 @@ void
 ConfusionStats::addWeighted(bool predicted_positive, bool truly_positive,
                             std::int64_t count)
 {
+    assert(count >= 0 && "negative confusion counts corrupt the merge");
     if (predicted_positive) {
         (truly_positive ? tp_ : fp_) += count;
     } else {

@@ -5,6 +5,7 @@
 
 #include "orbit/propagator.hpp"
 #include "sense/capture.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kodan::sim {
 
@@ -17,13 +18,30 @@ uniqueSceneCoverage(const std::vector<orbit::OrbitalElements> &satellites,
     result.grid_scenes = grid.sceneCount();
     std::vector<bool> seen(grid.sceneCount(), false);
 
+    // Propagation and capture are independent per satellite; each one
+    // produces a private scene set, merged in satellite order (set union
+    // and frame-count sum are order-independent anyway).
     const sense::FrameCapture capture(camera, grid);
-    for (std::size_t s = 0; s < satellites.size(); ++s) {
+    struct SatCoverage
+    {
+        std::size_t frames = 0;
+        std::vector<std::size_t> scene_indices;
+    };
+    std::vector<SatCoverage> per_sat(satellites.size());
+    util::parallelFor(satellites.size(), [&](std::size_t s) {
         const orbit::J2Propagator sat(satellites[s]);
         const auto frames = capture.capture(sat, s, 0.0, duration);
-        result.total_frames += frames.size();
+        per_sat[s].frames = frames.size();
+        per_sat[s].scene_indices.reserve(frames.size());
         for (const auto &frame : frames) {
-            seen[grid.flatIndex(frame.scene)] = true;
+            per_sat[s].scene_indices.push_back(
+                grid.flatIndex(frame.scene));
+        }
+    });
+    for (const auto &sat : per_sat) {
+        result.total_frames += sat.frames;
+        for (std::size_t index : sat.scene_indices) {
+            seen[index] = true;
         }
     }
     for (bool flag : seen) {

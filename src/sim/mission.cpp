@@ -7,6 +7,7 @@
 
 #include "sense/wrs.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kodan::sim {
 
@@ -124,9 +125,15 @@ MissionSim::run(const MissionConfig &config,
     const double frame_bits = config.camera.frameBits();
     const sense::WrsGrid grid;
     const sense::FrameCapture capture(config.camera, grid);
-    util::Rng rng(config.seed);
 
-    for (std::size_t s = 0; s < sats.size(); ++s) {
+    // Satellites are simulated in parallel. Each satellite draws from its
+    // own RNG stream derived from (mission seed, satellite index), so its
+    // trajectory of random decisions is a pure function of the config —
+    // independent of thread count and of the other satellites.
+    result.per_satellite.resize(sats.size());
+    util::parallelFor(sats.size(), [&](std::size_t s) {
+        util::Rng rng(util::splitMix64(config.seed ^
+                                       (0x5A7E111E5ULL + s)));
         SatelliteResult sat_result;
         sat_result.contact_seconds = allocation.seconds_per_satellite[s];
         const double deadline = capture.frameDeadline(sats[s]);
@@ -217,8 +224,8 @@ MissionSim::run(const MissionConfig &config,
             drain(fifo);
         }
 
-        result.per_satellite.push_back(sat_result);
-    }
+        result.per_satellite[s] = sat_result;
+    });
     return result;
 }
 

@@ -41,7 +41,8 @@ struct MissionConfig
     double scheduler_step = 10.0;
     /** Contact-scan step (s). */
     double contact_scan_step = 30.0;
-    /** Seed for frame-value sampling. */
+    /** Seed for frame-value sampling; each satellite draws from its own
+     *  stream derived from (seed, satellite index). */
     std::uint64_t seed = 42;
 
     /**

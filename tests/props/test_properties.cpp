@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "core/evaluate.hpp"
 #include "ml/kmeans.hpp"
@@ -273,6 +277,113 @@ TEST(SunSyncProps, DescendingNodeLocalTimeIsStable)
         EXPECT_NEAR(value, first, 0.25) << "local solar time drifted";
     }
 }
+
+// ---------------------------------------------------------------------
+// SummaryStats merging must be order-independent: the accumulators back
+// every parallel reduction in the codebase, so merge(a, b) and
+// merge(b, a) must agree, and ANY chunked partition of a sample stream
+// must reproduce the single-pass statistics. Counts/extrema are exact;
+// mean and variance are algebraically identical and allowed only a few
+// ulps of floating-point slack from re-association.
+
+class StatsMergeProps : public ::testing::TestWithParam<int>
+{
+  protected:
+    /** Relative tolerance of a few ulps around @p reference. */
+    static double ulps(double reference, double count = 8.0)
+    {
+        return count * std::abs(reference) *
+               std::numeric_limits<double>::epsilon();
+    }
+};
+
+TEST_P(StatsMergeProps, MergeIsCommutative)
+{
+    util::Rng rng(GetParam() * 7919 + 17);
+    util::SummaryStats a;
+    util::SummaryStats b;
+    const auto n_a = rng.uniformInt(0, 400);
+    const auto n_b = rng.uniformInt(1, 400);
+    for (std::int64_t i = 0; i < n_a; ++i) {
+        a.add(rng.normal(rng.uniform(-5.0, 5.0), rng.uniform(0.1, 3.0)));
+    }
+    for (std::int64_t i = 0; i < n_b; ++i) {
+        b.add(rng.normal(0.0, 10.0));
+    }
+    util::SummaryStats ab = a;
+    ab.merge(b);
+    util::SummaryStats ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_EQ(ab.min(), ba.min());
+    EXPECT_EQ(ab.max(), ba.max());
+    EXPECT_NEAR(ab.sum(), ba.sum(), ulps(ab.sum()));
+    EXPECT_NEAR(ab.mean(), ba.mean(), ulps(ab.mean()) + 1e-15);
+    EXPECT_NEAR(ab.variance(), ba.variance(),
+                ulps(ab.variance(), 64.0) + 1e-15);
+}
+
+TEST_P(StatsMergeProps, AnyChunkedPartitionMatchesSinglePass)
+{
+    util::Rng rng(GetParam() * 104729 + 3);
+    const auto n = rng.uniformInt(1, 600);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(n));
+    util::SummaryStats single;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(-100.0, 100.0);
+        samples.push_back(x);
+        single.add(x);
+    }
+    // Random partition into chunks (including size-1 chunks).
+    util::SummaryStats merged;
+    std::size_t offset = 0;
+    while (offset < samples.size()) {
+        const auto remaining =
+            static_cast<std::int64_t>(samples.size() - offset);
+        const auto size = rng.uniformInt(1, remaining);
+        util::SummaryStats chunk;
+        for (std::int64_t i = 0; i < size; ++i) {
+            chunk.add(samples[offset + static_cast<std::size_t>(i)]);
+        }
+        merged.merge(chunk);
+        offset += static_cast<std::size_t>(size);
+    }
+    EXPECT_EQ(merged.count(), single.count());
+    EXPECT_EQ(merged.min(), single.min());
+    EXPECT_EQ(merged.max(), single.max());
+    EXPECT_NEAR(merged.sum(), single.sum(),
+                ulps(single.sum(), 16.0) + 1e-12);
+    EXPECT_NEAR(merged.mean(), single.mean(),
+                ulps(single.mean(), 16.0) + 1e-12);
+    // Variance composes through the pairwise update; re-association
+    // costs slightly more slack on adversarial streams.
+    const double scale = std::max(1.0, single.variance());
+    EXPECT_NEAR(merged.variance(), single.variance(), 1e-9 * scale);
+}
+
+TEST_P(StatsMergeProps, MergingEmptyIsIdentity)
+{
+    util::Rng rng(GetParam() + 31);
+    util::SummaryStats stats;
+    for (int i = 0; i < 50; ++i) {
+        stats.add(rng.uniform(-1.0, 1.0));
+    }
+    const util::SummaryStats empty;
+    util::SummaryStats left = stats;
+    left.merge(empty);
+    EXPECT_EQ(left.count(), stats.count());
+    EXPECT_EQ(left.mean(), stats.mean());
+    EXPECT_EQ(left.variance(), stats.variance());
+    util::SummaryStats right = empty;
+    right.merge(stats);
+    EXPECT_EQ(right.count(), stats.count());
+    EXPECT_EQ(right.mean(), stats.mean());
+    EXPECT_EQ(right.variance(), stats.variance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsMergeProps,
+                         ::testing::Range(0, 16));
 
 // ---------------------------------------------------------------------
 // Noise statistics: the field is roughly uniform over [0, 1].

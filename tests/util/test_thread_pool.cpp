@@ -1,0 +1,199 @@
+/** @file Unit tests for the thread pool and the parallel facade. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace kodan::util {
+namespace {
+
+TEST(ThreadPool, StartupShutdown)
+{
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threadCount(), threads);
+    }
+    // Degenerate requests clamp to one worker.
+    ThreadPool clamped(0);
+    EXPECT_EQ(clamped.threadCount(), 1);
+    ThreadPool negative(-3);
+    EXPECT_EQ(negative.threadCount(), 1);
+}
+
+TEST(ThreadPool, RunBatchVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 1000;
+    std::vector<std::atomic<int>> visits(kTasks);
+    pool.runBatch(kTasks,
+                  [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, RunBatchZeroTasksIsANoop)
+{
+    ThreadPool pool(3);
+    pool.runBatch(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndRemainingTasksStillRun)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 64;
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(pool.runBatch(kTasks,
+                               [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 13) {
+                                       throw std::runtime_error("boom");
+                                   }
+                               }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), kTasks);
+    // The pool survives a throwing batch.
+    std::atomic<std::size_t> again{0};
+    pool.runBatch(8, [&](std::size_t) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 8U);
+}
+
+TEST(ThreadPool, DestructionWhileBusyDrainsWithoutDeadlock)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i) {
+            pool.enqueue([&completed] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                completed.fetch_add(1);
+            });
+        }
+        // Destructor runs here while tasks are still queued/busy.
+    }
+    EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ParallelFor, ChunkingEdgeCases)
+{
+    for (int threads : {1, 2, 8}) {
+        const ParallelOptions opts{threads, 1};
+        // 0 items: no calls.
+        parallelFor(
+            0, [](std::size_t) { FAIL() << "must not run"; }, opts);
+        // 1 item.
+        std::vector<int> one(1, 0);
+        parallelFor(1, [&](std::size_t i) { one[i] = 1; }, opts);
+        EXPECT_EQ(one[0], 1);
+        // Fewer items than threads.
+        std::vector<int> few(3, 0);
+        parallelFor(3, [&](std::size_t i) { few[i] = 1; }, opts);
+        EXPECT_EQ(std::accumulate(few.begin(), few.end(), 0), 3);
+    }
+}
+
+TEST(ParallelFor, ChunksPartitionTheIndexSpace)
+{
+    for (int threads : {1, 2, 5, 16}) {
+        for (std::size_t n : {1U, 2U, 7U, 64U, 1000U}) {
+            std::vector<std::atomic<int>> visits(n);
+            parallelForChunks(
+                n,
+                [&](std::size_t begin, std::size_t end) {
+                    ASSERT_LE(begin, end);
+                    ASSERT_LE(end, n);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        visits[i].fetch_add(1);
+                    }
+                },
+                {threads, 1});
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(visits[i].load(), 1)
+                    << "n=" << n << " threads=" << threads << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ParallelFor, GrainCoarsensButStillCoversEverything)
+{
+    std::vector<std::atomic<int>> visits(100);
+    parallelFor(
+        100, [&](std::size_t i) { visits[i].fetch_add(1); }, {8, 40});
+    for (std::size_t i = 0; i < 100; ++i) {
+        ASSERT_EQ(visits[i].load(), 1);
+    }
+}
+
+TEST(ParallelMapReduce, OrderedReductionIsThreadCountInvariant)
+{
+    // String concatenation is non-commutative and non-associative-ish
+    // enough to expose any reduction-order dependence.
+    auto digits = [](std::size_t n, int threads) {
+        return parallelMapReduce<std::string>(
+            n, std::string(),
+            [](std::size_t i) { return std::to_string(i) + ","; },
+            [](std::string &acc, std::string &&part) { acc += part; },
+            {threads, 1});
+    };
+    const std::string serial = digits(37, 1);
+    for (int threads : {2, 3, 7, 16}) {
+        EXPECT_EQ(digits(37, threads), serial) << threads << " threads";
+    }
+}
+
+TEST(ParallelMapReduce, FloatingPointSumIsBitIdentical)
+{
+    // Summation order is fixed by the ordered reduction, so the result
+    // is bit-identical across thread counts even though floating-point
+    // addition is not associative.
+    auto sum = [](int threads) {
+        return parallelMapReduce<double>(
+            10000, 0.0,
+            [](std::size_t i) {
+                return 1.0 / (1.0 + static_cast<double>(i) * 0.37);
+            },
+            [](double &acc, double part) { acc += part; }, {threads, 1});
+    };
+    const double serial = sum(1);
+    for (int threads : {2, 7}) {
+        const double parallel = sum(threads);
+        EXPECT_EQ(parallel, serial) << "bitwise mismatch at " << threads
+                                    << " threads";
+    }
+}
+
+TEST(GlobalThreads, OverrideAndRestore)
+{
+    const int before = globalThreadCount();
+    setGlobalThreads(5);
+    EXPECT_EQ(globalThreadCount(), 5);
+    setGlobalThreads(0);
+    EXPECT_EQ(globalThreadCount(), before);
+}
+
+TEST(ParallelFor, NestedBatchesDoNotDeadlock)
+{
+    std::atomic<int> inner_runs{0};
+    parallelFor(
+        4,
+        [&](std::size_t) {
+            parallelFor(
+                8, [&](std::size_t) { inner_runs.fetch_add(1); },
+                {4, 1});
+        },
+        {4, 1});
+    EXPECT_EQ(inner_runs.load(), 32);
+}
+
+} // namespace
+} // namespace kodan::util
