@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/kodan_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/core/CMakeFiles/kodan_core.dir/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/kodan_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/kodan_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/kodan_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/kodan_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/specialize.cpp" "src/core/CMakeFiles/kodan_core.dir/specialize.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/specialize.cpp.o.d"
+  "/root/repo/src/core/transformer.cpp" "src/core/CMakeFiles/kodan_core.dir/transformer.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/transformer.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/kodan_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/kodan_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/data/CMakeFiles/kodan_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/kodan_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/kodan_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sense/CMakeFiles/kodan_sense.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_core.dir/engine.cpp.o"
+  "CMakeFiles/kodan_core.dir/engine.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/evaluate.cpp.o"
+  "CMakeFiles/kodan_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/io.cpp.o"
+  "CMakeFiles/kodan_core.dir/io.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/partition.cpp.o"
+  "CMakeFiles/kodan_core.dir/partition.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/runtime.cpp.o"
+  "CMakeFiles/kodan_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/selection.cpp.o"
+  "CMakeFiles/kodan_core.dir/selection.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/specialize.cpp.o"
+  "CMakeFiles/kodan_core.dir/specialize.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/transformer.cpp.o"
+  "CMakeFiles/kodan_core.dir/transformer.cpp.o.d"
+  "CMakeFiles/kodan_core.dir/types.cpp.o"
+  "CMakeFiles/kodan_core.dir/types.cpp.o.d"
+  "libkodan_core.a"
+  "libkodan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/kodan_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/kodan_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/geomodel.cpp" "src/data/CMakeFiles/kodan_data.dir/geomodel.cpp.o" "gcc" "src/data/CMakeFiles/kodan_data.dir/geomodel.cpp.o.d"
+  "/root/repo/src/data/sample.cpp" "src/data/CMakeFiles/kodan_data.dir/sample.cpp.o" "gcc" "src/data/CMakeFiles/kodan_data.dir/sample.cpp.o.d"
+  "/root/repo/src/data/tiler.cpp" "src/data/CMakeFiles/kodan_data.dir/tiler.cpp.o" "gcc" "src/data/CMakeFiles/kodan_data.dir/tiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

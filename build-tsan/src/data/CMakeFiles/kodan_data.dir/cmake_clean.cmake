@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_data.dir/generator.cpp.o"
+  "CMakeFiles/kodan_data.dir/generator.cpp.o.d"
+  "CMakeFiles/kodan_data.dir/geomodel.cpp.o"
+  "CMakeFiles/kodan_data.dir/geomodel.cpp.o.d"
+  "CMakeFiles/kodan_data.dir/sample.cpp.o"
+  "CMakeFiles/kodan_data.dir/sample.cpp.o.d"
+  "CMakeFiles/kodan_data.dir/tiler.cpp.o"
+  "CMakeFiles/kodan_data.dir/tiler.cpp.o.d"
+  "libkodan_data.a"
+  "libkodan_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ground/contact.cpp" "src/ground/CMakeFiles/kodan_ground.dir/contact.cpp.o" "gcc" "src/ground/CMakeFiles/kodan_ground.dir/contact.cpp.o.d"
+  "/root/repo/src/ground/downlink.cpp" "src/ground/CMakeFiles/kodan_ground.dir/downlink.cpp.o" "gcc" "src/ground/CMakeFiles/kodan_ground.dir/downlink.cpp.o.d"
+  "/root/repo/src/ground/station.cpp" "src/ground/CMakeFiles/kodan_ground.dir/station.cpp.o" "gcc" "src/ground/CMakeFiles/kodan_ground.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

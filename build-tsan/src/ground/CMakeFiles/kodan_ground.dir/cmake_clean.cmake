@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_ground.dir/contact.cpp.o"
+  "CMakeFiles/kodan_ground.dir/contact.cpp.o.d"
+  "CMakeFiles/kodan_ground.dir/downlink.cpp.o"
+  "CMakeFiles/kodan_ground.dir/downlink.cpp.o.d"
+  "CMakeFiles/kodan_ground.dir/station.cpp.o"
+  "CMakeFiles/kodan_ground.dir/station.cpp.o.d"
+  "libkodan_ground.a"
+  "libkodan_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

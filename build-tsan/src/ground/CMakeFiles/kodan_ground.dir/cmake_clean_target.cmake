@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkodan_ground.a"
+)

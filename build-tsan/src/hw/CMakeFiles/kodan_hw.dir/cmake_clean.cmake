@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_hw.dir/target.cpp.o"
+  "CMakeFiles/kodan_hw.dir/target.cpp.o.d"
+  "libkodan_hw.a"
+  "libkodan_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/confusion.cpp" "src/ml/CMakeFiles/kodan_ml.dir/confusion.cpp.o" "gcc" "src/ml/CMakeFiles/kodan_ml.dir/confusion.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/kodan_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/kodan_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/kodan_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/kodan_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/kodan_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/kodan_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/transforms.cpp" "src/ml/CMakeFiles/kodan_ml.dir/transforms.cpp.o" "gcc" "src/ml/CMakeFiles/kodan_ml.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_ml.dir/confusion.cpp.o"
+  "CMakeFiles/kodan_ml.dir/confusion.cpp.o.d"
+  "CMakeFiles/kodan_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/kodan_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/kodan_ml.dir/matrix.cpp.o"
+  "CMakeFiles/kodan_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/kodan_ml.dir/mlp.cpp.o"
+  "CMakeFiles/kodan_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/kodan_ml.dir/transforms.cpp.o"
+  "CMakeFiles/kodan_ml.dir/transforms.cpp.o.d"
+  "libkodan_ml.a"
+  "libkodan_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

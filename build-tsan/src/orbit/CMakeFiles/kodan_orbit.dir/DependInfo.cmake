@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/earth.cpp" "src/orbit/CMakeFiles/kodan_orbit.dir/earth.cpp.o" "gcc" "src/orbit/CMakeFiles/kodan_orbit.dir/earth.cpp.o.d"
+  "/root/repo/src/orbit/elements.cpp" "src/orbit/CMakeFiles/kodan_orbit.dir/elements.cpp.o" "gcc" "src/orbit/CMakeFiles/kodan_orbit.dir/elements.cpp.o.d"
+  "/root/repo/src/orbit/propagator.cpp" "src/orbit/CMakeFiles/kodan_orbit.dir/propagator.cpp.o" "gcc" "src/orbit/CMakeFiles/kodan_orbit.dir/propagator.cpp.o.d"
+  "/root/repo/src/orbit/sun.cpp" "src/orbit/CMakeFiles/kodan_orbit.dir/sun.cpp.o" "gcc" "src/orbit/CMakeFiles/kodan_orbit.dir/sun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_orbit.dir/earth.cpp.o"
+  "CMakeFiles/kodan_orbit.dir/earth.cpp.o.d"
+  "CMakeFiles/kodan_orbit.dir/elements.cpp.o"
+  "CMakeFiles/kodan_orbit.dir/elements.cpp.o.d"
+  "CMakeFiles/kodan_orbit.dir/propagator.cpp.o"
+  "CMakeFiles/kodan_orbit.dir/propagator.cpp.o.d"
+  "CMakeFiles/kodan_orbit.dir/sun.cpp.o"
+  "CMakeFiles/kodan_orbit.dir/sun.cpp.o.d"
+  "libkodan_orbit.a"
+  "libkodan_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kodan_orbit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sense/camera.cpp" "src/sense/CMakeFiles/kodan_sense.dir/camera.cpp.o" "gcc" "src/sense/CMakeFiles/kodan_sense.dir/camera.cpp.o.d"
+  "/root/repo/src/sense/capture.cpp" "src/sense/CMakeFiles/kodan_sense.dir/capture.cpp.o" "gcc" "src/sense/CMakeFiles/kodan_sense.dir/capture.cpp.o.d"
+  "/root/repo/src/sense/wrs.cpp" "src/sense/CMakeFiles/kodan_sense.dir/wrs.cpp.o" "gcc" "src/sense/CMakeFiles/kodan_sense.dir/wrs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_sense.dir/camera.cpp.o"
+  "CMakeFiles/kodan_sense.dir/camera.cpp.o.d"
+  "CMakeFiles/kodan_sense.dir/capture.cpp.o"
+  "CMakeFiles/kodan_sense.dir/capture.cpp.o.d"
+  "CMakeFiles/kodan_sense.dir/wrs.cpp.o"
+  "CMakeFiles/kodan_sense.dir/wrs.cpp.o.d"
+  "libkodan_sense.a"
+  "libkodan_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coverage.cpp" "src/sim/CMakeFiles/kodan_sim.dir/coverage.cpp.o" "gcc" "src/sim/CMakeFiles/kodan_sim.dir/coverage.cpp.o.d"
+  "/root/repo/src/sim/mission.cpp" "src/sim/CMakeFiles/kodan_sim.dir/mission.cpp.o" "gcc" "src/sim/CMakeFiles/kodan_sim.dir/mission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ground/CMakeFiles/kodan_ground.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sense/CMakeFiles/kodan_sense.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/kodan_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

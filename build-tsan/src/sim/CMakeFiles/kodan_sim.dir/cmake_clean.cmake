@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_sim.dir/coverage.cpp.o"
+  "CMakeFiles/kodan_sim.dir/coverage.cpp.o.d"
+  "CMakeFiles/kodan_sim.dir/mission.cpp.o"
+  "CMakeFiles/kodan_sim.dir/mission.cpp.o.d"
+  "libkodan_sim.a"
+  "libkodan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

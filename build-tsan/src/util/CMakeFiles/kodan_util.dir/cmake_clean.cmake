@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kodan_util.dir/log.cpp.o"
+  "CMakeFiles/kodan_util.dir/log.cpp.o.d"
+  "CMakeFiles/kodan_util.dir/noise.cpp.o"
+  "CMakeFiles/kodan_util.dir/noise.cpp.o.d"
+  "CMakeFiles/kodan_util.dir/rng.cpp.o"
+  "CMakeFiles/kodan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/kodan_util.dir/stats.cpp.o"
+  "CMakeFiles/kodan_util.dir/stats.cpp.o.d"
+  "CMakeFiles/kodan_util.dir/table.cpp.o"
+  "CMakeFiles/kodan_util.dir/table.cpp.o.d"
+  "CMakeFiles/kodan_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/kodan_util.dir/thread_pool.cpp.o.d"
+  "libkodan_util.a"
+  "libkodan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kodan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_deployment.cpp" "tests/CMakeFiles/test_core.dir/core/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_deployment.cpp.o.d"
+  "/root/repo/tests/core/test_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_engine.cpp.o.d"
+  "/root/repo/tests/core/test_evaluate.cpp" "tests/CMakeFiles/test_core.dir/core/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_evaluate.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_io.cpp" "tests/CMakeFiles/test_core.dir/core/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_io.cpp.o.d"
+  "/root/repo/tests/core/test_measurement.cpp" "tests/CMakeFiles/test_core.dir/core/test_measurement.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_measurement.cpp.o.d"
+  "/root/repo/tests/core/test_partition.cpp" "tests/CMakeFiles/test_core.dir/core/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_partition.cpp.o.d"
+  "/root/repo/tests/core/test_pca_partition.cpp" "tests/CMakeFiles/test_core.dir/core/test_pca_partition.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pca_partition.cpp.o.d"
+  "/root/repo/tests/core/test_runtime.cpp" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_selection.cpp" "tests/CMakeFiles/test_core.dir/core/test_selection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_selection.cpp.o.d"
+  "/root/repo/tests/core/test_specialize.cpp" "tests/CMakeFiles/test_core.dir/core/test_specialize.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_specialize.cpp.o.d"
+  "/root/repo/tests/core/test_transformer.cpp" "tests/CMakeFiles/test_core.dir/core/test_transformer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/kodan_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/kodan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ground/CMakeFiles/kodan_ground.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sense/CMakeFiles/kodan_sense.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/kodan_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/kodan_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/kodan_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

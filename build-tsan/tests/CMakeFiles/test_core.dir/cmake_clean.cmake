@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_deployment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_deployment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_evaluate.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_evaluate.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_measurement.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_measurement.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_partition.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_partition.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pca_partition.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pca_partition.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_selection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_selection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_specialize.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_specialize.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transformer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transformer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

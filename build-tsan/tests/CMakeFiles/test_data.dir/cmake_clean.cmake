@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_geomodel.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_geomodel.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_sample.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_sample.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_tiler.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_tiler.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ground/test_contact.cpp" "tests/CMakeFiles/test_ground.dir/ground/test_contact.cpp.o" "gcc" "tests/CMakeFiles/test_ground.dir/ground/test_contact.cpp.o.d"
+  "/root/repo/tests/ground/test_downlink.cpp" "tests/CMakeFiles/test_ground.dir/ground/test_downlink.cpp.o" "gcc" "tests/CMakeFiles/test_ground.dir/ground/test_downlink.cpp.o.d"
+  "/root/repo/tests/ground/test_station.cpp" "tests/CMakeFiles/test_ground.dir/ground/test_station.cpp.o" "gcc" "tests/CMakeFiles/test_ground.dir/ground/test_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/kodan_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/kodan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ground/CMakeFiles/kodan_ground.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sense/CMakeFiles/kodan_sense.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/kodan_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/kodan_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hw/CMakeFiles/kodan_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/orbit/CMakeFiles/kodan_orbit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/kodan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

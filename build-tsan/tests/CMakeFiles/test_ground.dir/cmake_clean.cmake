@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground.dir/ground/test_contact.cpp.o"
+  "CMakeFiles/test_ground.dir/ground/test_contact.cpp.o.d"
+  "CMakeFiles/test_ground.dir/ground/test_downlink.cpp.o"
+  "CMakeFiles/test_ground.dir/ground/test_downlink.cpp.o.d"
+  "CMakeFiles/test_ground.dir/ground/test_station.cpp.o"
+  "CMakeFiles/test_ground.dir/ground/test_station.cpp.o.d"
+  "test_ground"
+  "test_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

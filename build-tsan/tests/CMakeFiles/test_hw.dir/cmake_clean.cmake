@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_target.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_target.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_confusion.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_confusion.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_matrix.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_transforms.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_transforms.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit.dir/orbit/test_earth.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/test_earth.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/test_elements.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/test_elements.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/test_propagator.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/test_propagator.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/test_vec3.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/test_vec3.cpp.o.d"
+  "CMakeFiles/test_orbit.dir/orbit/test_walker.cpp.o"
+  "CMakeFiles/test_orbit.dir/orbit/test_walker.cpp.o.d"
+  "test_orbit"
+  "test_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

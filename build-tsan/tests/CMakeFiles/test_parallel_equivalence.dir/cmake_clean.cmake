@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_equivalence.dir/core/test_parallel_equivalence.cpp.o"
+  "CMakeFiles/test_parallel_equivalence.dir/core/test_parallel_equivalence.cpp.o.d"
+  "test_parallel_equivalence"
+  "test_parallel_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

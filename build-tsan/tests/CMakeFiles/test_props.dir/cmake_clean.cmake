@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_props.dir/props/test_properties.cpp.o"
+  "CMakeFiles/test_props.dir/props/test_properties.cpp.o.d"
+  "test_props"
+  "test_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

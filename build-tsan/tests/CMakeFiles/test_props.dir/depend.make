@@ -1,0 +1,2 @@
+# Empty dependencies file for test_props.
+# This may be replaced when dependencies are built.

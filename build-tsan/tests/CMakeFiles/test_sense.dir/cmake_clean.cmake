@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sense.dir/sense/test_camera.cpp.o"
+  "CMakeFiles/test_sense.dir/sense/test_camera.cpp.o.d"
+  "CMakeFiles/test_sense.dir/sense/test_capture.cpp.o"
+  "CMakeFiles/test_sense.dir/sense/test_capture.cpp.o.d"
+  "CMakeFiles/test_sense.dir/sense/test_daylight.cpp.o"
+  "CMakeFiles/test_sense.dir/sense/test_daylight.cpp.o.d"
+  "CMakeFiles/test_sense.dir/sense/test_wrs.cpp.o"
+  "CMakeFiles/test_sense.dir/sense/test_wrs.cpp.o.d"
+  "test_sense"
+  "test_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_coverage.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_coverage.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_mission.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_mission.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

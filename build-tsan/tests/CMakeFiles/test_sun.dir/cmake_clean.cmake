@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sun.dir/orbit/test_sun.cpp.o"
+  "CMakeFiles/test_sun.dir/orbit/test_sun.cpp.o.d"
+  "test_sun"
+  "test_sun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_noise.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_noise.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

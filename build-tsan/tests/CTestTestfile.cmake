@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build-tsan/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_orbit "/root/repo/build-tsan/tests/test_orbit")
+set_tests_properties(test_orbit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ground "/root/repo/build-tsan/tests/test_ground")
+set_tests_properties(test_ground PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sense "/root/repo/build-tsan/tests/test_sense")
+set_tests_properties(test_sense PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;29;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build-tsan/tests/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build-tsan/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;40;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hw "/root/repo/build-tsan/tests/test_hw")
+set_tests_properties(test_hw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;47;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-tsan/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;50;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-tsan/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;54;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sun "/root/repo/build-tsan/tests/test_sun")
+set_tests_properties(test_sun PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;68;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_props "/root/repo/build-tsan/tests/test_props")
+set_tests_properties(test_props PROPERTIES  LABELS "parallel" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;71;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_failures "/root/repo/build-tsan/tests/test_failures")
+set_tests_properties(test_failures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;74;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_thread_pool "/root/repo/build-tsan/tests/test_thread_pool")
+set_tests_properties(test_thread_pool PROPERTIES  LABELS "parallel" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;77;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel_equivalence "/root/repo/build-tsan/tests/test_parallel_equivalence")
+set_tests_properties(test_parallel_equivalence PROPERTIES  LABELS "parallel" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;80;kodan_test;/root/repo/tests/CMakeLists.txt;0;")
