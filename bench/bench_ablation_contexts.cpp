@@ -51,8 +51,9 @@ runWithK(int k)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Ablation: number of contexts (App 4, Orin 15W)",
                   "the Section 3.3 hyperparameter discussion");
 

@@ -49,8 +49,9 @@ runWith(bool expert, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Ablation: expert vs automatic contexts (App 4, "
                   "Orin 15W)",
                   "the Section 3.2 comparison");

@@ -65,8 +65,9 @@ runWith(bool labels_from_reference, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Ablation: specialized-model training labels (App 4, "
                   "Orin 15W)",
                   "the Section 3.3 labelling discussion");

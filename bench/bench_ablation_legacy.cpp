@@ -85,8 +85,9 @@ runWith(bool legacy, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Ablation: legacy reference domain (App 4, Orin 15W)",
                   "the Fig. 12 mechanism");
 

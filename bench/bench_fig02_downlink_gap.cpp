@@ -14,8 +14,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner("Downlink gap vs constellation size", "Figure 2");
 

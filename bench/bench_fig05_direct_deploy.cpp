@@ -14,8 +14,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner(
         "Observed high-value data downlinked: bent pipe vs direct deploy",

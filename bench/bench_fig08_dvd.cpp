@@ -12,8 +12,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner("Data value density: bent pipe / direct deploy / Kodan",
                   "Figure 8");

@@ -11,8 +11,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner("Time per frame: direct deploy vs Kodan", "Figure 9");
 

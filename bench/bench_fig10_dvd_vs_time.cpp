@@ -53,8 +53,9 @@ outcomeAtTime(const core::SystemProfile &profile,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("DVD vs application execution time per frame",
                   "Figure 10");
 

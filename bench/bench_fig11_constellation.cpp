@@ -13,8 +13,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner(
         "Satellites required for full ground-track coverage (Orin 15W)",

@@ -65,8 +65,9 @@ contextSpecialized(const core::ContextActionTable &table)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Contexts improve accuracy and precision", "Figure 12");
 
     util::TablePrinter table({"app", "direct acc", "ctx acc",

@@ -13,8 +13,9 @@
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     using namespace kodan;
     bench::banner("Context-based elision and data value density",
                   "Figure 15");

@@ -60,8 +60,9 @@ sweepOptions()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     bench::banner("Parallel execution layer: wall-clock speedup",
                   "the threading model of DESIGN.md; no paper figure");
 

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "core/types.hpp"
 #include "data/tiler.hpp"
 #include "hw/target.hpp"
@@ -71,6 +72,7 @@ BENCHMARK(perTileInference)->DenseRange(1, hw::kAppCount)->Name(
 int
 main(int argc, char **argv)
 {
+    kodan::bench::initHarness(argc, argv);
     std::cout << "==================================================\n"
                  "Per-tile processing times (Table 1 of Kodan, "
                  "ASPLOS 2023)\n"

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,8 +16,18 @@ namespace {
 std::string
 cachePath()
 {
-    const char *env = std::getenv("KODAN_BENCH_CACHE");
-    return env != nullptr ? env : "kodan_bench_cache.txt";
+    if (const char *env = std::getenv("KODAN_BENCH_CACHE")) {
+        return env;
+    }
+    if (const char *dir = std::getenv("KODAN_BENCH_CACHE_DIR")) {
+        return std::string(dir) + "/kodan_bench_cache.txt";
+    }
+#ifdef KODAN_BENCH_CACHE_DEFAULT_DIR
+    return std::string(KODAN_BENCH_CACHE_DEFAULT_DIR) +
+           "/kodan_bench_cache.txt";
+#else
+    return "kodan_bench_cache.txt";
+#endif
 }
 
 bool
@@ -74,6 +85,12 @@ computeBundle()
 }
 
 } // namespace
+
+void
+initHarness(int &argc, char **argv)
+{
+    telemetry::configureFromArgs(argc, argv);
+}
 
 const core::MeasuredBundle &
 measuredBundle()

@@ -5,8 +5,10 @@
  * Every figure bench needs the measured artifacts of the seven
  * applications. They are computed once (multi-threaded across
  * applications) and cached to a text bundle so re-running the suite is
- * cheap. Set KODAN_BENCH_REFRESH=1 to force recomputation, or
- * KODAN_BENCH_CACHE=<path> to move the cache file.
+ * cheap. Set KODAN_BENCH_REFRESH=1 to force recomputation,
+ * KODAN_BENCH_CACHE=<path> to move the cache file, or
+ * KODAN_BENCH_CACHE_DIR=<dir> to move just its directory (the default
+ * is the build tree, never the source tree).
  */
 
 #ifndef KODAN_BENCH_COMMON_HPP
@@ -19,6 +21,14 @@
 #include "util/table.hpp"
 
 namespace kodan::bench {
+
+/**
+ * Standard harness setup for a bench main: consumes harness flags
+ * (currently --telemetry-out <path>, which also enables telemetry)
+ * from argv before the bench-specific parsing sees them.
+ * Call as the first statement of main.
+ */
+void initHarness(int &argc, char **argv);
 
 /**
  * Measured bundle for Apps 1-7 on the standard synthetic dataset;

@@ -18,12 +18,14 @@
 #include "ground/downlink.hpp"
 #include "ground/station.hpp"
 #include "sense/capture.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::telemetry::configureFromArgs(argc, argv);
     using namespace kodan;
 
     std::cout << "=== One-day cloud-filter mission (App 4, Orin 15W) "

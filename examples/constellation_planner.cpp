@@ -15,11 +15,13 @@
 #include "core/kodan.hpp"
 #include "sim/coverage.hpp"
 #include "sim/mission.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::telemetry::configureFromArgs(argc, argv);
     using namespace kodan;
 
     std::cout << "=== Constellation planner ===\n\n";

@@ -13,11 +13,13 @@
 
 #include "core/kodan.hpp"
 #include "data/generator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::telemetry::configureFromArgs(argc, argv);
     using namespace kodan;
 
     std::cout << "=== Context explorer ===\n\n";

@@ -14,11 +14,13 @@
 #include <sstream>
 
 #include "core/kodan.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::telemetry::configureFromArgs(argc, argv);
     using namespace kodan;
 
     std::cout << "=== Deployment package workflow ===\n\n";

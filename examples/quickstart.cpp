@@ -13,11 +13,13 @@
 #include <iostream>
 
 #include "core/kodan.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    kodan::telemetry::configureFromArgs(argc, argv);
     using namespace kodan;
 
     std::cout << "=== Kodan quickstart ===\n\n";

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "data/tiler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace kodan::core {
@@ -20,6 +21,7 @@ Runtime::Runtime(const SelectionLogic &logic, const ContextEngine *engine,
 FrameReport
 Runtime::processFrame(const data::FrameSample &frame) const
 {
+    KODAN_PROFILE_SCOPE("runtime.frame.process");
     FrameReport report;
     const data::Tiler tiler(logic_.tiles_per_side);
     const auto tiles = tiler.tile(frame);
@@ -90,12 +92,49 @@ Runtime::processFrame(const data::FrameSample &frame) const
           }
         }
     }
+
+    // Accounting only — bulk adds after the hot loop, never per cell, so
+    // the instrumented path stays cheap and the report is untouched.
+    if (telemetry::enabled()) {
+        const double engine_total =
+            engine_time * static_cast<double>(tiles.size());
+        KODAN_COUNT("runtime.frames.processed");
+        KODAN_COUNT_ADD("runtime.tiles.discarded",
+                        report.tiles_discarded);
+        KODAN_COUNT_ADD("runtime.tiles.downlinked",
+                        report.tiles_downlinked);
+        KODAN_COUNT_ADD("runtime.tiles.modeled", report.tiles_modeled);
+        // Per-technique modeled compute split: tiling/classification is
+        // the context-engine pass; specialization is the model time on
+        // non-elided tiles; elision's effect is the modeled time the
+        // reference model would have spent on the elided tiles.
+        KODAN_GAUGE_ADD("runtime.time.tiling_classification_s",
+                        engine_total);
+        KODAN_GAUGE_ADD("runtime.time.specialization_s",
+                        report.compute_time - engine_total);
+        const std::int64_t elided =
+            report.tiles_discarded + report.tiles_downlinked;
+        if (elided > 0 && !zoo_->entries.empty()) {
+            const double reference_tile_time = hw::CostModel::modelTime(
+                hw::CostModel::tierParamCount(
+                    zoo_->entries[zoo_->reference].tier),
+                target_);
+            KODAN_GAUGE_ADD("runtime.time.elision_saved_s",
+                            reference_tile_time *
+                                static_cast<double>(elided));
+        }
+        KODAN_HISTOGRAM("runtime.frame.compute_time_s",
+                        report.compute_time, 0.5, 1.0, 2.0, 4.7, 10.0,
+                        22.0, 60.0, 120.0);
+    }
     return report;
 }
 
 FrameReport
 Runtime::processFrames(const std::vector<data::FrameSample> &frames) const
 {
+    KODAN_PROFILE_SCOPE("runtime.batch.process");
+    KODAN_COUNT_ADD("runtime.frames.batched", frames.size());
     // Frames are independent; per-frame reports land at their frame
     // index and are reduced in that order, so the batch aggregate is
     // bit-identical to the serial loop for any thread count.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace kodan::core {
@@ -66,6 +67,8 @@ std::pair<std::vector<Action>, DeploymentOutcome>
 SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
                                      const ContextActionTable &table) const
 {
+    KODAN_TRACE_SPAN("selection.tiling.optimize");
+    std::int64_t evaluated = 0; // evaluateLogic calls in this sweep
     const int contexts = table.contextCount();
     std::vector<std::vector<int>> allowed(contexts);
     std::size_t combos = 1;
@@ -85,12 +88,15 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
         }
         return actions;
     };
+    auto measure = [&](const std::vector<Action> &actions) {
+        ++evaluated;
+        return evaluateLogic(profile, table, actions, true,
+                             options_.send_unprocessed_raw);
+    };
 
     std::vector<std::size_t> choice(contexts, 0);
     std::vector<Action> best_actions = assemble(choice);
-    DeploymentOutcome best_outcome =
-        evaluateLogic(profile, table, best_actions, true,
-                      options_.send_unprocessed_raw);
+    DeploymentOutcome best_outcome = measure(best_actions);
 
     if (!overflow) {
         // Exhaustive odometer over all combinations.
@@ -107,14 +113,13 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
                 break;
             }
             const auto actions = assemble(choice);
-            const auto outcome =
-                evaluateLogic(profile, table, actions, true,
-                              options_.send_unprocessed_raw);
+            const auto outcome = measure(actions);
             if (betterOutcome(outcome, best_outcome)) {
                 best_outcome = outcome;
                 best_actions = actions;
             }
         }
+        KODAN_COUNT_ADD("selection.candidates.evaluated", evaluated);
         return {best_actions, best_outcome};
     }
 
@@ -122,8 +127,7 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
     std::vector<std::size_t> current(contexts, 0);
     bool improved = true;
     best_actions = assemble(current);
-    best_outcome = evaluateLogic(profile, table, best_actions, true,
-                                 options_.send_unprocessed_raw);
+    best_outcome = measure(best_actions);
     while (improved) {
         improved = false;
         for (int c = 0; c < contexts; ++c) {
@@ -134,9 +138,7 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
                 }
                 current[c] = cand;
                 const auto actions = assemble(current);
-                const auto outcome =
-                    evaluateLogic(profile, table, actions, true,
-                                  options_.send_unprocessed_raw);
+                const auto outcome = measure(actions);
                 if (betterOutcome(outcome, best_outcome)) {
                     best_outcome = outcome;
                     best_actions = actions;
@@ -147,6 +149,7 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
             current[c] = best_cand;
         }
     }
+    KODAN_COUNT_ADD("selection.candidates.evaluated", evaluated);
     return {best_actions, best_outcome};
 }
 
@@ -156,6 +159,8 @@ SelectionOptimizer::optimize(
     const std::vector<ContextActionTable> &tables) const
 {
     assert(!tables.empty());
+    KODAN_PROFILE_SCOPE("selection.sweep.optimize");
+    KODAN_COUNT_ADD("selection.tilings.swept", tables.size());
     // Each tiling's candidate optimization is independent; the winner is
     // picked serially in table order afterwards, so the selected logic
     // is bit-identical to the serial sweep for any thread count.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace kodan::core {
@@ -50,19 +51,26 @@ Transformer::prepareData(std::vector<data::FrameSample> train,
                          std::vector<data::FrameSample> val) const
 {
     assert(!train.empty() && !val.empty());
+    KODAN_PROFILE_SCOPE("transformer.data.prepare");
     DataArtifacts shared;
     shared.train = std::move(train);
     shared.val = std::move(val);
+    KODAN_COUNT_ADD("transformer.frames.prepared",
+                    shared.train.size() + shared.val.size());
 
     util::Rng rng(util::splitMix64(options_.seed ^ 0x5EED));
 
     // Tile the training frames at the reference tiling.
     const data::Tiler tiler(options_.reference_tiling);
-    for (const auto &frame : shared.train) {
-        auto tiles = tiler.tile(frame);
-        shared.train_tiles.insert(shared.train_tiles.end(),
-                                  std::make_move_iterator(tiles.begin()),
-                                  std::make_move_iterator(tiles.end()));
+    {
+        KODAN_TRACE_SPAN("transformer.frames.tile");
+        for (const auto &frame : shared.train) {
+            auto tiles = tiler.tile(frame);
+            shared.train_tiles.insert(
+                shared.train_tiles.end(),
+                std::make_move_iterator(tiles.begin()),
+                std::make_move_iterator(tiles.end()));
+        }
     }
 
     // Legacy corpus: the out-of-domain world the reference applications
@@ -88,15 +96,23 @@ Transformer::prepareData(std::vector<data::FrameSample> train,
     }
 
     // Contexts: automatic clustering (or expert terrain partition).
-    const ContextPartitioner partitioner(options_.partition);
-    shared.partition =
-        options_.expert_contexts
-            ? partitioner.fitExpert(shared.train_tiles)
-            : partitioner.fitAuto(shared.train_tiles, rng);
+    {
+        KODAN_TRACE_SPAN("transformer.contexts.fit");
+        const ContextPartitioner partitioner(options_.partition);
+        shared.partition =
+            options_.expert_contexts
+                ? partitioner.fitExpert(shared.train_tiles)
+                : partitioner.fitAuto(shared.train_tiles, rng);
+    }
+    KODAN_COUNT_ADD("transformer.contexts.fitted",
+                    shared.partition.context_count);
 
     // Context engine, trained to imitate the partition from features.
-    shared.engine = std::make_unique<ContextEngine>(shared.train_tiles,
-                                                    shared.partition, rng);
+    {
+        KODAN_TRACE_SPAN("transformer.engine.train");
+        shared.engine = std::make_unique<ContextEngine>(
+            shared.train_tiles, shared.partition, rng);
+    }
 
     // The deployed engine's labels are downstream ground truth.
     shared.train_contexts.reserve(shared.train_tiles.size());
@@ -133,6 +149,7 @@ Transformer::transformApp(const Application &app,
                           const DataArtifacts &shared) const
 {
     assert(shared.engine != nullptr);
+    KODAN_PROFILE_SCOPE("transformer.app.transform");
     AppArtifacts artifacts;
     artifacts.app = app;
 
@@ -140,11 +157,17 @@ Transformer::transformApp(const Application &app,
                                    (0xA4B0 + static_cast<std::uint64_t>(
                                                  app.tier))));
 
-    const ModelSpecializer specializer(app, options_.specialize);
-    artifacts.zoo = specializer.trainZoo(
-        shared.train_tiles, shared.train_contexts,
-        shared.partition.context_count, rng,
-        shared.legacy_tiles.empty() ? nullptr : &shared.legacy_tiles);
+    {
+        KODAN_TRACE_SPAN("transformer.zoo.train");
+        const ModelSpecializer specializer(app, options_.specialize);
+        artifacts.zoo = specializer.trainZoo(
+            shared.train_tiles, shared.train_contexts,
+            shared.partition.context_count, rng,
+            shared.legacy_tiles.empty() ? nullptr
+                                        : &shared.legacy_tiles);
+    }
+    KODAN_COUNT_ADD("transformer.models.trained",
+                    artifacts.zoo.entries.size());
 
     // Candidate sweep: each tiling's validation pass is independent, so
     // the tilings run in parallel; results land at their sweep index, so
@@ -155,11 +178,13 @@ Transformer::transformApp(const Application &app,
     artifacts.tables.resize(tile_counts.size());
     artifacts.direct_tables.resize(tile_counts.size());
     util::parallelFor(tile_counts.size(), [&](std::size_t i) {
+        KODAN_TRACE_SPAN("transformer.table.measure");
         const int side =
             static_cast<int>(std::lround(std::sqrt(tile_counts[i])));
         artifacts.tables[i] = evaluator.measureTable(shared.val, side);
         artifacts.direct_tables[i] =
             evaluator.measureDirectTable(shared.val, side);
+        KODAN_COUNT_ADD("transformer.tables.measured", 2);
     });
 
     // Direct deployment uses the accuracy-maximal tiling (prior work).
@@ -179,6 +204,7 @@ SweepResult
 Transformer::select(const AppArtifacts &artifacts,
                     const SystemProfile &profile) const
 {
+    KODAN_TRACE_SPAN("transformer.logic.select");
     const SelectionOptimizer optimizer(options_.sweep);
     return optimizer.optimize(profile, artifacts.tables);
 }

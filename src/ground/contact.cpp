@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
+
 namespace kodan::ground {
 
 namespace {
@@ -99,6 +101,7 @@ ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
                        const std::vector<GroundStation> &stations, double t0,
                        double t1) const
 {
+    KODAN_PROFILE_SCOPE("ground.contact.scan");
     std::vector<ContactWindow> all;
     for (std::size_t s = 0; s < sats.size(); ++s) {
         for (std::size_t g = 0; g < stations.size(); ++g) {
@@ -114,6 +117,7 @@ ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
               [](const ContactWindow &a, const ContactWindow &b) {
                   return a.start < b.start;
               });
+    KODAN_COUNT_ADD("ground.contact.windows.scanned", all.size());
     return all;
 }
 

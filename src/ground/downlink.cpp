@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+
+#include "telemetry/telemetry.hpp"
 
 namespace kodan::ground {
 
@@ -31,6 +34,7 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
                                  double t1) const
 {
     assert(t1 >= t0);
+    KODAN_PROFILE_SCOPE("ground.segment.allocate");
     Allocation result;
     result.seconds_per_satellite.assign(satellite_count, 0.0);
     result.passes_per_satellite.assign(satellite_count, 0);
@@ -80,6 +84,17 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
                 last_served[g] = best;
             }
         }
+    }
+    if (telemetry::enabled()) {
+        std::int64_t passes = 0;
+        for (const auto count : result.passes_per_satellite) {
+            passes += count;
+        }
+        KODAN_COUNT_ADD("ground.segment.passes.granted", passes);
+        KODAN_GAUGE_ADD("ground.segment.busy_s",
+                        result.busy_station_seconds);
+        KODAN_GAUGE_ADD("ground.segment.idle_s",
+                        result.idle_station_seconds);
     }
     return result;
 }

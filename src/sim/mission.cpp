@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "sense/wrs.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -103,6 +104,7 @@ MissionSim::run(const MissionConfig &config,
 {
     assert(!config.satellites.empty());
     assert(!config.stations.empty());
+    KODAN_PROFILE_SCOPE("sim.mission.run");
 
     std::vector<orbit::J2Propagator> sats;
     sats.reserve(config.satellites.size());
@@ -121,6 +123,7 @@ MissionSim::run(const MissionConfig &config,
     MissionResult result;
     result.idle_station_seconds = allocation.idle_station_seconds;
     result.busy_station_seconds = allocation.busy_station_seconds;
+    KODAN_COUNT_ADD("ground.contact.windows.found", windows.size());
 
     const double frame_bits = config.camera.frameBits();
     const sense::WrsGrid grid;
@@ -222,6 +225,25 @@ MissionSim::run(const MissionConfig &config,
             drain(raws);
         } else {
             drain(fifo);
+        }
+
+        // Bulk accounting per satellite, after the tick loop, so the
+        // instrumented path adds no per-frame work.
+        if (telemetry::enabled()) {
+            KODAN_TRACE_SPAN("sim.satellite.tick");
+            KODAN_COUNT_ADD("sim.frames.observed",
+                            sat_result.frames_observed);
+            KODAN_COUNT_ADD("sim.frames.processed",
+                            sat_result.frames_processed);
+            double queued_bits = 0.0;
+            for (const auto &item : fifo) {
+                queued_bits += item.bits;
+            }
+            KODAN_GAUGE_ADD("ground.downlink.bits_queued", queued_bits);
+            KODAN_GAUGE_ADD("ground.downlink.bits_drained",
+                            sat_result.bits_downlinked);
+            KODAN_GAUGE_ADD("ground.contact.seconds_granted",
+                            sat_result.contact_seconds);
         }
 
         result.per_satellite[s] = sat_result;

@@ -1,0 +1,173 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace kodan::telemetry {
+
+namespace {
+
+const char *
+kindName(MetricSample::Kind kind)
+{
+    switch (kind) {
+      case MetricSample::Kind::Counter:
+        return "counter";
+      case MetricSample::Kind::Gauge:
+        return "gauge";
+      case MetricSample::Kind::Histogram:
+        return "histogram";
+      case MetricSample::Kind::Timer:
+        return "timer";
+    }
+    return "?";
+}
+
+/** Shortest round-trip double formatting (JSON-safe, no locale). */
+std::string
+jsonNumber(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeMetricsJson(const RegistrySnapshot &snapshot, std::ostream &os)
+{
+    os << "{\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+        const MetricSample &m = snapshot.metrics[i];
+        os << "    {\"name\": \"" << jsonEscape(m.name) << "\", \"type\": \""
+           << kindName(m.kind) << "\"";
+        switch (m.kind) {
+          case MetricSample::Kind::Counter:
+            os << ", \"value\": " << m.count;
+            break;
+          case MetricSample::Kind::Gauge:
+            os << ", \"value\": " << jsonNumber(m.sum);
+            break;
+          case MetricSample::Kind::Histogram: {
+            os << ", \"count\": " << m.count
+               << ", \"sum\": " << jsonNumber(m.sum) << ", \"edges\": [";
+            for (std::size_t e = 0; e < m.edges.size(); ++e) {
+                os << (e > 0 ? ", " : "") << jsonNumber(m.edges[e]);
+            }
+            os << "], \"buckets\": [";
+            for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+                os << (b > 0 ? ", " : "") << m.buckets[b];
+            }
+            os << "]";
+            break;
+          }
+          case MetricSample::Kind::Timer:
+            os << ", \"count\": " << m.count
+               << ", \"total_s\": " << jsonNumber(m.sum)
+               << ", \"max_s\": " << jsonNumber(m.max);
+            break;
+        }
+        os << "}" << (i + 1 < snapshot.metrics.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeMetricsTable(const RegistrySnapshot &snapshot, std::ostream &os)
+{
+    util::TablePrinter table({"metric", "type", "count", "value"});
+    for (const MetricSample &m : snapshot.metrics) {
+        std::string value;
+        switch (m.kind) {
+          case MetricSample::Kind::Counter:
+            value = util::TablePrinter::fmt(
+                static_cast<long long>(m.count));
+            break;
+          case MetricSample::Kind::Gauge:
+            value = util::TablePrinter::fmt(m.sum, 6);
+            break;
+          case MetricSample::Kind::Histogram: {
+            std::ostringstream buckets;
+            const auto counts = m.buckets;
+            for (std::size_t b = 0; b < counts.size(); ++b) {
+                buckets << (b > 0 ? "/" : "") << counts[b];
+            }
+            value = buckets.str();
+            break;
+          }
+          case MetricSample::Kind::Timer:
+            value = util::TablePrinter::fmt(m.sum, 6) + " s (max " +
+                    util::TablePrinter::fmt(m.max, 6) + " s)";
+            break;
+        }
+        table.addRow({m.name, kindName(m.kind),
+                      util::TablePrinter::fmt(
+                          static_cast<long long>(m.count)),
+                      value});
+    }
+    table.print(os);
+}
+
+void
+writeChromeTrace(const std::vector<TraceEvent> &events,
+                 std::uint64_t dropped, std::ostream &os)
+{
+    os << "{\"otherData\": {\"tool\": \"kodan::telemetry\", "
+          "\"dropped_events\": "
+       << dropped << "},\n\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        os << "  {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"kodan\", \"pid\": 1, \"tid\": " << e.tid
+           << ", \"ts\": " << jsonNumber(e.start_us);
+        if (e.dur_us < 0.0) {
+            os << ", \"ph\": \"i\", \"s\": \"g\"";
+        } else {
+            os << ", \"ph\": \"X\", \"dur\": " << jsonNumber(e.dur_us);
+        }
+        os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    os << "]}\n";
+}
+
+} // namespace kodan::telemetry

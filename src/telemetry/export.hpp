@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Snapshot exporters: metrics as JSON or as the repo's fixed-width
+ * `util::table` text format, and traces as Chrome `trace_event` JSON.
+ */
+
+#ifndef KODAN_TELEMETRY_EXPORT_HPP
+#define KODAN_TELEMETRY_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace kodan::telemetry {
+
+/** Write a metrics snapshot as a JSON document. */
+void writeMetricsJson(const RegistrySnapshot &snapshot, std::ostream &os);
+
+/** Write a metrics snapshot as an aligned text table. */
+void writeMetricsTable(const RegistrySnapshot &snapshot, std::ostream &os);
+
+/**
+ * Write events as a Chrome trace_event JSON document ("X" complete
+ * events; instant events as "i"). @p dropped is reported in the trace
+ * metadata.
+ */
+void writeChromeTrace(const std::vector<TraceEvent> &events,
+                      std::uint64_t dropped, std::ostream &os);
+
+/** JSON string escaping (exposed for the exporter tests). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace kodan::telemetry
+
+#endif // KODAN_TELEMETRY_EXPORT_HPP

@@ -1,0 +1,159 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "util/log.hpp"
+
+namespace kodan::telemetry {
+
+namespace {
+
+std::mutex g_output_mutex;
+std::string g_output_path;       // guarded by g_output_mutex
+std::atomic<bool> g_exit_hook_armed{false};
+
+/** foo.json -> foo.trace.json; anything else gets .trace.json appended. */
+std::string
+tracePathFor(const std::string &metrics_path)
+{
+    const std::string suffix = ".json";
+    if (metrics_path.size() > suffix.size() &&
+        metrics_path.compare(metrics_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0) {
+        return metrics_path.substr(0,
+                                   metrics_path.size() - suffix.size()) +
+               ".trace.json";
+    }
+    return metrics_path + ".trace.json";
+}
+
+void
+armExitHook()
+{
+    if (!g_exit_hook_armed.exchange(true)) {
+        std::atexit(&writeOutputs);
+    }
+}
+
+/** Warn+ log lines become counters and instant trace events. */
+void
+logTap(util::LogLevel level, const std::string &message)
+{
+    if (!enabled() ||
+        static_cast<int>(level) < static_cast<int>(util::LogLevel::Warn)) {
+        return;
+    }
+    if (level == util::LogLevel::Warn) {
+        KODAN_COUNT("util.log.warnings.emitted");
+    } else {
+        KODAN_COUNT("util.log.errors.emitted");
+    }
+    Tracer::instance().recordInstant("log: " + message);
+}
+
+} // namespace
+
+namespace detail {
+
+void
+installLogBridge()
+{
+    util::setLogTap(&logTap);
+}
+
+} // namespace detail
+
+bool
+configureFromArgs(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--telemetry-out") == 0 && i + 1 < argc) {
+            setOutputPath(argv[++i]);
+            setEnabled(true);
+        } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+            setOutputPath(arg + 16);
+            setEnabled(true);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (enabled()) {
+        armExitHook();
+        return true;
+    }
+    return false;
+}
+
+std::string
+outputPath()
+{
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    return g_output_path;
+}
+
+void
+setOutputPath(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        g_output_path = path;
+    }
+    armExitHook();
+}
+
+void
+writeOutputs()
+{
+    if (!enabled()) {
+        return;
+    }
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        path = g_output_path;
+    }
+    const RegistrySnapshot snapshot = registry().snapshot();
+    if (path.empty()) {
+        std::cerr << "[kodan-telemetry] metrics snapshot:\n";
+        writeMetricsTable(snapshot, std::cerr);
+        return;
+    }
+    std::ofstream metrics_file(path);
+    if (!metrics_file) {
+        std::cerr << "[kodan-telemetry] cannot write " << path << "\n";
+    } else {
+        writeMetricsJson(snapshot, metrics_file);
+        std::cerr << "[kodan-telemetry] wrote metrics snapshot to "
+                  << path << "\n";
+    }
+    const std::string trace_path = tracePathFor(path);
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+        std::cerr << "[kodan-telemetry] cannot write " << trace_path
+                  << "\n";
+    } else {
+        Tracer &tracer = Tracer::instance();
+        writeChromeTrace(tracer.collect(), tracer.droppedEvents(),
+                         trace_file);
+        std::cerr << "[kodan-telemetry] wrote Chrome trace to "
+                  << trace_path << " (load at chrome://tracing)\n";
+    }
+}
+
+void
+resetAll()
+{
+    registry().reset();
+    Tracer::instance().reset();
+}
+
+} // namespace kodan::telemetry

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scoped-span tracer with per-thread ring buffers and a Chrome
+ * `trace_event` JSON export (load the file at chrome://tracing or
+ * https://ui.perfetto.dev).
+ *
+ * Each thread records into its own fixed-capacity ring (oldest events
+ * overwritten), registered with the global Tracer on first use. Buffers
+ * are owned by the Tracer and never freed, so worker threads that exit
+ * (e.g. when `util::setGlobalThreads` rebuilds the pool) leave their
+ * events collectable. Timestamps are steady-clock microseconds since
+ * tracer start — wall-clock data, intentionally outside the repo's
+ * determinism contract; spans never read the clock while telemetry is
+ * disabled.
+ */
+
+#ifndef KODAN_TELEMETRY_TRACE_HPP
+#define KODAN_TELEMETRY_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace kodan::telemetry {
+
+/** One completed span or instant event. */
+struct TraceEvent
+{
+    std::string name;
+    /** Start, microseconds since tracer start. */
+    double start_us = 0.0;
+    /** Duration in microseconds; < 0 marks an instant event. */
+    double dur_us = 0.0;
+    /** Recording thread's trace id. */
+    int tid = 0;
+};
+
+/**
+ * Fixed-capacity overwrite-oldest event ring of one thread. Pushes are
+ * effectively uncontended (only the owning thread writes); the mutex
+ * exists so collect()/reset() from another thread are race-free.
+ */
+class TraceRing
+{
+  public:
+    TraceRing(int tid, std::size_t capacity);
+
+    void push(TraceEvent event);
+
+    /** Events in recording order (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    int tid() const { return tid_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    int tid_;
+};
+
+/**
+ * The process-wide tracer: hands each thread its ring and merges them
+ * for export.
+ */
+class Tracer
+{
+  public:
+    /** Events each thread's ring holds before overwriting. */
+    static constexpr std::size_t kRingCapacity = 8192;
+
+    static Tracer &instance();
+
+    /** Microseconds since tracer construction (steady clock). */
+    double nowMicros() const;
+
+    /** The calling thread's ring (created and registered on first use). */
+    TraceRing &threadRing();
+
+    /** Record a completed span on the calling thread. */
+    void recordSpan(std::string name, double start_us, double dur_us);
+
+    /** Record an instant event on the calling thread. */
+    void recordInstant(std::string name);
+
+    /** All threads' events merged and sorted by start time. */
+    std::vector<TraceEvent> collect() const;
+
+    /** Total events overwritten across all rings. */
+    std::uint64_t droppedEvents() const;
+
+    /** Drop all recorded events (rings stay registered). */
+    void reset();
+
+  private:
+    Tracer();
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+    int next_tid_ = 1;
+};
+
+/**
+ * RAII span: records [construction, destruction) into the calling
+ * thread's ring when telemetry is enabled. Use via KODAN_TRACE_SPAN.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+    {
+        if (enabled()) {
+            name_ = name;
+            start_us_ = Tracer::instance().nowMicros();
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (name_ != nullptr) {
+            Tracer &tracer = Tracer::instance();
+            tracer.recordSpan(name_, start_us_,
+                              tracer.nowMicros() - start_us_);
+        }
+    }
+
+  private:
+    const char *name_ = nullptr;
+    double start_us_ = 0.0;
+};
+
+} // namespace kodan::telemetry
+
+#endif // KODAN_TELEMETRY_TRACE_HPP

@@ -1,13 +1,20 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace kodan::util {
 
 namespace {
 
 LogLevel global_level = LogLevel::Warn;
+
+std::mutex sink_mutex;
+LogSink global_sink; // null = default stderr sink (guarded by sink_mutex)
+std::atomic<LogTap> global_tap{nullptr};
 
 const char *
 levelName(LogLevel level)
@@ -25,6 +32,12 @@ levelName(LogLevel level)
     return "?";
 }
 
+void
+defaultSink(LogLevel level, const std::string &message)
+{
+    std::cerr << "[kodan " << levelName(level) << "] " << message << '\n';
+}
+
 } // namespace
 
 void
@@ -40,17 +53,45 @@ logLevel()
 }
 
 void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    global_sink = std::move(sink);
+}
+
+void
+setLogTap(LogTap tap)
+{
+    global_tap.store(tap, std::memory_order_release);
+}
+
+void
 logMessage(LogLevel level, const std::string &message)
 {
     if (static_cast<int>(level) < static_cast<int>(global_level)) {
         return;
     }
-    std::cerr << "[kodan " << levelName(level) << "] " << message << '\n';
+    if (const LogTap tap = global_tap.load(std::memory_order_acquire)) {
+        tap(level, message);
+    }
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        sink = global_sink;
+    }
+    if (sink) {
+        sink(level, message);
+    } else {
+        defaultSink(level, message);
+    }
 }
 
 void
 fatal(const std::string &message)
 {
+    if (const LogTap tap = global_tap.load(std::memory_order_acquire)) {
+        tap(LogLevel::Error, message);
+    }
     std::cerr << "[kodan FATAL] " << message << '\n';
     std::exit(1);
 }
@@ -58,6 +99,9 @@ fatal(const std::string &message)
 void
 panic(const std::string &message)
 {
+    if (const LogTap tap = global_tap.load(std::memory_order_acquire)) {
+        tap(LogLevel::Error, message);
+    }
     std::cerr << "[kodan PANIC] " << message << '\n';
     std::abort();
 }

@@ -9,6 +9,7 @@
 #ifndef KODAN_UTIL_LOG_HPP
 #define KODAN_UTIL_LOG_HPP
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -28,6 +29,28 @@ void setLogLevel(LogLevel level);
 
 /** Current global minimum level. */
 LogLevel logLevel();
+
+/**
+ * Destination of emitted log lines. Receives the level and the bare
+ * message (no "[kodan LEVEL]" prefix — formatting is the sink's job).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the sink that receives level-filtered log lines. Passing a
+ * null sink restores the default (formatted line to stderr). Tests use
+ * this to capture or silence output instead of scraping stderr.
+ */
+void setLogSink(LogSink sink);
+
+/**
+ * Secondary observer called for every emitted (post-filter) message in
+ * addition to the sink. A plain function pointer so installation is
+ * race-free; used by kodan::telemetry to mirror Warn+ messages into the
+ * event stream. Pass nullptr to remove.
+ */
+using LogTap = void (*)(LogLevel, const std::string &);
+void setLogTap(LogTap tap);
 
 /** Emit one log line at @p level (filtered by the global level). */
 void logMessage(LogLevel level, const std::string &message);

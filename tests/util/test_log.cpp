@@ -4,6 +4,9 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -71,6 +74,67 @@ TEST_F(LogTest, LevelRoundTrips)
     EXPECT_EQ(logLevel(), LogLevel::Debug);
     setLogLevel(LogLevel::Error);
     EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+TEST_F(LogTest, SinkCapturesInsteadOfStderr)
+{
+    setLogLevel(LogLevel::Info);
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    setLogSink([&](LogLevel level, const std::string &message) {
+        captured.emplace_back(level, message);
+    });
+    CaptureStderr capture;
+    logMessage(LogLevel::Warn, "to the sink");
+    setLogSink(nullptr);
+    EXPECT_EQ(capture.text(), "");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "to the sink");
+}
+
+TEST_F(LogTest, SinkStillLevelFiltered)
+{
+    setLogLevel(LogLevel::Error);
+    int calls = 0;
+    setLogSink([&](LogLevel, const std::string &) { ++calls; });
+    logMessage(LogLevel::Debug, "filtered");
+    logMessage(LogLevel::Error, "passed");
+    setLogSink(nullptr);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(LogTest, NullSinkRestoresDefaultStderr)
+{
+    setLogLevel(LogLevel::Warn);
+    setLogSink([](LogLevel, const std::string &) {});
+    setLogSink(nullptr);
+    CaptureStderr capture;
+    logMessage(LogLevel::Warn, "back to stderr");
+    EXPECT_NE(capture.text().find("back to stderr"), std::string::npos);
+}
+
+namespace {
+std::vector<std::string> tap_messages;
+void
+recordTap(LogLevel, const std::string &message)
+{
+    tap_messages.push_back(message);
+}
+} // namespace
+
+TEST_F(LogTest, TapObservesAlongsideSink)
+{
+    setLogLevel(LogLevel::Warn);
+    tap_messages.clear();
+    setLogTap(&recordTap);
+    int sink_calls = 0;
+    setLogSink([&](LogLevel, const std::string &) { ++sink_calls; });
+    logMessage(LogLevel::Warn, "seen by both");
+    setLogTap(nullptr);
+    setLogSink(nullptr);
+    EXPECT_EQ(sink_calls, 1);
+    ASSERT_EQ(tap_messages.size(), 1u);
+    EXPECT_EQ(tap_messages[0], "seen by both");
 }
 
 TEST_F(LogTest, FatalExitsWithCodeOne)
