@@ -3,8 +3,12 @@
  * Wall-clock speedup of the deterministic parallel execution layer on
  * the three hot paths (transformer sweep, batch runtime, mission sim),
  * swept over thread counts. Results go to stdout and to
- * BENCH_parallel_speedup.json (in KODAN_BENCH_CSV_DIR when set, else the
- * working directory) so the perf trajectory is measurable across PRs.
+ * BENCH_parallel_speedup.run.json (in KODAN_BENCH_CSV_DIR when set, else
+ * the working directory). The committed BENCH_parallel_speedup.json at
+ * the repo root is the cross-PR trajectory maintained by `kodan-report
+ * aggregate` (see scripts/check_regressions.sh) — the raw run file uses
+ * a different name so running the bench from the repo root can never
+ * clobber the trajectory.
  *
  * Every workload is also checked for thread-count invariance while it is
  * being timed: a speedup that changed the numbers would be a bug, not a
@@ -186,7 +190,7 @@ main(int argc, char **argv)
     const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
     const std::string path =
         (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_parallel_speedup.json";
+        "BENCH_parallel_speedup.run.json";
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"hardware_concurrency\": "

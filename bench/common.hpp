@@ -23,9 +23,12 @@
 namespace kodan::bench {
 
 /**
- * Standard harness setup for a bench main: consumes harness flags
- * (currently --telemetry-out <path>, which also enables telemetry)
- * from argv before the bench-specific parsing sees them.
+ * Standard harness setup for a bench main: consumes harness flags from
+ * argv before the bench-specific parsing sees them —
+ *   --telemetry-out <path>  enable metrics/tracing, write the snapshot
+ *                           JSON (+ Chrome trace) at exit;
+ *   --journal-out <path>    enable the flight recorder, write the
+ *                           journal JSONL at exit.
  * Call as the first statement of main.
  */
 void initHarness(int &argc, char **argv);

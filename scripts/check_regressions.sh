@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Telemetry regression smoke: run bench_parallel_speedup and
+# bench_fig02_downlink_gap with the metrics snapshot + flight recorder
+# enabled, then feed the outputs to `kodan-report diff` against the
+# committed baselines in bench/baselines/. Non-zero exit on regression.
+#
+# Usage:
+#   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
+#
+# --rebaseline regenerates bench/baselines/ from the current build and
+# appends an entry (labeled with the current git commit) to the
+# BENCH_parallel_speedup.json trajectory at the repo root, instead of
+# diffing.
+#
+# Baseline caveat: the committed baselines are toolchain-pinned. Counters
+# and journals are bit-deterministic for a given toolchain, but libm
+# transcendentals may differ across platforms and shift even integer
+# readings. The diff therefore guards *behavior* (counters, gauges,
+# journal event streams) with exact tolerance, while timers get a huge
+# tolerance (they measure this machine, not the baseline machine). After
+# a legitimate behavior or toolchain change, rerun with --rebaseline and
+# commit the result.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${KODAN_BUILD_DIR:-$REPO_ROOT/build}"
+REBASELINE=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --build-dir)
+        BUILD_DIR="$2"
+        shift 2
+        ;;
+      --rebaseline)
+        REBASELINE=1
+        shift
+        ;;
+      *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
+
+BASELINES="$REPO_ROOT/bench/baselines"
+REPORT="$BUILD_DIR/tools/kodan-report"
+SPEEDUP_BENCH="$BUILD_DIR/bench/bench_parallel_speedup"
+FIG02_BENCH="$BUILD_DIR/bench/bench_fig02_downlink_gap"
+
+for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH"; do
+    if [[ ! -x "$binary" ]]; then
+        echo "missing binary: $binary (build the repo first)" >&2
+        exit 2
+    fi
+done
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "[check_regressions] running bench_fig02_downlink_gap ..."
+(cd "$WORKDIR" && "$FIG02_BENCH" \
+    --telemetry-out "$WORKDIR/fig02_downlink_gap.metrics.json" \
+    --journal-out "$WORKDIR/fig02_downlink_gap.journal.jsonl" \
+    > /dev/null)
+
+echo "[check_regressions] running bench_parallel_speedup ..."
+(cd "$WORKDIR" && "$SPEEDUP_BENCH" \
+    --telemetry-out "$WORKDIR/parallel_speedup.metrics.json" \
+    > /dev/null)
+
+if [[ "$REBASELINE" -eq 1 ]]; then
+    mkdir -p "$BASELINES"
+    cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
+       "$WORKDIR/fig02_downlink_gap.journal.jsonl" \
+       "$WORKDIR/parallel_speedup.metrics.json" \
+       "$BASELINES/"
+    LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
+             echo local)"
+    "$REPORT" aggregate --name parallel_speedup --label "$LABEL" \
+        --out "$REPO_ROOT/BENCH_parallel_speedup.json" \
+        "$WORKDIR/parallel_speedup.metrics.json"
+    echo "[check_regressions] baselines rebaselined in $BASELINES"
+    exit 0
+fi
+
+STATUS=0
+
+# Timers measure this machine, not the baseline machine: tolerate 100x.
+# Counters and the journal event stream are bit-deterministic; float
+# gauges are shard-merged sums whose last ulp depends on which thread
+# fed which shard, so values get a 1e-9 relative tolerance (tight
+# enough that any integer counter change still fails).
+echo "[check_regressions] diffing fig02_downlink_gap against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/fig02_downlink_gap.metrics.json" \
+    "$WORKDIR/fig02_downlink_gap.metrics.json" \
+    --journal \
+    "$BASELINES/fig02_downlink_gap.journal.jsonl" \
+    "$WORKDIR/fig02_downlink_gap.journal.jsonl" \
+    --tol-timer 100 --tol-value 1e-9 || STATUS=1
+
+echo "[check_regressions] diffing parallel_speedup against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/parallel_speedup.metrics.json" \
+    "$WORKDIR/parallel_speedup.metrics.json" \
+    --tol-timer 100 --tol-value 1e-9 || STATUS=1
+
+if [[ "$STATUS" -ne 0 ]]; then
+    echo "[check_regressions] REGRESSION detected (see report above);" \
+         "if intended, rerun with --rebaseline and commit." >&2
+else
+    echo "[check_regressions] no regressions against committed baselines."
+fi
+exit "$STATUS"

@@ -127,6 +127,27 @@ Runtime::processFrame(const data::FrameSample &frame) const
                         report.compute_time, 0.5, 1.0, 2.0, 4.7, 10.0,
                         22.0, 60.0, 120.0);
     }
+    if (telemetry::journalEnabled()) {
+        // Flight-recorder entries: the per-frame technique decision and
+        // the elision verdict. Derived purely from the finished report —
+        // no feedback into the computation.
+        telemetry::JournalEventBuilder("runtime.frame.decision")
+            .i64("tiles_discarded", report.tiles_discarded)
+            .i64("tiles_downlinked", report.tiles_downlinked)
+            .i64("tiles_modeled", report.tiles_modeled)
+            .f64("compute_time_s", report.compute_time)
+            .f64("product_fraction", report.product_fraction)
+            .f64("dvd_contribution", report.product_high_fraction);
+        const std::int64_t elided =
+            report.tiles_discarded + report.tiles_downlinked;
+        const std::int64_t tiles = elided + report.tiles_modeled;
+        telemetry::JournalEventBuilder("runtime.frame.elision")
+            .text("verdict", elided == 0          ? "none"
+                             : elided == tiles    ? "full"
+                                                  : "partial")
+            .i64("tiles_elided", elided)
+            .i64("tiles_total", tiles);
+    }
     return report;
 }
 
@@ -135,14 +156,28 @@ Runtime::processFrames(const std::vector<data::FrameSample> &frames) const
 {
     KODAN_PROFILE_SCOPE("runtime.batch.process");
     KODAN_COUNT_ADD("runtime.frames.batched", frames.size());
+    // One journal region per batch; frame i records into slot i + 1, so
+    // the exported journal is byte-identical for any KODAN_THREADS.
+    telemetry::JournalRegion journal_region("runtime.batch");
     // Frames are independent; per-frame reports land at their frame
     // index and are reduced in that order, so the batch aggregate is
     // bit-identical to the serial loop for any thread count.
     std::vector<FrameReport> reports(frames.size());
     util::parallelFor(frames.size(), [&](std::size_t i) {
+        telemetry::JournalScope journal_scope(journal_region.id(), i);
         reports[i] = processFrame(frames[i]);
     });
-    return aggregate(reports);
+    FrameReport total = aggregate(reports);
+    if (telemetry::journalEnabled()) {
+        telemetry::JournalEventBuilder("runtime.batch.aggregate")
+            .i64("frames", static_cast<std::int64_t>(frames.size()))
+            .f64("mean_compute_time_s", total.compute_time)
+            .f64("mean_product_fraction", total.product_fraction)
+            .i64("tiles_discarded", total.tiles_discarded)
+            .i64("tiles_downlinked", total.tiles_downlinked)
+            .i64("tiles_modeled", total.tiles_modeled);
+    }
+    return total;
 }
 
 FrameReport

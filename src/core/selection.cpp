@@ -161,13 +161,25 @@ SelectionOptimizer::optimize(
     assert(!tables.empty());
     KODAN_PROFILE_SCOPE("selection.sweep.optimize");
     KODAN_COUNT_ADD("selection.tilings.swept", tables.size());
+    // Flight recorder: the sweep is one journal region; tiling i records
+    // its candidate outcome into slot i + 1 and the winner lands on the
+    // region's own lane, deterministically for any KODAN_THREADS.
+    telemetry::JournalRegion journal_region("selection.sweep");
     // Each tiling's candidate optimization is independent; the winner is
     // picked serially in table order afterwards, so the selected logic
     // is bit-identical to the serial sweep for any thread count.
     std::vector<std::pair<std::vector<Action>, DeploymentOutcome>>
         per_table(tables.size());
     util::parallelFor(tables.size(), [&](std::size_t i) {
+        telemetry::JournalScope journal_scope(journal_region.id(), i);
         per_table[i] = optimizeAtTiling(profile, tables[i]);
+        if (telemetry::journalEnabled()) {
+            telemetry::JournalEventBuilder("selection.tiling.result")
+                .i64("tiles_per_side", tables[i].tiles_per_side)
+                .f64("dvd", per_table[i].second.dvd)
+                .f64("high_bits_sent", per_table[i].second.high_bits_sent)
+                .f64("frame_time_s", per_table[i].second.frame_time);
+        }
     });
 
     SweepResult result;
@@ -182,6 +194,13 @@ SelectionOptimizer::optimize(
             result.logic.per_context = std::move(actions);
             result.outcome = outcome;
         }
+    }
+    if (telemetry::journalEnabled()) {
+        telemetry::JournalEventBuilder("selection.sweep.selected")
+            .i64("tiles_per_side", result.logic.tiles_per_side)
+            .f64("dvd", result.outcome.dvd)
+            .f64("high_bits_sent", result.outcome.high_bits_sent)
+            .f64("frame_time_s", result.outcome.frame_time);
     }
     return result;
 }

@@ -118,6 +118,21 @@ ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
                   return a.start < b.start;
               });
     KODAN_COUNT_ADD("ground.contact.windows.scanned", all.size());
+    if (telemetry::journalEnabled()) {
+        // Flight recorder: one begin/end pair per window, in the sorted
+        // (deterministic) window order on the caller's journal lane.
+        for (const auto &w : all) {
+            telemetry::JournalEventBuilder("ground.contact.begin")
+                .i64("satellite", static_cast<std::int64_t>(w.satellite))
+                .i64("station", static_cast<std::int64_t>(w.station))
+                .f64("t_s", w.start);
+            telemetry::JournalEventBuilder("ground.contact.end")
+                .i64("satellite", static_cast<std::int64_t>(w.satellite))
+                .i64("station", static_cast<std::int64_t>(w.station))
+                .f64("t_s", w.end)
+                .f64("duration_s", w.duration());
+        }
+    }
     return all;
 }
 

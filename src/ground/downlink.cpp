@@ -96,6 +96,23 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
         KODAN_GAUGE_ADD("ground.segment.idle_s",
                         result.idle_station_seconds);
     }
+    if (telemetry::journalEnabled()) {
+        std::int64_t passes = 0;
+        double granted_s = 0.0;
+        for (const auto count : result.passes_per_satellite) {
+            passes += count;
+        }
+        for (const double seconds : result.seconds_per_satellite) {
+            granted_s += seconds;
+        }
+        telemetry::JournalEventBuilder("ground.segment.allocation")
+            .i64("satellites",
+                 static_cast<std::int64_t>(satellite_count))
+            .i64("passes_granted", passes)
+            .f64("seconds_granted", granted_s)
+            .f64("busy_s", result.busy_station_seconds)
+            .f64("idle_s", result.idle_station_seconds);
+    }
     return result;
 }
 

@@ -105,6 +105,19 @@ MissionSim::run(const MissionConfig &config,
     assert(!config.satellites.empty());
     assert(!config.stations.empty());
     KODAN_PROFILE_SCOPE("sim.mission.run");
+    // Flight recorder: the whole mission is one journal region. The
+    // serial prelude (contact search, ground allocation) records on the
+    // region's own lane; satellite s records into slot s + 1.
+    telemetry::JournalRegion journal_region("sim.mission");
+    if (telemetry::journalEnabled()) {
+        telemetry::JournalEventBuilder("sim.mission.config")
+            .i64("satellites",
+                 static_cast<std::int64_t>(config.satellites.size()))
+            .i64("stations",
+                 static_cast<std::int64_t>(config.stations.size()))
+            .f64("duration_s", config.duration)
+            .i64("seed", static_cast<std::int64_t>(config.seed));
+    }
 
     std::vector<orbit::J2Propagator> sats;
     sats.reserve(config.satellites.size());
@@ -135,6 +148,7 @@ MissionSim::run(const MissionConfig &config,
     // independent of thread count and of the other satellites.
     result.per_satellite.resize(sats.size());
     util::parallelFor(sats.size(), [&](std::size_t s) {
+        telemetry::JournalScope journal_scope(journal_region.id(), s);
         util::Rng rng(util::splitMix64(config.seed ^
                                        (0x5A7E111E5ULL + s)));
         SatelliteResult sat_result;
@@ -205,10 +219,13 @@ MissionSim::run(const MissionConfig &config,
         double budget = config.radio.bitsForContact(
             allocation.seconds_per_satellite[s],
             allocation.passes_per_satellite[s]);
+        std::int64_t items_sent = 0;    // got (some) downlink budget
+        std::int64_t items_dropped = 0; // budget exhausted before them
         auto drain = [&](const std::vector<QueueItem> &queue) {
             for (const auto &item : queue) {
                 if (budget <= 0.0) {
-                    break;
+                    ++items_dropped;
+                    continue;
                 }
                 const double sent = std::min(budget, item.bits);
                 const double frac =
@@ -218,6 +235,7 @@ MissionSim::run(const MissionConfig &config,
                 sat_result.frames_downlinked +=
                     frame_bits > 0.0 ? sent / frame_bits : 0.0;
                 budget -= sent;
+                ++items_sent;
             }
         };
         if (filter.prioritize_products) {
@@ -245,9 +263,35 @@ MissionSim::run(const MissionConfig &config,
             KODAN_GAUGE_ADD("ground.contact.seconds_granted",
                             sat_result.contact_seconds);
         }
+        if (telemetry::journalEnabled()) {
+            telemetry::JournalEventBuilder("sim.satellite.queue")
+                .i64("products_queued",
+                     static_cast<std::int64_t>(products.size()))
+                .i64("raws_queued",
+                     static_cast<std::int64_t>(raws.size()))
+                .i64("items_sent", items_sent)
+                .i64("items_dropped", items_dropped)
+                .f64("bits_downlinked", sat_result.bits_downlinked);
+            telemetry::JournalEventBuilder("sim.satellite.summary")
+                .i64("frames_observed", sat_result.frames_observed)
+                .i64("frames_processed", sat_result.frames_processed)
+                .f64("frames_downlinked", sat_result.frames_downlinked)
+                .f64("high_bits_downlinked",
+                     sat_result.high_bits_downlinked)
+                .f64("contact_seconds", sat_result.contact_seconds);
+        }
 
         result.per_satellite[s] = sat_result;
     });
+    if (telemetry::journalEnabled()) {
+        const SatelliteResult totals = result.totals();
+        telemetry::JournalEventBuilder("sim.mission.totals")
+            .i64("frames_observed", totals.frames_observed)
+            .i64("frames_processed", totals.frames_processed)
+            .f64("frames_downlinked", totals.frames_downlinked)
+            .f64("bits_downlinked", totals.bits_downlinked)
+            .f64("high_bits_downlinked", totals.high_bits_downlinked);
+    }
     return result;
 }
 

@@ -1,5 +1,6 @@
 #include "telemetry/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -36,6 +37,47 @@ jsonNumber(double value)
 }
 
 } // namespace
+
+double
+histogramQuantile(const std::vector<double> &edges,
+                  const std::vector<std::int64_t> &buckets, double q)
+{
+    std::int64_t count = 0;
+    for (const std::int64_t bucket : buckets) {
+        count += bucket;
+    }
+    if (count <= 0 || edges.empty()) {
+        return 0.0;
+    }
+    if (q < 0.0) {
+        q = 0.0;
+    }
+    if (q > 1.0) {
+        q = 1.0;
+    }
+    const double rank = q * static_cast<double>(count);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const double in_bucket = static_cast<double>(buckets[b]);
+        if (in_bucket <= 0.0) {
+            continue;
+        }
+        if (cumulative + in_bucket >= rank) {
+            if (b >= edges.size()) {
+                // Overflow bucket: no upper bound recorded; clamp.
+                return edges.back();
+            }
+            const double hi = edges[b];
+            const double lo =
+                b == 0 ? std::min(0.0, edges[0]) : edges[b - 1];
+            const double fraction =
+                std::max(0.0, rank - cumulative) / in_bucket;
+            return lo + fraction * (hi - lo);
+        }
+        cumulative += in_bucket;
+    }
+    return edges.back();
+}
 
 std::string
 jsonEscape(const std::string &text)
@@ -98,7 +140,12 @@ writeMetricsJson(const RegistrySnapshot &snapshot, std::ostream &os)
             for (std::size_t b = 0; b < m.buckets.size(); ++b) {
                 os << (b > 0 ? ", " : "") << m.buckets[b];
             }
-            os << "]";
+            os << "], \"p50\": "
+               << jsonNumber(histogramQuantile(m.edges, m.buckets, 0.50))
+               << ", \"p95\": "
+               << jsonNumber(histogramQuantile(m.edges, m.buckets, 0.95))
+               << ", \"p99\": "
+               << jsonNumber(histogramQuantile(m.edges, m.buckets, 0.99));
             break;
           }
           case MetricSample::Kind::Timer:
@@ -132,6 +179,16 @@ writeMetricsTable(const RegistrySnapshot &snapshot, std::ostream &os)
             for (std::size_t b = 0; b < counts.size(); ++b) {
                 buckets << (b > 0 ? "/" : "") << counts[b];
             }
+            buckets << " (p50 "
+                    << util::TablePrinter::fmt(
+                           histogramQuantile(m.edges, m.buckets, 0.50), 4)
+                    << ", p95 "
+                    << util::TablePrinter::fmt(
+                           histogramQuantile(m.edges, m.buckets, 0.95), 4)
+                    << ", p99 "
+                    << util::TablePrinter::fmt(
+                           histogramQuantile(m.edges, m.buckets, 0.99), 4)
+                    << ")";
             value = buckets.str();
             break;
           }

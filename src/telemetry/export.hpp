@@ -16,7 +16,25 @@
 
 namespace kodan::telemetry {
 
-/** Write a metrics snapshot as a JSON document. */
+/**
+ * Quantile estimate from fixed-bucket histogram counts: finds the
+ * bucket containing rank q * count and interpolates linearly within its
+ * edge span. Bucket 0 spans [min(0, edges[0]), edges[0]]; the overflow
+ * bucket clamps to the last edge (the histogram records no upper
+ * bound). Returns 0 for an empty histogram. Derived purely from the
+ * deterministic bucket counts, so the estimate is thread-count
+ * invariant like every other integer reading.
+ *
+ * @param edges Bucket upper bounds (as registered).
+ * @param buckets Per-bucket counts (edges.size() + 1 entries).
+ * @param q Quantile in [0, 1] (0.5 = p50).
+ */
+double histogramQuantile(const std::vector<double> &edges,
+                         const std::vector<std::int64_t> &buckets,
+                         double q);
+
+/** Write a metrics snapshot as a JSON document. Histogram entries carry
+ *  p50/p95/p99 estimates (see histogramQuantile). */
 void writeMetricsJson(const RegistrySnapshot &snapshot, std::ostream &os);
 
 /** Write a metrics snapshot as an aligned text table. */

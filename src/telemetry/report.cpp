@@ -1,0 +1,583 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace kodan::telemetry::report {
+
+namespace {
+
+namespace json = kodan::util::json;
+
+/** %.17g round-trip formatting, matching the exporters. */
+std::string
+num(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string
+percentDelta(double base, double cur)
+{
+    if (base == 0.0) {
+        return cur == 0.0 ? "+0%" : "new-from-zero";
+    }
+    const double pct = 100.0 * (cur - base) / std::fabs(base);
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%", pct);
+    return buffer;
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string *error)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        if (error != nullptr) {
+            *error = "cannot open " + path;
+        }
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    out = text.str();
+    return true;
+}
+
+void
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr) {
+        *error = message;
+    }
+}
+
+/** Re-serialize a parsed journal "fields" object deterministically. */
+std::string
+canonicalFields(const json::Value &fields)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : fields.members()) {
+        if (!first) {
+            out += ", ";
+        }
+        first = false;
+        out += key + "=";
+        switch (value.kind()) {
+          case json::Value::Kind::Number:
+            out += num(value.asNumber());
+            break;
+          case json::Value::Kind::String:
+            out += "\"" + value.asString() + "\"";
+            break;
+          case json::Value::Kind::Bool:
+            out += value.asBool() ? "true" : "false";
+            break;
+          default:
+            out += "?";
+        }
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Snapshot loading                                                    */
+/* ------------------------------------------------------------------ */
+
+const MetricReading *
+Snapshot::find(const std::string &name) const
+{
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricReading &m, const std::string &n) {
+            return m.name < n;
+        });
+    if (it != metrics.end() && it->name == name) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+bool
+parseSnapshot(const std::string &text, Snapshot &out, std::string *error)
+{
+    json::Value doc;
+    if (!json::parse(text, doc, error)) {
+        return false;
+    }
+    const json::Value *metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->isArray()) {
+        fail(error, "snapshot has no \"metrics\" array");
+        return false;
+    }
+    out.metrics.clear();
+    for (const json::Value &entry : metrics->array()) {
+        if (!entry.isObject()) {
+            fail(error, "snapshot metric entry is not an object");
+            return false;
+        }
+        MetricReading m;
+        m.name = entry.stringOr("name", "");
+        m.type = entry.stringOr("type", "");
+        if (m.name.empty() || m.type.empty()) {
+            fail(error, "snapshot metric entry lacks name/type");
+            return false;
+        }
+        if (m.type == "counter") {
+            m.count =
+                static_cast<std::int64_t>(entry.numberOr("value", 0.0));
+        } else if (m.type == "gauge") {
+            m.sum = entry.numberOr("value", 0.0);
+        } else if (m.type == "timer") {
+            m.count =
+                static_cast<std::int64_t>(entry.numberOr("count", 0.0));
+            m.sum = entry.numberOr("total_s", 0.0);
+            m.max = entry.numberOr("max_s", 0.0);
+        } else {
+            // histogram (and any future kind): generic count/sum/max.
+            m.count =
+                static_cast<std::int64_t>(entry.numberOr("count", 0.0));
+            m.sum = entry.numberOr("sum", 0.0);
+            m.max = entry.numberOr("max", 0.0);
+        }
+        out.metrics.push_back(std::move(m));
+    }
+    std::sort(out.metrics.begin(), out.metrics.end(),
+              [](const MetricReading &a, const MetricReading &b) {
+                  return a.name < b.name;
+              });
+    return true;
+}
+
+bool
+loadSnapshot(const std::string &path, Snapshot &out, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    if (!parseSnapshot(text, out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    return true;
+}
+
+/* ------------------------------------------------------------------ */
+/* Journal loading                                                     */
+/* ------------------------------------------------------------------ */
+
+bool
+parseJournal(const std::string &text, JournalDoc &out, std::string *error)
+{
+    std::vector<json::Value> lines;
+    if (!json::parseLines(text, lines, error)) {
+        return false;
+    }
+    if (lines.empty()) {
+        fail(error, "journal is empty (missing header line)");
+        return false;
+    }
+    const json::Value &header = lines.front();
+    if (header.find("kodan_journal") == nullptr) {
+        fail(error, "first journal line is not a kodan_journal header");
+        return false;
+    }
+    out.declared_events =
+        static_cast<std::uint64_t>(header.numberOr("events", 0.0));
+    out.dropped = static_cast<std::uint64_t>(header.numberOr("dropped", 0.0));
+    out.events.clear();
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const json::Value &entry = lines[i];
+        JournalLine line;
+        line.seq = static_cast<std::uint64_t>(entry.numberOr("seq", 0.0));
+        line.type = entry.stringOr("type", "");
+        if (line.type.empty()) {
+            fail(error,
+                 "journal line " + std::to_string(i + 1) + " lacks a type");
+            return false;
+        }
+        // The canonical form excludes seq (purely positional) so an
+        // inserted event shows up as one divergence, not a tail of
+        // renumbered lines.
+        std::string canonical =
+            "region " + num(entry.numberOr("region", 0.0)) + " slot " +
+            num(entry.numberOr("slot", 0.0)) + " ord " +
+            num(entry.numberOr("ord", 0.0)) + " " + line.type + " ";
+        const json::Value *fields = entry.find("fields");
+        canonical += fields != nullptr ? canonicalFields(*fields) : "{}";
+        line.canonical = std::move(canonical);
+        out.events.push_back(std::move(line));
+    }
+    return true;
+}
+
+bool
+loadJournal(const std::string &path, JournalDoc &out, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    if (!parseJournal(text, out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    return true;
+}
+
+/* ------------------------------------------------------------------ */
+/* Diffing                                                             */
+/* ------------------------------------------------------------------ */
+
+bool
+Tolerances::ignored(const std::string &name) const
+{
+    for (const std::string &prefix : ignore_prefixes) {
+        if (name.compare(0, prefix.size(), prefix) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+Tolerances::relFor(const MetricReading &metric) const
+{
+    for (const auto &[name, tol] : overrides) {
+        if (name == metric.name) {
+            return tol;
+        }
+    }
+    return metric.type == "timer" ? timer_rel : value_rel;
+}
+
+bool
+DiffResult::hasRegression() const
+{
+    return regressionCount() > 0;
+}
+
+std::size_t
+DiffResult::regressionCount() const
+{
+    std::size_t n = 0;
+    for (const Finding &finding : findings) {
+        if (finding.severity == Severity::Regression) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+namespace {
+
+void
+add(DiffResult &diff, Severity severity, std::string subject,
+    std::string message)
+{
+    diff.findings.push_back(
+        {severity, std::move(subject), std::move(message)});
+}
+
+/** |cur - base| within rel * max(|base|, scale-floor)? */
+bool
+withinRel(double base, double cur, double rel, double floor_scale)
+{
+    const double allowed = rel * std::max(std::fabs(base), floor_scale);
+    return std::fabs(cur - base) <= allowed;
+}
+
+void
+diffOne(DiffResult &diff, const MetricReading &base,
+        const MetricReading &cur, const Tolerances &tol)
+{
+    if (base.type != cur.type) {
+        add(diff, Severity::Regression, base.name,
+            "type changed: " + base.type + " -> " + cur.type);
+        return;
+    }
+    const double rel = tol.relFor(base);
+    if (base.type == "timer") {
+        if (base.sum < tol.timer_floor_s && cur.sum < tol.timer_floor_s) {
+            return; // both below the noise floor
+        }
+        const double allowed =
+            std::max(base.sum * (1.0 + rel), tol.timer_floor_s);
+        if (cur.sum > allowed) {
+            add(diff, Severity::Regression, base.name,
+                "timer slowed: " + num(base.sum) + " s -> " + num(cur.sum) +
+                    " s (" + percentDelta(base.sum, cur.sum) +
+                    ", tolerance " + percentDelta(1.0, 1.0 + rel) + ")");
+        } else if (cur.sum * (1.0 + rel) < base.sum) {
+            add(diff, Severity::Info, base.name,
+                "timer improved: " + num(base.sum) + " s -> " +
+                    num(cur.sum) + " s (" +
+                    percentDelta(base.sum, cur.sum) + ")");
+        }
+        return;
+    }
+    if (base.type == "counter" || base.type == "histogram") {
+        if (!withinRel(static_cast<double>(base.count),
+                       static_cast<double>(cur.count), rel, 1.0)) {
+            add(diff, Severity::Regression, base.name,
+                base.type + " count changed: " +
+                    std::to_string(base.count) + " -> " +
+                    std::to_string(cur.count) + " (" +
+                    percentDelta(static_cast<double>(base.count),
+                                 static_cast<double>(cur.count)) +
+                    ")");
+            return;
+        }
+    }
+    if (base.type == "gauge" || base.type == "histogram") {
+        if (!withinRel(base.sum, cur.sum, rel, 1e-12)) {
+            add(diff, Severity::Regression, base.name,
+                base.type + " value changed: " + num(base.sum) + " -> " +
+                    num(cur.sum) + " (" + percentDelta(base.sum, cur.sum) +
+                    ")");
+        }
+    }
+}
+
+} // namespace
+
+DiffResult
+diffSnapshots(const Snapshot &base, const Snapshot &cur,
+              const Tolerances &tol)
+{
+    DiffResult diff;
+    for (const MetricReading &m : base.metrics) {
+        if (tol.ignored(m.name)) {
+            continue;
+        }
+        const MetricReading *other = cur.find(m.name);
+        if (other == nullptr) {
+            add(diff, Severity::Regression, m.name,
+                "present in baseline, missing from current run");
+            continue;
+        }
+        diffOne(diff, m, *other, tol);
+    }
+    for (const MetricReading &m : cur.metrics) {
+        if (!tol.ignored(m.name) && base.find(m.name) == nullptr) {
+            add(diff, Severity::Info, m.name,
+                "new metric (absent from baseline)");
+        }
+    }
+    return diff;
+}
+
+DiffResult
+diffJournals(const JournalDoc &base, const JournalDoc &cur,
+             std::size_t max_reported)
+{
+    DiffResult diff;
+    if (base.events.size() != cur.events.size()) {
+        add(diff, Severity::Regression, "journal",
+            "event count changed: " + std::to_string(base.events.size()) +
+                " -> " + std::to_string(cur.events.size()));
+    }
+    if (base.dropped != cur.dropped) {
+        add(diff, Severity::Info, "journal",
+            "dropped-event count changed: " +
+                std::to_string(base.dropped) + " -> " +
+                std::to_string(cur.dropped));
+    }
+    const std::size_t n = std::min(base.events.size(), cur.events.size());
+    std::size_t reported = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (base.events[i].canonical == cur.events[i].canonical) {
+            continue;
+        }
+        if (reported < max_reported) {
+            add(diff, Severity::Regression,
+                "event #" + std::to_string(i) + " (" + base.events[i].type +
+                    ")",
+                "baseline [" + base.events[i].canonical +
+                    "] != current [" + cur.events[i].canonical + "]");
+        }
+        ++reported;
+    }
+    if (reported > max_reported) {
+        add(diff, Severity::Regression, "journal",
+            std::to_string(reported - max_reported) +
+                " further event divergence(s) not listed");
+    }
+    return diff;
+}
+
+DiffResult
+mergeDiffs(DiffResult a, const DiffResult &b)
+{
+    a.findings.insert(a.findings.end(), b.findings.begin(),
+                      b.findings.end());
+    return a;
+}
+
+void
+writeMarkdown(const DiffResult &diff, const std::string &base_label,
+              const std::string &cur_label, std::ostream &os)
+{
+    os << "# kodan-report: `" << base_label << "` vs `" << cur_label
+       << "`\n\n";
+    const std::size_t regressions = diff.regressionCount();
+    if (regressions > 0) {
+        os << "**Verdict: REGRESSION** — " << regressions
+           << " regression finding(s), "
+           << diff.findings.size() - regressions << " informational.\n\n";
+    } else if (!diff.findings.empty()) {
+        os << "**Verdict: OK** — no regressions; "
+           << diff.findings.size() << " informational finding(s).\n\n";
+    } else {
+        os << "**Verdict: OK** — no differences beyond tolerance.\n\n";
+    }
+    if (diff.findings.empty()) {
+        return;
+    }
+    os << "| severity | subject | detail |\n";
+    os << "| --- | --- | --- |\n";
+    for (const Finding &finding : diff.findings) {
+        os << "| "
+           << (finding.severity == Severity::Regression ? "REGRESSION"
+                                                        : "info")
+           << " | `" << finding.subject << "` | " << finding.message
+           << " |\n";
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Trajectories                                                        */
+/* ------------------------------------------------------------------ */
+
+bool
+parseTrajectory(const std::string &text, Trajectory &out,
+                std::string *error)
+{
+    json::Value doc;
+    if (!json::parse(text, doc, error)) {
+        return false;
+    }
+    out.name = doc.stringOr("name", "");
+    if (out.name.empty()) {
+        fail(error, "trajectory has no \"name\"");
+        return false;
+    }
+    out.entries.clear();
+    const json::Value *entries = doc.find("entries");
+    if (entries == nullptr) {
+        return true; // empty trajectory
+    }
+    if (!entries->isArray()) {
+        fail(error, "trajectory \"entries\" is not an array");
+        return false;
+    }
+    for (const json::Value &raw : entries->array()) {
+        TrajectoryEntry entry;
+        entry.label = raw.stringOr("label", "");
+        const json::Value *metrics = raw.find("metrics");
+        if (metrics != nullptr && metrics->isArray()) {
+            for (const json::Value &m : metrics->array()) {
+                MetricReading reading;
+                reading.name = m.stringOr("name", "");
+                reading.type = m.stringOr("type", "");
+                reading.count =
+                    static_cast<std::int64_t>(m.numberOr("count", 0.0));
+                reading.sum = m.numberOr("sum", 0.0);
+                reading.max = m.numberOr("max", 0.0);
+                entry.snapshot.metrics.push_back(std::move(reading));
+            }
+            std::sort(entry.snapshot.metrics.begin(),
+                      entry.snapshot.metrics.end(),
+                      [](const MetricReading &a, const MetricReading &b) {
+                          return a.name < b.name;
+                      });
+        }
+        out.entries.push_back(std::move(entry));
+    }
+    return true;
+}
+
+void
+writeTrajectory(const Trajectory &trajectory, std::ostream &os)
+{
+    os << "{\n  \"name\": \"" << trajectory.name
+       << "\",\n  \"entries\": [\n";
+    for (std::size_t e = 0; e < trajectory.entries.size(); ++e) {
+        const TrajectoryEntry &entry = trajectory.entries[e];
+        os << "    {\"label\": \"" << entry.label
+           << "\", \"metrics\": [\n";
+        const auto &metrics = entry.snapshot.metrics;
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            const MetricReading &m = metrics[i];
+            os << "      {\"name\": \"" << m.name << "\", \"type\": \""
+               << m.type << "\", \"count\": " << m.count
+               << ", \"sum\": " << num(m.sum)
+               << ", \"max\": " << num(m.max) << "}"
+               << (i + 1 < metrics.size() ? "," : "") << "\n";
+        }
+        os << "    ]}" << (e + 1 < trajectory.entries.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+bool
+appendTrajectory(const std::string &path, const std::string &name,
+                 const TrajectoryEntry &entry, std::string *error)
+{
+    Trajectory trajectory;
+    std::string text;
+    std::ifstream existing(path, std::ios::binary);
+    if (existing) {
+        std::ostringstream buffer;
+        buffer << existing.rdbuf();
+        text = buffer.str();
+    }
+    existing.close();
+    if (!text.empty()) {
+        if (!parseTrajectory(text, trajectory, error)) {
+            if (error != nullptr) {
+                *error = path + ": " + *error;
+            }
+            return false;
+        }
+    } else {
+        trajectory.name = name;
+    }
+    bool replaced = false;
+    for (TrajectoryEntry &existing_entry : trajectory.entries) {
+        if (existing_entry.label == entry.label) {
+            existing_entry = entry;
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced) {
+        trajectory.entries.push_back(entry);
+    }
+    std::ofstream out_file(path, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+        fail(error, "cannot write " + path);
+        return false;
+    }
+    writeTrajectory(trajectory, out_file);
+    return true;
+}
+
+} // namespace kodan::telemetry::report

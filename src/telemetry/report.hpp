@@ -1,0 +1,173 @@
+/**
+ * @file
+ * kodan-report engine: load metrics snapshots (writeMetricsJson output)
+ * and flight-recorder journals (writeJournalJsonl output), diff two
+ * runs with configurable tolerances, emit a markdown summary, and
+ * maintain BENCH_<name>.json trajectory files.
+ *
+ * Lives in the kodan_telemetry library (not the CLI) so the gtest
+ * targets exercise the exact code the `kodan-report` binary ships.
+ */
+
+#ifndef KODAN_TELEMETRY_REPORT_HPP
+#define KODAN_TELEMETRY_REPORT_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kodan::telemetry::report {
+
+/** One metric parsed back from a snapshot JSON. */
+struct MetricReading
+{
+    std::string name;
+    std::string type;      ///< counter | gauge | histogram | timer
+    std::int64_t count = 0; ///< counter value / histogram+timer count
+    double sum = 0.0;       ///< gauge value / histogram sum / timer total_s
+    double max = 0.0;       ///< timer max_s (0 otherwise)
+};
+
+/** A parsed metrics snapshot, metrics sorted by name. */
+struct Snapshot
+{
+    std::vector<MetricReading> metrics;
+
+    /** Pointer to the named metric or nullptr. */
+    const MetricReading *find(const std::string &name) const;
+};
+
+/** Parse the writeMetricsJson document in @p text. */
+bool parseSnapshot(const std::string &text, Snapshot &out,
+                   std::string *error = nullptr);
+
+/** Read + parse a snapshot file. */
+bool loadSnapshot(const std::string &path, Snapshot &out,
+                  std::string *error = nullptr);
+
+/** One flight-recorder event parsed back from the JSONL export. */
+struct JournalLine
+{
+    std::uint64_t seq = 0;
+    std::string type;
+    std::string canonical; ///< re-serialized key+fields (diff unit)
+};
+
+/** A parsed journal export. */
+struct JournalDoc
+{
+    std::uint64_t declared_events = 0;
+    std::uint64_t dropped = 0;
+    std::vector<JournalLine> events;
+};
+
+/** Parse a writeJournalJsonl document in @p text. */
+bool parseJournal(const std::string &text, JournalDoc &out,
+                  std::string *error = nullptr);
+
+/** Read + parse a journal file. */
+bool loadJournal(const std::string &path, JournalDoc &out,
+                 std::string *error = nullptr);
+
+/**
+ * Diff tolerances. Relative tolerances compare
+ * |cur - base| <= tol * max(|base|, floor-ish epsilon); a timer only
+ * regresses when it got *slower* beyond tolerance AND both readings
+ * clear timer_floor_s (sub-floor timers are scheduler noise).
+ */
+struct Tolerances
+{
+    double timer_rel = 0.5;    ///< timers: allowed relative slowdown
+    double value_rel = 0.0;    ///< counters/gauges/histograms: rel delta
+    double timer_floor_s = 1e-3; ///< ignore timers below this many seconds
+    /** Exact-name overrides of the relative tolerance. */
+    std::vector<std::pair<std::string, double>> overrides;
+    /** Metric-name prefixes excluded from the diff entirely. */
+    std::vector<std::string> ignore_prefixes;
+
+    bool ignored(const std::string &name) const;
+    double relFor(const MetricReading &metric) const;
+};
+
+/** Diff finding severity: Info never fails the run, Regression does. */
+enum class Severity
+{
+    Info,
+    Regression,
+};
+
+struct Finding
+{
+    Severity severity = Severity::Info;
+    std::string subject; ///< metric name or journal event description
+    std::string message; ///< human-readable delta
+};
+
+struct DiffResult
+{
+    std::vector<Finding> findings;
+
+    bool hasRegression() const;
+    std::size_t regressionCount() const;
+};
+
+/** Compare two metrics snapshots under @p tol. */
+DiffResult diffSnapshots(const Snapshot &base, const Snapshot &cur,
+                         const Tolerances &tol);
+
+/**
+ * Compare two journal event streams. Any divergence (count mismatch,
+ * reordered/changed/missing event) is a Regression naming the first
+ * differing events; at most @p max_reported divergences are listed.
+ */
+DiffResult diffJournals(const JournalDoc &base, const JournalDoc &cur,
+                        std::size_t max_reported = 5);
+
+/** Merge b's findings after a's. */
+DiffResult mergeDiffs(DiffResult a, const DiffResult &b);
+
+/**
+ * Markdown summary: verdict headline then a findings table naming each
+ * offending metric/event.
+ */
+void writeMarkdown(const DiffResult &diff, const std::string &base_label,
+                   const std::string &cur_label, std::ostream &os);
+
+/* ------------------------------------------------------------------ */
+/* Trajectory files (BENCH_<name>.json)                                */
+/* ------------------------------------------------------------------ */
+
+/** One run recorded in a trajectory file. */
+struct TrajectoryEntry
+{
+    std::string label;
+    Snapshot snapshot;
+};
+
+struct Trajectory
+{
+    std::string name;
+    std::vector<TrajectoryEntry> entries;
+};
+
+/** Parse a trajectory document. */
+bool parseTrajectory(const std::string &text, Trajectory &out,
+                     std::string *error = nullptr);
+
+/** Serialize a trajectory document. */
+void writeTrajectory(const Trajectory &trajectory, std::ostream &os);
+
+/**
+ * Append @p entry to the trajectory file at @p path, creating it (with
+ * @p name) when absent. An existing entry with the same label is
+ * replaced in place so re-runs do not grow the file.
+ */
+bool appendTrajectory(const std::string &path, const std::string &name,
+                      const TrajectoryEntry &entry,
+                      std::string *error = nullptr);
+
+} // namespace kodan::telemetry::report
+
+#endif // KODAN_TELEMETRY_REPORT_HPP

@@ -14,7 +14,8 @@ namespace kodan::telemetry {
 namespace {
 
 std::mutex g_output_mutex;
-std::string g_output_path;       // guarded by g_output_mutex
+std::string g_output_path;         // guarded by g_output_mutex
+std::string g_journal_output_path; // guarded by g_output_mutex
 std::atomic<bool> g_exit_hook_armed{false};
 
 /** foo.json -> foo.trace.json; anything else gets .trace.json appended. */
@@ -80,13 +81,19 @@ configureFromArgs(int &argc, char **argv)
         } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
             setOutputPath(arg + 16);
             setEnabled(true);
+        } else if (std::strcmp(arg, "--journal-out") == 0 && i + 1 < argc) {
+            setJournalOutputPath(argv[++i]);
+            setJournalEnabled(true);
+        } else if (std::strncmp(arg, "--journal-out=", 14) == 0) {
+            setJournalOutputPath(arg + 14);
+            setJournalEnabled(true);
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
-    if (enabled()) {
+    if (enabled() || journalEnabled()) {
         armExitHook();
         return true;
     }
@@ -110,17 +117,28 @@ setOutputPath(const std::string &path)
     armExitHook();
 }
 
-void
-writeOutputs()
+std::string
+journalOutputPath()
 {
-    if (!enabled()) {
-        return;
-    }
-    std::string path;
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    return g_journal_output_path;
+}
+
+void
+setJournalOutputPath(const std::string &path)
+{
     {
         std::lock_guard<std::mutex> lock(g_output_mutex);
-        path = g_output_path;
+        g_journal_output_path = path;
     }
+    armExitHook();
+}
+
+namespace {
+
+void
+writeMetricsOutputs(const std::string &path)
+{
     const RegistrySnapshot snapshot = registry().snapshot();
     if (path.empty()) {
         std::cerr << "[kodan-telemetry] metrics snapshot:\n";
@@ -150,10 +168,52 @@ writeOutputs()
 }
 
 void
+writeJournalOutputs(const std::string &path)
+{
+    const std::vector<JournalEvent> events = collectJournal();
+    const std::uint64_t dropped = journalDroppedEvents();
+    if (path.empty()) {
+        std::cerr << "[kodan-journal] " << events.size()
+                  << " event(s) recorded, " << dropped
+                  << " dropped (set --journal-out <path> for the JSONL)\n";
+        return;
+    }
+    std::ofstream journal_file(path);
+    if (!journal_file) {
+        std::cerr << "[kodan-journal] cannot write " << path << "\n";
+        return;
+    }
+    writeJournalJsonl(events, dropped, journal_file);
+    std::cerr << "[kodan-journal] wrote " << events.size()
+              << " event(s) to " << path << "\n";
+}
+
+} // namespace
+
+void
+writeOutputs()
+{
+    std::string metrics_path;
+    std::string journal_path;
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        metrics_path = g_output_path;
+        journal_path = g_journal_output_path;
+    }
+    if (enabled()) {
+        writeMetricsOutputs(metrics_path);
+    }
+    if (journalEnabled()) {
+        writeJournalOutputs(journal_path);
+    }
+}
+
+void
 resetAll()
 {
     registry().reset();
     Tracer::instance().reset();
+    clearJournal();
 }
 
 } // namespace kodan::telemetry

@@ -25,20 +25,25 @@
 #include <string>
 
 #include "telemetry/export.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace kodan::telemetry {
 
 /**
- * Strip `--telemetry-out <path>` (or `--telemetry-out=<path>`) from the
- * argument vector. When present: enables recording, remembers the path,
- * and registers an atexit hook that writes the metrics snapshot JSON to
- * <path> and the Chrome trace beside it (foo.json -> foo.trace.json).
- * Honors the KODAN_TELEMETRY env toggle either way (enabled without a
- * path, the exit hook prints the metrics table to stderr instead).
+ * Strip the harness flags from the argument vector:
+ *  - `--telemetry-out <path>` (or `=<path>`): enables metric/trace
+ *    recording, remembers the path, and registers an atexit hook that
+ *    writes the metrics snapshot JSON to <path> and the Chrome trace
+ *    beside it (foo.json -> foo.trace.json);
+ *  - `--journal-out <path>` (or `=<path>`): enables the flight
+ *    recorder and writes the journal JSONL to <path> at exit.
+ * Honors the KODAN_TELEMETRY / KODAN_JOURNAL env toggles either way
+ * (enabled without a path, the exit hook prints a summary to stderr
+ * instead).
  *
- * @return true if recording is enabled after parsing.
+ * @return true if any recording is enabled after parsing.
  */
 bool configureFromArgs(int &argc, char **argv);
 
@@ -48,14 +53,21 @@ std::string outputPath();
 /** Set/replace the snapshot output path and arm the exit hook. */
 void setOutputPath(const std::string &path);
 
+/** Journal output path set by configureFromArgs/setJournalOutputPath. */
+std::string journalOutputPath();
+
+/** Set/replace the journal JSONL path and arm the exit hook. */
+void setJournalOutputPath(const std::string &path);
+
 /**
- * Write outputs now: metrics JSON + Chrome trace to outputPath() (or
- * the metrics table to stderr when enabled with no path). Safe to call
- * repeatedly; also runs at process exit once armed.
+ * Write outputs now: metrics JSON + Chrome trace to outputPath() and
+ * the journal JSONL to journalOutputPath() (or summaries to stderr when
+ * enabled with no path). Safe to call repeatedly; also runs at process
+ * exit once armed.
  */
 void writeOutputs();
 
-/** Zero all metrics and drop all trace events. */
+/** Zero all metrics, drop all trace events, clear the journal. */
 void resetAll();
 
 } // namespace kodan::telemetry

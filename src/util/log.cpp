@@ -52,17 +52,32 @@ logLevel()
     return global_level;
 }
 
-void
+bool
 setLogSink(LogSink sink)
 {
     std::lock_guard<std::mutex> lock(sink_mutex);
+    if (sink && global_sink) {
+        return false; // double-install: keep the active sink
+    }
     global_sink = std::move(sink);
+    return true;
 }
 
-void
+bool
 setLogTap(LogTap tap)
 {
-    global_tap.store(tap, std::memory_order_release);
+    if (tap == nullptr) {
+        global_tap.store(nullptr, std::memory_order_release);
+        return true;
+    }
+    LogTap expected = nullptr;
+    if (global_tap.compare_exchange_strong(expected, tap,
+                                           std::memory_order_acq_rel)) {
+        return true;
+    }
+    // Re-installing the already-active tap is an idempotent success;
+    // competing with a different one is the rejected double-install.
+    return expected == tap;
 }
 
 void

@@ -37,20 +37,41 @@ LogLevel logLevel();
 using LogSink = std::function<void(LogLevel, const std::string &)>;
 
 /**
- * Replace the sink that receives level-filtered log lines. Passing a
- * null sink restores the default (formatted line to stderr). Tests use
- * this to capture or silence output instead of scraping stderr.
+ * Install the sink that receives level-filtered log lines. Passing a
+ * null sink uninstalls the current one and restores the default
+ * (formatted line to stderr). Tests use this to capture or silence
+ * output instead of scraping stderr.
+ *
+ * Registration contract: at most one sink is installed at a time.
+ * Installing a non-null sink while another is active is a double-install
+ * — the call is rejected, the active sink is kept, and false is
+ * returned. Uninstall (null) always succeeds. Install/uninstall are
+ * thread-safe (serialized on an internal mutex) and safe against
+ * concurrent emission: a message in flight uses either the old or the
+ * new sink, never a torn one.
+ *
+ * @return true when the sink was installed (or uninstalled).
  */
-void setLogSink(LogSink sink);
+bool setLogSink(LogSink sink);
 
 /**
  * Secondary observer called for every emitted (post-filter) message in
- * addition to the sink. A plain function pointer so installation is
+ * addition to the sink. A plain function pointer so dispatch is
  * race-free; used by kodan::telemetry to mirror Warn+ messages into the
  * event stream. Pass nullptr to remove.
+ *
+ * Registration contract: at most one tap. Re-installing the *same*
+ * function pointer is an idempotent success (the telemetry bridge
+ * re-arms on every enable); installing a *different* tap while one is
+ * active is rejected with false and keeps the active tap. Uninstall
+ * (null) always succeeds. Thread-safe: installation uses a single
+ * atomic compare-exchange, so concurrent installers agree on one
+ * winner and emission never observes a torn pointer.
+ *
+ * @return true when the tap was installed (or uninstalled).
  */
 using LogTap = void (*)(LogLevel, const std::string &);
-void setLogTap(LogTap tap);
+bool setLogTap(LogTap tap);
 
 /** Emit one log line at @p level (filtered by the global level). */
 void logMessage(LogLevel level, const std::string &message);

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Flight-recorder suite: the journal's (region, slot, ord) ordering
+ * contract, byte-identical JSONL export across thread counts for the
+ * mission sim and the batch runtime, ring-mode bounded memory, and
+ * round-trip parsing of the JSONL / Chrome-trace exports with the
+ * in-tree JSON reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../core/fixture.hpp"
+#include "core/kodan.hpp"
+#include "sim/mission.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kodan::telemetry {
+namespace {
+
+namespace json = kodan::util::json;
+
+/** Restores journal/metrics state and the thread default on exit. */
+class JournalGuard
+{
+  public:
+    JournalGuard()
+        : metrics_were_enabled_(enabled()),
+          journal_was_enabled_(journalEnabled()),
+          saved_ring_(journalRingCapacity())
+    {
+        resetAll();
+        setJournalRingCapacity(0);
+    }
+
+    ~JournalGuard()
+    {
+        setEnabled(metrics_were_enabled_);
+        setJournalEnabled(journal_was_enabled_);
+        setJournalRingCapacity(saved_ring_);
+        resetAll();
+        util::setGlobalThreads(0);
+    }
+
+  private:
+    bool metrics_were_enabled_;
+    bool journal_was_enabled_;
+    std::size_t saved_ring_;
+};
+
+/** Serialize the whole collected journal to a string. */
+std::string
+exportJournal()
+{
+    std::ostringstream out;
+    writeJournalJsonl(collectJournal(), journalDroppedEvents(), out);
+    return out.str();
+}
+
+sim::MissionConfig
+smallMission()
+{
+    sim::MissionConfig config = sim::MissionConfig::landsatConstellation(3);
+    config.duration = 2.0 * 3600.0;
+    config.scheduler_step = 30.0;
+    config.contact_scan_step = 60.0;
+    return config;
+}
+
+TEST(Journal, OrderingKeyFollowsRegionsAndScopes)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    {
+        JournalRegion region("unit.work");
+        EXPECT_GT(region.id(), 0u);
+        JournalEventBuilder("unit.step").i64("k", 1);
+        {
+            JournalScope scope(region.id(), 3);
+            JournalEventBuilder("unit.item").i64("k", 2);
+            JournalEventBuilder("unit.item").i64("k", 3);
+        }
+        // Cursor restored to the region's own lane after the scope.
+        JournalEventBuilder("unit.step").i64("k", 4);
+    }
+    const auto events = collectJournal();
+    ASSERT_EQ(events.size(), 5u);
+    // Slot 0 lane: begin, then the two region-level steps in ord order.
+    EXPECT_EQ(events[0].type, "unit.work.begin");
+    EXPECT_EQ(events[0].slot, 0u);
+    EXPECT_EQ(events[0].ord, 0u);
+    EXPECT_EQ(events[1].type, "unit.step");
+    EXPECT_EQ(events[1].ord, 1u);
+    EXPECT_EQ(events[2].type, "unit.step");
+    EXPECT_EQ(events[2].ord, 2u);
+    // Work item 3 sorts after the whole slot-0 lane, into slot 4.
+    EXPECT_EQ(events[3].type, "unit.item");
+    EXPECT_EQ(events[3].slot, 4u);
+    EXPECT_EQ(events[3].ord, 0u);
+    EXPECT_EQ(events[4].slot, 4u);
+    EXPECT_EQ(events[4].ord, 1u);
+    // All events share the region id.
+    for (const auto &event : events) {
+        EXPECT_EQ(event.region, events[0].region);
+    }
+#endif
+}
+
+TEST(Journal, DisabledJournalRecordsNothing)
+{
+#ifndef KODAN_TELEMETRY_DISABLED
+    JournalGuard guard;
+    setJournalEnabled(false);
+    JournalRegion region("unit.off");
+    EXPECT_EQ(region.id(), 0u);
+    JournalEventBuilder("unit.never").i64("k", 1);
+    EXPECT_TRUE(collectJournal().empty());
+#endif
+}
+
+TEST(Journal, MissionJournalBytesInvariantToThreadCount)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    const sim::MissionConfig config = smallMission();
+    sim::FilterBehavior filter;
+    filter.frame_time = 40.0;
+    filter.keep_high = 0.9;
+    filter.keep_low = 0.2;
+    const sim::MissionSim sim(nullptr, 1.0 / 3.0);
+
+    util::setGlobalThreads(1);
+    sim.run(config, filter);
+    const std::string serial = exportJournal();
+    EXPECT_NE(serial.find("sim.mission.begin"), std::string::npos);
+    EXPECT_NE(serial.find("sim.satellite.queue"), std::string::npos);
+    EXPECT_NE(serial.find("ground.contact.begin"), std::string::npos);
+    clearJournal();
+
+    util::setGlobalThreads(7);
+    sim.run(config, filter);
+    const std::string parallel = exportJournal();
+    EXPECT_EQ(serial, parallel);
+#endif
+}
+
+TEST(Journal, RuntimeBatchJournalBytesInvariantToThreadCount)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    const auto &pipeline = kodan::testing::SharedPipeline::instance();
+    core::SelectionLogic logic;
+    logic.tiles_per_side = 6;
+    logic.per_context.assign(
+        pipeline.shared.partition.context_count,
+        {core::ActionKind::RunModel, pipeline.app4.zoo.reference});
+    const core::Runtime runtime(logic, pipeline.shared.engine.get(),
+                                &pipeline.app4.zoo, hw::Target::Orin15W);
+
+    util::setGlobalThreads(1);
+    runtime.processFrames(pipeline.shared.val);
+    const std::string serial = exportJournal();
+    EXPECT_NE(serial.find("runtime.batch.begin"), std::string::npos);
+    EXPECT_NE(serial.find("runtime.frame.decision"), std::string::npos);
+    EXPECT_NE(serial.find("runtime.frame.elision"), std::string::npos);
+    clearJournal();
+
+    util::setGlobalThreads(7);
+    runtime.processFrames(pipeline.shared.val);
+    const std::string parallel = exportJournal();
+    EXPECT_EQ(serial, parallel);
+#endif
+}
+
+TEST(Journal, RingModeBoundsMemoryAndCountsDrops)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    setJournalRingCapacity(4);
+    for (int i = 0; i < 10; ++i) {
+        JournalEventBuilder("unit.ring").i64("i", i);
+    }
+    const auto events = collectJournal();
+    EXPECT_EQ(events.size(), 4u);
+    EXPECT_EQ(journalDroppedEvents(), 6u);
+    // Drop-oldest: the newest events survive.
+    ASSERT_FALSE(events.empty());
+    ASSERT_EQ(events.back().fields.size(), 1u);
+    EXPECT_EQ(events.back().fields[0].i, 9);
+#endif
+}
+
+TEST(Journal, JsonlExportRoundTripsThroughJsonReader)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    const sim::MissionSim sim(nullptr, 1.0 / 3.0);
+    sim::FilterBehavior filter;
+    filter.frame_time = 40.0;
+    sim.run(smallMission(), filter);
+    const std::string text = exportJournal();
+
+    std::vector<json::Value> lines;
+    std::string error;
+    ASSERT_TRUE(json::parseLines(text, lines, &error)) << error;
+    ASSERT_GT(lines.size(), 1u);
+    // Header declares the exact event count.
+    const json::Value &header = lines.front();
+    ASSERT_NE(header.find("kodan_journal"), nullptr);
+    EXPECT_EQ(header.numberOr("events", -1.0),
+              static_cast<double>(lines.size() - 1));
+    // Every event line is well-formed; seq counts up from 0 and the
+    // (region, slot, ord) key is non-decreasing (the sort invariant).
+    std::uint64_t prev_key[3] = {0, 0, 0};
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const json::Value &event = lines[i];
+        ASSERT_TRUE(event.isObject());
+        EXPECT_EQ(event.numberOr("seq", -1.0),
+                  static_cast<double>(i - 1));
+        ASSERT_FALSE(event.stringOr("type", "").empty());
+        ASSERT_NE(event.find("fields"), nullptr);
+        const std::uint64_t key[3] = {
+            static_cast<std::uint64_t>(event.numberOr("region", 0.0)),
+            static_cast<std::uint64_t>(event.numberOr("slot", 0.0)),
+            static_cast<std::uint64_t>(event.numberOr("ord", 0.0)),
+        };
+        const bool non_decreasing =
+            key[0] != prev_key[0]
+                ? key[0] > prev_key[0]
+                : key[1] != prev_key[1] ? key[1] > prev_key[1]
+                                        : key[2] >= prev_key[2];
+        EXPECT_TRUE(non_decreasing) << "line " << i + 1;
+        prev_key[0] = key[0];
+        prev_key[1] = key[1];
+        prev_key[2] = key[2];
+    }
+#endif
+}
+
+TEST(Journal, ChromeTraceExportRoundTripsThroughJsonReader)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setEnabled(true);
+    const sim::MissionSim sim(nullptr, 1.0 / 3.0);
+    sim::FilterBehavior filter;
+    filter.frame_time = 40.0;
+    sim.run(smallMission(), filter);
+    setEnabled(false);
+
+    Tracer &tracer = Tracer::instance();
+    std::ostringstream out;
+    writeChromeTrace(tracer.collect(), tracer.droppedEvents(), out);
+
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(json::parse(out.str(), doc, &error)) << error;
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_FALSE(events->array().empty());
+    // Well-formed events in monotone (sorted-by-start) timestamp order.
+    double prev_ts = -1.0;
+    for (const json::Value &event : events->array()) {
+        ASSERT_TRUE(event.isObject());
+        EXPECT_FALSE(event.stringOr("name", "").empty());
+        const double ts = event.numberOr("ts", -1.0);
+        EXPECT_GE(ts, prev_ts);
+        prev_ts = ts;
+        const std::string ph = event.stringOr("ph", "");
+        EXPECT_TRUE(ph == "X" || ph == "i");
+        if (ph == "X") {
+            EXPECT_GE(event.numberOr("dur", -1.0), 0.0);
+        }
+    }
+#endif
+}
+
+} // namespace
+} // namespace kodan::telemetry

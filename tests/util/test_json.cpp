@@ -1,0 +1,111 @@
+/** @file Unit tests for the minimal in-tree JSON reader. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace kodan::util::json {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    Value v;
+    ASSERT_TRUE(parse("42", v));
+    EXPECT_TRUE(v.isNumber());
+    EXPECT_EQ(v.asNumber(), 42.0);
+
+    ASSERT_TRUE(parse("-1.5e3", v));
+    EXPECT_EQ(v.asNumber(), -1500.0);
+
+    ASSERT_TRUE(parse("true", v));
+    EXPECT_TRUE(v.isBool());
+    EXPECT_TRUE(v.asBool());
+
+    ASSERT_TRUE(parse("false", v));
+    EXPECT_FALSE(v.asBool());
+
+    ASSERT_TRUE(parse("null", v));
+    EXPECT_TRUE(v.isNull());
+
+    ASSERT_TRUE(parse("\"hi\"", v));
+    EXPECT_TRUE(v.isString());
+    EXPECT_EQ(v.asString(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"("a\"b\\c\nd\teA")", v));
+    EXPECT_EQ(v.asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    Value v;
+    const std::string text =
+        R"({"name": "x", "vals": [1, 2, 3], "nested": {"ok": true}})";
+    ASSERT_TRUE(parse(text, v));
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.stringOr("name", ""), "x");
+    const Value *vals = v.find("vals");
+    ASSERT_NE(vals, nullptr);
+    ASSERT_TRUE(vals->isArray());
+    ASSERT_EQ(vals->array().size(), 3u);
+    EXPECT_EQ(vals->array()[1].asNumber(), 2.0);
+    const Value *nested = v.find("nested");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_TRUE(nested->find("ok")->asBool());
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_EQ(v.numberOr("absent", -1.0), -1.0);
+}
+
+TEST(Json, MembersPreserveDocumentOrder)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"({"z": 1, "a": 2, "m": 3})", v));
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    Value v;
+    std::string error;
+    EXPECT_FALSE(parse("", v, &error));
+    EXPECT_FALSE(parse("{", v, &error));
+    EXPECT_FALSE(parse("[1, 2", v, &error));
+    EXPECT_FALSE(parse("{\"a\" 1}", v, &error));
+    EXPECT_FALSE(parse("\"unterminated", v, &error));
+    EXPECT_FALSE(parse("nul", v, &error));
+    EXPECT_FALSE(parse("1 2", v, &error)); // trailing garbage
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RoundTripsSeventeenDigitDoubles)
+{
+    Value v;
+    ASSERT_TRUE(parse("0.29522497704316658", v));
+    EXPECT_EQ(v.asNumber(), 0.29522497704316658);
+}
+
+TEST(Json, ParseLinesSkipsBlanksAndReportsBadLine)
+{
+    std::vector<Value> lines;
+    std::string error;
+    ASSERT_TRUE(parseLines("{\"a\": 1}\n\n{\"b\": 2}\n", lines, &error));
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].numberOr("a", 0.0), 1.0);
+    EXPECT_EQ(lines[1].numberOr("b", 0.0), 2.0);
+
+    lines.clear();
+    EXPECT_FALSE(parseLines("{\"a\": 1}\nnot json\n", lines, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace kodan::util::json

@@ -137,6 +137,36 @@ TEST_F(LogTest, TapObservesAlongsideSink)
     EXPECT_EQ(tap_messages[0], "seen by both");
 }
 
+namespace {
+void
+secondTap(LogLevel, const std::string &)
+{
+}
+} // namespace
+
+TEST_F(LogTest, SinkDoubleInstallIsRejected)
+{
+    EXPECT_TRUE(setLogSink([](LogLevel, const std::string &) {}));
+    // A second non-null sink over the installed one must be refused —
+    // silently replacing it would disconnect the first consumer.
+    EXPECT_FALSE(setLogSink([](LogLevel, const std::string &) {}));
+    EXPECT_TRUE(setLogSink(nullptr)); // uninstall always succeeds
+    EXPECT_TRUE(setLogSink([](LogLevel, const std::string &) {}));
+    EXPECT_TRUE(setLogSink(nullptr));
+}
+
+TEST_F(LogTest, TapReinstallIsIdempotentButReplacementIsRejected)
+{
+    EXPECT_TRUE(setLogTap(&recordTap));
+    // Re-arming the same tap (telemetry bridge pattern) is fine...
+    EXPECT_TRUE(setLogTap(&recordTap));
+    // ...but a different tap over an installed one is refused.
+    EXPECT_FALSE(setLogTap(&secondTap));
+    EXPECT_TRUE(setLogTap(nullptr));
+    EXPECT_TRUE(setLogTap(&secondTap));
+    EXPECT_TRUE(setLogTap(nullptr));
+}
+
 TEST_F(LogTest, FatalExitsWithCodeOne)
 {
     EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * kodan-report — regression pipeline CLI over telemetry outputs.
+ *
+ * Subcommands:
+ *
+ *   kodan-report diff <base.json> <current.json>
+ *       [--journal <base.jsonl> <current.jsonl>]
+ *       [--tol-timer F] [--tol-value F] [--timer-floor SECONDS]
+ *       [--tol NAME=F]... [--ignore PREFIX]...
+ *       [--markdown PATH]
+ *     Compares two metrics snapshots (writeMetricsJson output) and
+ *     optionally two flight-recorder journals. Prints the markdown
+ *     summary (to stdout, or PATH with --markdown). Exit status: 0 when
+ *     no regression, 1 on regression, 2 on usage/parse errors.
+ *
+ *   kodan-report aggregate --name NAME [--label LABEL] [--out PATH]
+ *       <snapshot.json>...
+ *     Folds one or more metrics snapshots into one trajectory entry and
+ *     appends it to the BENCH_<NAME>.json trajectory file (default
+ *     PATH: BENCH_<NAME>.json in the working directory). Counters,
+ *     counts, and sums add across snapshots; max takes the max. An
+ *     existing entry with the same label is replaced.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/report.hpp"
+
+namespace report = kodan::telemetry::report;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  kodan-report diff <base.json> <current.json>\n"
+           "      [--journal <base.jsonl> <current.jsonl>]\n"
+           "      [--tol-timer F] [--tol-value F] [--timer-floor S]\n"
+           "      [--tol NAME=F]... [--ignore PREFIX]... "
+           "[--markdown PATH]\n"
+           "  kodan-report aggregate --name NAME [--label LABEL]\n"
+           "      [--out PATH] <snapshot.json>...\n";
+    return 2;
+}
+
+int
+fail(const std::string &message)
+{
+    std::cerr << "kodan-report: " << message << "\n";
+    return 2;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+int
+runDiff(const std::vector<std::string> &args)
+{
+    std::vector<std::string> positional;
+    std::string journal_base;
+    std::string journal_cur;
+    std::string markdown_path;
+    report::Tolerances tol;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--journal" && i + 2 < args.size()) {
+            journal_base = args[++i];
+            journal_cur = args[++i];
+        } else if (arg == "--tol-timer" && i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.timer_rel)) {
+                return fail("bad --tol-timer value");
+            }
+        } else if (arg == "--tol-value" && i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.value_rel)) {
+                return fail("bad --tol-value value");
+            }
+        } else if (arg == "--timer-floor" && i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.timer_floor_s)) {
+                return fail("bad --timer-floor value");
+            }
+        } else if (arg == "--tol" && i + 1 < args.size()) {
+            const std::string &spec = args[++i];
+            const std::size_t eq = spec.find('=');
+            double value = 0.0;
+            if (eq == std::string::npos ||
+                !parseDouble(spec.substr(eq + 1), value)) {
+                return fail("bad --tol spec (want NAME=F): " + spec);
+            }
+            tol.overrides.emplace_back(spec.substr(0, eq), value);
+        } else if (arg == "--ignore" && i + 1 < args.size()) {
+            tol.ignore_prefixes.push_back(args[++i]);
+        } else if (arg == "--markdown" && i + 1 < args.size()) {
+            markdown_path = args[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown diff option: " + arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        return usage();
+    }
+
+    std::string error;
+    report::Snapshot base;
+    report::Snapshot cur;
+    if (!report::loadSnapshot(positional[0], base, &error) ||
+        !report::loadSnapshot(positional[1], cur, &error)) {
+        return fail(error);
+    }
+    report::DiffResult diff = report::diffSnapshots(base, cur, tol);
+    if (!journal_base.empty()) {
+        report::JournalDoc jbase;
+        report::JournalDoc jcur;
+        if (!report::loadJournal(journal_base, jbase, &error) ||
+            !report::loadJournal(journal_cur, jcur, &error)) {
+            return fail(error);
+        }
+        diff = report::mergeDiffs(std::move(diff),
+                                  report::diffJournals(jbase, jcur));
+    }
+
+    if (markdown_path.empty()) {
+        report::writeMarkdown(diff, positional[0], positional[1],
+                              std::cout);
+    } else {
+        std::ofstream out(markdown_path);
+        if (!out) {
+            return fail("cannot write " + markdown_path);
+        }
+        report::writeMarkdown(diff, positional[0], positional[1], out);
+        std::cerr << "kodan-report: wrote " << markdown_path << "\n";
+    }
+    return diff.hasRegression() ? 1 : 0;
+}
+
+/** Fold @p snapshot into @p into (sum counts/sums, max maxes). */
+void
+foldSnapshot(report::Snapshot &into, const report::Snapshot &snapshot)
+{
+    for (const report::MetricReading &m : snapshot.metrics) {
+        bool merged = false;
+        for (report::MetricReading &existing : into.metrics) {
+            if (existing.name == m.name) {
+                existing.count += m.count;
+                existing.sum += m.sum;
+                existing.max = std::max(existing.max, m.max);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) {
+            into.metrics.push_back(m);
+        }
+    }
+}
+
+int
+runAggregate(const std::vector<std::string> &args)
+{
+    std::string name;
+    std::string label = "latest";
+    std::string out_path;
+    std::vector<std::string> snapshots;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--name" && i + 1 < args.size()) {
+            name = args[++i];
+        } else if (arg == "--label" && i + 1 < args.size()) {
+            label = args[++i];
+        } else if (arg == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown aggregate option: " + arg);
+        } else {
+            snapshots.push_back(arg);
+        }
+    }
+    if (name.empty() || snapshots.empty()) {
+        return usage();
+    }
+    if (out_path.empty()) {
+        out_path = "BENCH_" + name + ".json";
+    }
+
+    report::TrajectoryEntry entry;
+    entry.label = label;
+    std::string error;
+    for (const std::string &path : snapshots) {
+        report::Snapshot snapshot;
+        if (!report::loadSnapshot(path, snapshot, &error)) {
+            return fail(error);
+        }
+        foldSnapshot(entry.snapshot, snapshot);
+    }
+    std::sort(entry.snapshot.metrics.begin(), entry.snapshot.metrics.end(),
+              [](const report::MetricReading &a,
+                 const report::MetricReading &b) { return a.name < b.name; });
+    if (!report::appendTrajectory(out_path, name, entry, &error)) {
+        return fail(error);
+    }
+    std::cerr << "kodan-report: appended entry \"" << label << "\" ("
+              << entry.snapshot.metrics.size() << " metric(s)) to "
+              << out_path << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "diff") {
+        return runDiff(args);
+    }
+    if (command == "aggregate") {
+        return runAggregate(args);
+    }
+    return usage();
+}
