@@ -7,8 +7,10 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "common.hpp"
+#include "sim/mission.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -50,14 +52,78 @@ outcomeAtTime(const core::SystemProfile &profile,
                                false, true);
 }
 
+/**
+ * Mission-time view of the same story: a day of the 3-satellite
+ * constellation under the bent pipe vs a Kodan-like on-board filter.
+ * With telemetry enabled, each run feeds sim-time-binned series
+ * (fig10.bent.* / fig10.kodan.*) — DVD per bin over mission time is the
+ * time axis of Fig. 10 made observable, and the regression pipeline
+ * diffs those series bit-exactly against committed baselines.
+ */
+void
+missionSection()
+{
+    std::cout << "\nMission DVD over a simulated day "
+                 "(3-satellite constellation):\n";
+    const sim::MissionSim sim(nullptr, 1.0 / 3.0);
+    sim::MissionConfig config = sim::MissionConfig::landsatConstellation(3);
+
+    // A filter with Kodan-like characteristics: fits the frame deadline,
+    // keeps nearly all high-value frames, discards nearly all low-value
+    // ones, and downlinks products instead of raw frames.
+    sim::FilterBehavior kodan_like;
+    kodan_like.frame_time = 18.0;
+    kodan_like.keep_high = 0.95;
+    kodan_like.keep_low = 0.05;
+    kodan_like.send_unprocessed = false;
+
+    config.telemetry_prefix = "fig10.bent";
+    const auto bent = sim.run(config, sim::FilterBehavior::bentPipe());
+    config.telemetry_prefix = "fig10.kodan";
+    const auto kodan = sim.run(config, kodan_like);
+
+    util::TablePrinter table(
+        {"pipeline", "frames downlinked", "DVD", "high-value yield"});
+    const auto add_row = [&](const std::string &name,
+                             const sim::MissionResult &result) {
+        const auto totals = result.totals();
+        table.addRow({name,
+                      util::TablePrinter::fmt(totals.frames_downlinked, 1),
+                      util::TablePrinter::fmt(totals.dvd()),
+                      util::TablePrinter::fmt(totals.highValueYield())});
+    };
+    add_row("bent pipe", bent);
+    add_row("kodan-like filter", kodan);
+    table.print(std::cout);
+    bench::emitCsv("fig10_mission_dvd", table);
+    std::cout << "  (with --telemetry-out, the sim-time series "
+                 "fig10.bent.* / fig10.kodan.*\n"
+                 "   land in the .timeseries.json sibling; kodan-report "
+                 "diff --timeseries\n"
+                 "   guards them bin by bin)\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     kodan::bench::initHarness(argc, argv);
+    bool mission_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--mission-only") {
+            mission_only = true;
+        }
+    }
     bench::banner("DVD vs application execution time per frame",
                   "Figure 10");
+    if (mission_only) {
+        // Regression-pipeline mode: only the mission sweep, which needs
+        // no measured-app bundle and produces the deterministic
+        // fig10.* time series.
+        missionSection();
+        return 0;
+    }
 
     const auto orin = bench::profileFor(hw::Target::Orin15W);
     const auto bent = core::bentPipeOutcome(orin);
@@ -115,5 +181,6 @@ main(int argc, char **argv)
     std::cout << "\nExpected shape: direct deployments past the deadline\n"
                  "sit low on the curve; Kodan points sit at or near the\n"
                  "per-app maximum (paper Fig. 10).\n";
+    missionSection();
     return 0;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Telemetry regression smoke: run bench_parallel_speedup and
-# bench_fig02_downlink_gap with the metrics snapshot + flight recorder
-# enabled, then feed the outputs to `kodan-report diff` against the
-# committed baselines in bench/baselines/. Non-zero exit on regression.
+# Telemetry regression smoke: run bench_parallel_speedup,
+# bench_fig02_downlink_gap, and the bench_fig10 mission sweep with the
+# metrics snapshot + flight recorder + time series enabled, then feed
+# the outputs to `kodan-report diff` against the committed baselines in
+# bench/baselines/. Non-zero exit on regression.
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
@@ -12,14 +13,15 @@
 # BENCH_parallel_speedup.json trajectory at the repo root, instead of
 # diffing.
 #
-# Baseline caveat: the committed baselines are toolchain-pinned. Counters
-# and journals are bit-deterministic for a given toolchain, but libm
-# transcendentals may differ across platforms and shift even integer
-# readings. The diff therefore guards *behavior* (counters, gauges,
-# journal event streams) with exact tolerance, while timers get a huge
-# tolerance (they measure this machine, not the baseline machine). After
-# a legitimate behavior or toolchain change, rerun with --rebaseline and
-# commit the result.
+# Baseline caveat: the committed baselines are toolchain-pinned. Counters,
+# gauges, journals, and time series are bit-deterministic for a given
+# toolchain (gauge sums accumulate in 128-bit fixed point, so the bytes
+# do not depend on thread count or merge order), but libm transcendentals
+# may differ across platforms and shift readings. The diff therefore
+# guards *behavior* (counters, gauges, journal event streams, sim-time
+# series) bit-exactly, while timers get a huge tolerance (they measure
+# this machine, not the baseline machine). After a legitimate behavior or
+# toolchain change, rerun with --rebaseline and commit the result.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -47,8 +49,9 @@ BASELINES="$REPO_ROOT/bench/baselines"
 REPORT="$BUILD_DIR/tools/kodan-report"
 SPEEDUP_BENCH="$BUILD_DIR/bench/bench_parallel_speedup"
 FIG02_BENCH="$BUILD_DIR/bench/bench_fig02_downlink_gap"
+FIG10_BENCH="$BUILD_DIR/bench/bench_fig10_dvd_vs_time"
 
-for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH"; do
+for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -69,11 +72,18 @@ echo "[check_regressions] running bench_parallel_speedup ..."
     --telemetry-out "$WORKDIR/parallel_speedup.metrics.json" \
     > /dev/null)
 
+echo "[check_regressions] running bench_fig10 mission sweep ..."
+(cd "$WORKDIR" && "$FIG10_BENCH" --mission-only \
+    --telemetry-out "$WORKDIR/fig10_mission.metrics.json" \
+    > /dev/null)
+
 if [[ "$REBASELINE" -eq 1 ]]; then
     mkdir -p "$BASELINES"
     cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
        "$WORKDIR/fig02_downlink_gap.journal.jsonl" \
        "$WORKDIR/parallel_speedup.metrics.json" \
+       "$WORKDIR/fig10_mission.metrics.json" \
+       "$WORKDIR/fig10_mission.metrics.timeseries.json" \
        "$BASELINES/"
     LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
              echo local)"
@@ -87,10 +97,9 @@ fi
 STATUS=0
 
 # Timers measure this machine, not the baseline machine: tolerate 100x.
-# Counters and the journal event stream are bit-deterministic; float
-# gauges are shard-merged sums whose last ulp depends on which thread
-# fed which shard, so values get a 1e-9 relative tolerance (tight
-# enough that any integer counter change still fails).
+# Everything else — counters, gauges, the journal event stream, and the
+# sim-time series — is bit-deterministic (gauge and histogram sums
+# accumulate in 128-bit fixed point), so values diff exactly.
 echo "[check_regressions] diffing fig02_downlink_gap against baseline ..."
 "$REPORT" diff \
     "$BASELINES/fig02_downlink_gap.metrics.json" \
@@ -98,13 +107,22 @@ echo "[check_regressions] diffing fig02_downlink_gap against baseline ..."
     --journal \
     "$BASELINES/fig02_downlink_gap.journal.jsonl" \
     "$WORKDIR/fig02_downlink_gap.journal.jsonl" \
-    --tol-timer 100 --tol-value 1e-9 || STATUS=1
+    --tol-timer 100 || STATUS=1
 
 echo "[check_regressions] diffing parallel_speedup against baseline ..."
 "$REPORT" diff \
     "$BASELINES/parallel_speedup.metrics.json" \
     "$WORKDIR/parallel_speedup.metrics.json" \
-    --tol-timer 100 --tol-value 1e-9 || STATUS=1
+    --tol-timer 100 || STATUS=1
+
+echo "[check_regressions] diffing fig10 mission series against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/fig10_mission.metrics.json" \
+    "$WORKDIR/fig10_mission.metrics.json" \
+    --timeseries \
+    "$BASELINES/fig10_mission.metrics.timeseries.json" \
+    "$WORKDIR/fig10_mission.metrics.timeseries.json" \
+    --tol-timer 100 || STATUS=1
 
 if [[ "$STATUS" -ne 0 ]]; then
     echo "[check_regressions] REGRESSION detected (see report above);" \

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Full CI sweep: tier-1 build + complete ctest run, then the
+# concurrency/observability-labeled suites again under ThreadSanitizer
+# and AddressSanitizer builds. Mirrors what the regression driver runs,
+# so a green ci.sh locally means the PR gates should pass.
+#
+# Usage:
+#   scripts/ci.sh [--jobs N] [--skip-sanitizers]
+#
+# Build trees:
+#   build/           default flags (tier-1)
+#   build-tsan/      -DKODAN_SANITIZE=thread   (bench/examples off)
+#   build-asan/      -DKODAN_SANITIZE=address  (bench/examples off)
+#
+# The sanitizer passes rerun only the labeled suites — determinism,
+# telemetry, journal, report, and time-series tests — because those are
+# the ones that exercise cross-thread merges and the recorder hot paths.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_SANITIZERS=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --jobs)
+        JOBS="$2"
+        shift 2
+        ;;
+      --skip-sanitizers)
+        SKIP_SANITIZERS=1
+        shift
+        ;;
+      *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
+
+# ctest ANDs repeated -L flags, so the label filter must be one regex.
+LABELS='parallel|telemetry|journal|report|timeseries'
+
+echo "[ci] tier-1: configure + build + full ctest (jobs=$JOBS)"
+cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT"
+cmake --build "$REPO_ROOT/build" -j "$JOBS"
+(cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$SKIP_SANITIZERS" -eq 1 ]]; then
+    echo "[ci] sanitizers skipped (--skip-sanitizers)"
+    echo "[ci] OK"
+    exit 0
+fi
+
+sanitized_pass() {
+    local kind="$1" dir="$2"
+    echo "[ci] ${kind}-sanitizer: configure + build + labeled ctest"
+    cmake -B "$dir" -S "$REPO_ROOT" \
+        -DKODAN_SANITIZE="$kind" \
+        -DKODAN_BUILD_BENCH=OFF \
+        -DKODAN_BUILD_EXAMPLES=OFF
+    cmake --build "$dir" -j "$JOBS"
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L "$LABELS")
+}
+
+sanitized_pass thread "$REPO_ROOT/build-tsan"
+sanitized_pass address "$REPO_ROOT/build-asan"
+
+echo "[ci] OK — tier-1, TSan, and ASan passes all green"

@@ -126,6 +126,14 @@ Runtime::processFrame(const data::FrameSample &frame) const
         KODAN_HISTOGRAM("runtime.frame.compute_time_s",
                         report.compute_time, 0.5, 1.0, 2.0, 4.7, 10.0,
                         22.0, 60.0, 120.0);
+        // Mission-time series, binned by the frame's capture stamp:
+        // where the histogram answers "how long do frames take", these
+        // answer "how did compute and value density evolve over the
+        // pass".
+        KODAN_TS_RECORD("runtime.frame.compute_s", frame.time,
+                        report.compute_time, 60.0);
+        KODAN_TS_RECORD("runtime.frame.dvd_contribution", frame.time,
+                        report.product_high_fraction, 60.0);
     }
     if (telemetry::journalEnabled()) {
         // Flight-recorder entries: the per-frame technique decision and

@@ -38,11 +38,28 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
     Allocation result;
     result.seconds_per_satellite.assign(satellite_count, 0.0);
     result.passes_per_satellite.assign(satellite_count, 0);
+    result.intervals_per_satellite.assign(satellite_count, {});
 
     // Track which (station, satellite) pair was served last step so pass
-    // counting notices new grants.
+    // counting notices new grants. Each station keeps its currently open
+    // granted run; a retarget closes it into the satellite's interval
+    // list, so intervals coalesce per pass exactly as overhead is paid.
     std::vector<std::size_t> last_served(
         station_count, std::numeric_limits<std::size_t>::max());
+    struct OpenRun
+    {
+        std::size_t satellite = std::numeric_limits<std::size_t>::max();
+        double start = 0.0;
+        double end = 0.0;
+    };
+    std::vector<OpenRun> open_runs(station_count);
+    const auto closeRun = [&result](std::size_t station, OpenRun &run) {
+        if (run.satellite != std::numeric_limits<std::size_t>::max()) {
+            result.intervals_per_satellite[run.satellite].push_back(
+                {station, run.start, run.end});
+        }
+        run.satellite = std::numeric_limits<std::size_t>::max();
+    };
 
     for (double t = t0; t < t1; t += step_) {
         const double slot = std::min(step_, t1 - t);
@@ -75,6 +92,7 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
             if (best == std::numeric_limits<std::size_t>::max()) {
                 result.idle_station_seconds += slot;
                 last_served[g] = std::numeric_limits<std::size_t>::max();
+                closeRun(g, open_runs[g]);
                 continue;
             }
             result.busy_station_seconds += slot;
@@ -82,8 +100,22 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
             if (last_served[g] != best) {
                 ++result.passes_per_satellite[best];
                 last_served[g] = best;
+                closeRun(g, open_runs[g]);
+                open_runs[g] = {best, t, t + slot};
+            } else {
+                open_runs[g].end = t + slot;
             }
         }
+    }
+    for (std::size_t g = 0; g < station_count; ++g) {
+        closeRun(g, open_runs[g]);
+    }
+    for (auto &intervals : result.intervals_per_satellite) {
+        std::sort(intervals.begin(), intervals.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.start != b.start ? a.start < b.start
+                                                : a.station < b.station;
+                  });
     }
     if (telemetry::enabled()) {
         std::int64_t passes = 0;

@@ -66,6 +66,16 @@ class GroundSegmentScheduler
     explicit GroundSegmentScheduler(double step = 10.0,
                                     double fairness_slack = 240.0);
 
+    /** One contiguous granted run at a single station. */
+    struct Interval
+    {
+        std::size_t station = 0;
+        double start = 0.0;
+        double end = 0.0;
+
+        double seconds() const { return end - start; }
+    };
+
     /** Result of an allocation run. */
     struct Allocation
     {
@@ -73,6 +83,14 @@ class GroundSegmentScheduler
         std::vector<double> seconds_per_satellite;
         /** Number of granted (partially or fully) passes per satellite. */
         std::vector<std::size_t> passes_per_satellite;
+        /**
+         * Granted contact runs per satellite, each coalesced over the
+         * scheduler's steps and sorted by (start, station). One interval
+         * per granted pass, so downstream models can place downlinked
+         * bits on the mission timeline (queue drain times, lineage
+         * stamps) instead of only knowing the daily total.
+         */
+        std::vector<std::vector<Interval>> intervals_per_satellite;
         /** Total station-seconds that had at least one visible satellite. */
         double busy_station_seconds = 0.0;
         /** Total station-seconds with no visible satellite (idle). */

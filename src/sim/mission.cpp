@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "sense/wrs.hpp"
 #include "telemetry/telemetry.hpp"
@@ -11,6 +13,92 @@
 #include "util/thread_pool.hpp"
 
 namespace kodan::sim {
+
+namespace {
+
+/**
+ * Walks a satellite's granted contact intervals, mapping cumulative
+ * downlinked bits to the sim time at which the radio finishes them.
+ * Pass overhead is spent at the start of each interval, mirroring
+ * DownlinkModel::bitsForContact (which deducts it once per pass), so
+ * the walk and the budget accounting describe the same radio.
+ */
+struct ContactWalk
+{
+    const std::vector<ground::GroundSegmentScheduler::Interval> &intervals;
+    double rate_bps;
+    double overhead_s;
+    std::size_t idx = 0;
+    double used_s = 0.0; // usable seconds consumed in intervals[idx]
+
+    double usable(std::size_t i) const
+    {
+        return std::max(0.0, intervals[i].seconds() - overhead_s);
+    }
+
+    void skipExhausted()
+    {
+        while (idx < intervals.size() && used_s >= usable(idx)) {
+            ++idx;
+            used_s = 0.0;
+        }
+    }
+
+    /** Sim time at the radio's current position (next transmittable
+     *  instant); clamps to the last interval's end when exhausted. */
+    double position()
+    {
+        skipExhausted();
+        if (idx >= intervals.size()) {
+            return intervals.empty() ? 0.0 : intervals.back().end;
+        }
+        return intervals[idx].start + overhead_s + used_s;
+    }
+
+    /** Consume @p bits of capacity; sim time when the last bit leaves
+     *  the radio. */
+    double finish(double bits)
+    {
+        skipExhausted();
+        while (idx < intervals.size()) {
+            const double remaining_s = usable(idx) - used_s;
+            const double need_s =
+                rate_bps > 0.0
+                    ? bits / rate_bps
+                    : std::numeric_limits<double>::infinity();
+            if (need_s <= remaining_s) {
+                used_s += need_s;
+                return intervals[idx].start + overhead_s + used_s;
+            }
+            bits -= remaining_s * rate_bps;
+            ++idx;
+            used_s = 0.0;
+        }
+        return position();
+    }
+};
+
+/** One sim-time bin of one satellite's telemetry accounting. */
+struct BinAccum
+{
+    std::int64_t frames = 0;
+    std::int64_t processed = 0;
+    double queued_bits = 0.0;  // enqueued during this bin
+    double drained_bits = 0.0; // finished downlinking during this bin
+    double bits_down = 0.0;
+    double high_bits_down = 0.0;
+};
+
+/** Per-satellite telemetry accumulation, filled inside the work item
+ *  and folded into the global time series serially afterwards. */
+struct SatTelemetry
+{
+    std::map<std::int64_t, BinAccum> bins;
+    /** (downlink completion time, end-to-end latency) per sent item. */
+    std::vector<std::pair<double, double>> latencies;
+};
+
+} // namespace
 
 MissionConfig
 MissionConfig::landsatConstellation(int satellite_count)
@@ -142,6 +230,21 @@ MissionSim::run(const MissionConfig &config,
     const sense::WrsGrid grid;
     const sense::FrameCapture capture(config.camera, grid);
 
+    // Recording gates, resolved once. The timing walk (queue drain
+    // times, lineage stamps, per-bin downlink accounting) only runs when
+    // some recorder will consume it; the default path is unchanged.
+    const bool ts_on = telemetry::enabled();
+    const bool journal_on = telemetry::journalEnabled();
+    const bool lineage_on = telemetry::lineageEnabled();
+    const bool bins_on = ts_on || journal_on;
+    const bool want_timing = bins_on || lineage_on;
+    const double bin_s =
+        config.telemetry_bin_s > 0.0 ? config.telemetry_bin_s : 1800.0;
+    const auto binOf = [bin_s](double t) {
+        return static_cast<std::int64_t>(std::floor(t / bin_s));
+    };
+    std::vector<SatTelemetry> sat_telemetry(want_timing ? sats.size() : 0);
+
     // Satellites are simulated in parallel. Each satellite draws from its
     // own RNG stream derived from (mission seed, satellite index), so its
     // trajectory of random decisions is a pure function of the config —
@@ -163,12 +266,16 @@ MissionSim::run(const MissionConfig &config,
 
         const auto frames = capture.capture(sats[s], s, 0.0,
                                             config.duration);
+        SatTelemetry *tm = want_timing ? &sat_telemetry[s] : nullptr;
         // Downlink queue: products first (highest value density first),
         // then raw frames in capture order.
         struct QueueItem
         {
             double bits;
             double high_bits;
+            double capture_t;
+            double enqueue_t;
+            std::uint64_t ord; // capture ordinal (lineage id)
         };
         std::vector<QueueItem> products;
         std::vector<QueueItem> raws;
@@ -177,21 +284,58 @@ MissionSim::run(const MissionConfig &config,
         for (const auto &frame : frames) {
             const double value =
                 frameValueFraction(frame.center, frame.time, rng);
+            const auto ord =
+                static_cast<std::uint64_t>(sat_result.frames_observed);
+            const std::uint64_t frame_id =
+                telemetry::lineageFrameId(s, ord);
             ++sat_result.frames_observed;
             sat_result.bits_observed += frame_bits;
             sat_result.high_bits_observed += frame_bits * value;
+            if (lineage_on) {
+                telemetry::recordLineageSpan(
+                    frame_id, telemetry::LineageStage::Captured,
+                    frame.time);
+            }
 
             const bool processed =
                 processed_fraction >= 1.0 ||
                 rng.bernoulli(processed_fraction);
+            if (tm != nullptr && bins_on) {
+                BinAccum &bin = tm->bins[binOf(frame.time)];
+                ++bin.frames;
+                if (processed) {
+                    ++bin.processed;
+                }
+            }
             if (!processed) {
                 if (filter.send_unprocessed) {
-                    raws.push_back({frame_bits, frame_bits * value});
+                    // Raw pass-through: no decision stage, enqueued at
+                    // capture.
+                    raws.push_back({frame_bits, frame_bits * value,
+                                    frame.time, frame.time, ord});
                     fifo.push_back(raws.back());
+                    if (tm != nullptr && bins_on) {
+                        tm->bins[binOf(frame.time)].queued_bits +=
+                            frame_bits;
+                    }
+                    if (lineage_on) {
+                        telemetry::recordLineageSpan(
+                            frame_id, telemetry::LineageStage::Enqueued,
+                            frame.time);
+                    }
                 }
                 continue;
             }
             ++sat_result.frames_processed;
+            // On-board compute charged to the frame: the filter runs for
+            // frame_time, bounded by the capture deadline.
+            const double decided_t =
+                frame.time + std::min(filter.frame_time, deadline);
+            if (lineage_on) {
+                telemetry::recordLineageSpan(
+                    frame_id, telemetry::LineageStage::Decided,
+                    decided_t);
+            }
             const bool high = value >= 0.5;
             const double keep_prob =
                 high ? filter.keep_high : filter.keep_low;
@@ -203,8 +347,17 @@ MissionSim::run(const MissionConfig &config,
                 filter.product_precision >= 0.0
                     ? bits * filter.product_precision
                     : frame_bits * filter.product_fraction * value;
-            products.push_back({bits, high_bits});
+            products.push_back(
+                {bits, high_bits, frame.time, decided_t, ord});
             fifo.push_back(products.back());
+            if (tm != nullptr && bins_on) {
+                tm->bins[binOf(decided_t)].queued_bits += bits;
+            }
+            if (lineage_on) {
+                telemetry::recordLineageSpan(
+                    frame_id, telemetry::LineageStage::Enqueued,
+                    decided_t);
+            }
         }
 
         std::sort(products.begin(), products.end(),
@@ -221,6 +374,15 @@ MissionSim::run(const MissionConfig &config,
             allocation.passes_per_satellite[s]);
         std::int64_t items_sent = 0;    // got (some) downlink budget
         std::int64_t items_dropped = 0; // budget exhausted before them
+        // Timeline walk for the recorders: where the budget model says
+        // *how much* reaches the ground, the walk says *when* — items
+        // drain through the granted contact runs in drain order, and a
+        // monotone clock keeps completion times consistent with the
+        // value-priority queue discipline.
+        ContactWalk walk{allocation.intervals_per_satellite[s],
+                         config.radio.datarate_bps,
+                         config.radio.pass_overhead_s};
+        double drain_clock = 0.0;
         auto drain = [&](const std::vector<QueueItem> &queue) {
             for (const auto &item : queue) {
                 if (budget <= 0.0) {
@@ -236,6 +398,41 @@ MissionSim::run(const MissionConfig &config,
                     frame_bits > 0.0 ? sent / frame_bits : 0.0;
                 budget -= sent;
                 ++items_sent;
+                if (!want_timing) {
+                    continue;
+                }
+                const double service_t = walk.position();
+                const double contact_t =
+                    std::max(item.enqueue_t, service_t);
+                const double done_t = walk.finish(sent);
+                drain_clock =
+                    std::max({drain_clock, item.enqueue_t, done_t});
+                const double down_t = drain_clock;
+                if (tm != nullptr && bins_on) {
+                    BinAccum &bin = tm->bins[binOf(down_t)];
+                    bin.drained_bits += sent;
+                    bin.bits_down += sent;
+                    bin.high_bits_down += item.high_bits * frac;
+                }
+                if (tm != nullptr && ts_on) {
+                    tm->latencies.emplace_back(down_t,
+                                               down_t - item.capture_t);
+                }
+                if (lineage_on) {
+                    const std::uint64_t frame_id =
+                        telemetry::lineageFrameId(s, item.ord);
+                    telemetry::recordLineageSpan(
+                        frame_id, telemetry::LineageStage::Contact,
+                        contact_t);
+                    telemetry::recordLineageSpan(
+                        frame_id, telemetry::LineageStage::Downlinked,
+                        down_t);
+                    // Ground receipt: propagation delay is below the
+                    // model's resolution.
+                    telemetry::recordLineageSpan(
+                        frame_id, telemetry::LineageStage::Received,
+                        down_t);
+                }
             }
         };
         if (filter.prioritize_products) {
@@ -279,10 +476,117 @@ MissionSim::run(const MissionConfig &config,
                 .f64("high_bits_downlinked",
                      sat_result.high_bits_downlinked)
                 .f64("contact_seconds", sat_result.contact_seconds);
+            // Sim-time-binned per-satellite accounting: one event per
+            // active bin, emitted inside the work item so the (region,
+            // slot, ord) key orders them deterministically. kodan-top
+            // tails these for its live sparklines.
+            if (tm != nullptr) {
+                const std::string type =
+                    config.telemetry_prefix + ".satellite.bin";
+                for (const auto &[bin, accum] : tm->bins) {
+                    telemetry::JournalEventBuilder(type.c_str())
+                        .i64("sat", static_cast<std::int64_t>(s))
+                        .i64("bin", bin)
+                        .f64("t_s", static_cast<double>(bin) * bin_s)
+                        .i64("frames", accum.frames)
+                        .i64("processed", accum.processed)
+                        .f64("queued_bits", accum.queued_bits)
+                        .f64("bits", accum.bits_down)
+                        .f64("high_bits", accum.high_bits_down)
+                        .f64("dvd", accum.bits_down > 0.0
+                                        ? accum.high_bits_down /
+                                              accum.bits_down
+                                        : 0.0);
+                }
+            }
         }
 
         result.per_satellite[s] = sat_result;
     });
+
+    // Fold the per-satellite bins into the global time series serially,
+    // in satellite index order, so the recorded multiset — and therefore
+    // the exported bytes — are invariant to KODAN_THREADS.
+    if (ts_on) {
+        const std::string &prefix = config.telemetry_prefix;
+        const auto series = [&](const char *suffix) {
+            return telemetry::timeSeries(prefix + suffix, bin_s);
+        };
+        const telemetry::SeriesId id_observed =
+            series(".frames.observed");
+        const telemetry::SeriesId id_processed =
+            series(".frames.processed");
+        const telemetry::SeriesId id_bits = series(".downlink.bits");
+        const telemetry::SeriesId id_high_bits =
+            series(".downlink.high_bits");
+        const telemetry::SeriesId id_dvd = series(".dvd");
+        const telemetry::SeriesId id_depth = series(".queue.depth_bits");
+        const telemetry::SeriesId id_util =
+            series(".contact.utilization");
+        const telemetry::SeriesId id_latency = series(".latency.e2e_s");
+
+        std::map<std::int64_t, BinAccum> merged;
+        for (const auto &tm : sat_telemetry) {
+            for (const auto &[bin, accum] : tm.bins) {
+                BinAccum &into = merged[bin];
+                into.frames += accum.frames;
+                into.processed += accum.processed;
+                into.queued_bits += accum.queued_bits;
+                into.drained_bits += accum.drained_bits;
+                into.bits_down += accum.bits_down;
+                into.high_bits_down += accum.high_bits_down;
+            }
+        }
+        double depth_bits = 0.0;
+        for (const auto &[bin, accum] : merged) {
+            const double t = static_cast<double>(bin) * bin_s;
+            telemetry::timeSeriesRecord(
+                id_observed, t, static_cast<double>(accum.frames));
+            telemetry::timeSeriesRecord(
+                id_processed, t, static_cast<double>(accum.processed));
+            telemetry::timeSeriesRecord(id_bits, t, accum.bits_down);
+            telemetry::timeSeriesRecord(id_high_bits, t,
+                                        accum.high_bits_down);
+            if (accum.bits_down > 0.0) {
+                telemetry::timeSeriesRecord(
+                    id_dvd, t, accum.high_bits_down / accum.bits_down);
+            }
+            depth_bits += accum.queued_bits - accum.drained_bits;
+            telemetry::timeSeriesRecord(id_depth, t, depth_bits);
+        }
+        // Contact utilization: granted station-seconds per bin (all
+        // satellites) over the segment's capacity in that bin.
+        std::map<std::int64_t, double> granted;
+        for (const auto &intervals : allocation.intervals_per_satellite) {
+            for (const auto &interval : intervals) {
+                for (std::int64_t bin = binOf(interval.start);
+                     static_cast<double>(bin) * bin_s < interval.end;
+                     ++bin) {
+                    const double lo = std::max(
+                        interval.start, static_cast<double>(bin) * bin_s);
+                    const double hi = std::min(
+                        interval.end,
+                        static_cast<double>(bin + 1) * bin_s);
+                    if (hi > lo) {
+                        granted[bin] += hi - lo;
+                    }
+                }
+            }
+        }
+        const double capacity =
+            bin_s * static_cast<double>(config.stations.size());
+        for (const auto &[bin, seconds] : granted) {
+            telemetry::timeSeriesRecord(
+                id_util, static_cast<double>(bin) * bin_s,
+                capacity > 0.0 ? seconds / capacity : 0.0);
+        }
+        for (const auto &tm : sat_telemetry) {
+            for (const auto &[down_t, latency_s] : tm.latencies) {
+                telemetry::timeSeriesRecord(id_latency, down_t,
+                                            latency_s);
+            }
+        }
+    }
     if (telemetry::journalEnabled()) {
         const SatelliteResult totals = result.totals();
         telemetry::JournalEventBuilder("sim.mission.totals")

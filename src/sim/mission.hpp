@@ -12,6 +12,7 @@
 #define KODAN_SIM_MISSION_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/geomodel.hpp"
@@ -44,6 +45,21 @@ struct MissionConfig
     /** Seed for frame-value sampling; each satellite draws from its own
      *  stream derived from (seed, satellite index). */
     std::uint64_t seed = 42;
+    /**
+     * Sim-time bin width (s) of the telemetry time series and the
+     * per-satellite journal bin events the run emits when recording is
+     * enabled. The 1800 s default gives 48 bins over a standard one-day
+     * mission — coarse enough to keep committed baselines small, fine
+     * enough to see the contact-pass structure.
+     */
+    double telemetry_bin_s = 1800.0;
+    /**
+     * Series/event name prefix ("<prefix>.dvd", "<prefix>.satellite.bin"
+     * ...). Drivers that simulate several scenarios in one process give
+     * each a distinct prefix so the global time-series registry keeps
+     * them apart.
+     */
+    std::string telemetry_prefix = "sim";
 
     /**
      * Build an N-satellite, single-plane Landsat-8-like constellation

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Order-invariant floating-point accumulation for the telemetry layer.
+ *
+ * Parallel reductions of doubles are not associative: the final ulp of
+ * a shard-merged sum depends on which thread fed which shard. The
+ * metrics registry and the time-series facility instead accumulate in a
+ * signed 128-bit fixed-point representation (scale 2^-64): every
+ * contribution is quantized once, deterministically, and from then on
+ * the arithmetic is integer addition — associative and commutative — so
+ * the merged total is an exact function of the multiset of recorded
+ * values, invariant to thread count and interleaving.
+ *
+ * Representable range is |v| < 2^63 (~9.2e18) with 2^-64 (~5.4e-20)
+ * resolution; out-of-range magnitudes saturate and NaN contributes
+ * zero, both deterministically. Doubles whose exponent is >= -11 (i.e.
+ * anything down to ~5e-4 and every integer-valued quantity the repo
+ * records: bits, seconds, counts) convert without rounding, so for the
+ * practical domain the totals are *exact* sums, not just deterministic
+ * ones.
+ */
+
+#ifndef KODAN_TELEMETRY_EXACT_SUM_HPP
+#define KODAN_TELEMETRY_EXACT_SUM_HPP
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace kodan::telemetry::detail {
+
+/** A signed 128-bit fixed-point value: hi * 2^64 + lo, scaled 2^-64. */
+struct Fixed128
+{
+    std::int64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Fixed128 &other) const
+    {
+        return hi == other.hi && lo == other.lo;
+    }
+};
+
+/** Quantize @p value to fixed point (truncation toward zero; saturates
+ *  at |v| >= 2^63; NaN maps to zero). */
+inline Fixed128
+toFixed(double value)
+{
+    Fixed128 out;
+    if (std::isnan(value) || value == 0.0) {
+        return out;
+    }
+    const bool negative = value < 0.0;
+    const double magnitude = std::fabs(value);
+    int exp = 0;
+    const double mant = std::frexp(magnitude, &exp); // mant in [0.5, 1)
+    unsigned __int128 fixed;
+    if (!std::isfinite(magnitude) || exp > 63) {
+        // Saturate: the largest positive / smallest negative value.
+        fixed = (~(unsigned __int128)0) >> 1;
+    } else {
+        const auto m53 =
+            static_cast<std::uint64_t>(std::ldexp(mant, 53));
+        const int shift = exp + 64 - 53;
+        if (shift >= 0) {
+            fixed = (unsigned __int128)m53 << shift;
+        } else if (shift > -64) {
+            fixed = (unsigned __int128)(m53 >> -shift);
+        } else {
+            fixed = 0;
+        }
+    }
+    const __int128 signed_fixed =
+        negative ? -(__int128)fixed : (__int128)fixed;
+    out.lo = static_cast<std::uint64_t>((unsigned __int128)signed_fixed);
+    out.hi = static_cast<std::int64_t>(signed_fixed >> 64);
+    return out;
+}
+
+/** The double nearest the fixed-point value (one rounding, at read). */
+inline double
+fromFixed(const Fixed128 &value)
+{
+    const __int128 wide =
+        ((__int128)value.hi << 64) | (unsigned __int128)value.lo;
+    return std::ldexp(static_cast<double>(wide), -64);
+}
+
+/** acc += delta in 128-bit integer arithmetic. */
+inline void
+addFixed(Fixed128 &acc, const Fixed128 &delta)
+{
+    const std::uint64_t lo = acc.lo + delta.lo;
+    acc.hi += delta.hi + (lo < delta.lo ? 1 : 0);
+    acc.lo = lo;
+}
+
+/**
+ * One cache line holding one lock-free fixed-point accumulator.
+ *
+ * add() is a two-limb atomic protocol: the low limb's fetch_add returns
+ * the prior value, from which the carry into the high limb is derived
+ * and folded into the high limb's fetch_add. Concurrent adds therefore
+ * never lose a carry; a read concurrent with an add may transiently
+ * miss an in-flight carry, so exactness claims apply to reads at
+ * quiescence (where every snapshot in this repo happens — after the
+ * parallel region), like every other shard-merged reading.
+ */
+struct alignas(64) ExactShard
+{
+    std::atomic<std::uint64_t> lo{0};
+    std::atomic<std::int64_t> hi{0};
+
+    void add(double value)
+    {
+        const Fixed128 fixed = toFixed(value);
+        const std::uint64_t prev =
+            lo.fetch_add(fixed.lo, std::memory_order_relaxed);
+        const std::int64_t carry =
+            (prev + fixed.lo) < fixed.lo ? 1 : 0;
+        hi.fetch_add(fixed.hi + carry, std::memory_order_relaxed);
+    }
+
+    Fixed128 read() const
+    {
+        Fixed128 out;
+        out.lo = lo.load(std::memory_order_relaxed);
+        out.hi = hi.load(std::memory_order_relaxed);
+        return out;
+    }
+
+    void reset()
+    {
+        lo.store(0, std::memory_order_relaxed);
+        hi.store(0, std::memory_order_relaxed);
+    }
+};
+
+} // namespace kodan::telemetry::detail
+
+#endif // KODAN_TELEMETRY_EXACT_SUM_HPP

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
 #include "telemetry/export.hpp"
 
@@ -48,6 +50,46 @@ resolveJournalEnabled()
 } // namespace detail
 
 namespace {
+
+/** %.17g double formatting, matching the metrics JSON exporter. */
+std::string
+journalNumber(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+/**
+ * One event as a JSON object body (no seq, no trailing newline):
+ * {"region": R, "slot": S, "ord": O, "type": "...", "fields": {...}}.
+ * Shared by the sorted JSONL export and the live stream tap so both
+ * produce identical field formatting.
+ */
+void
+writeJournalEventBody(const JournalEvent &event, std::ostream &os)
+{
+    os << "{\"region\": " << event.region << ", \"slot\": " << event.slot
+       << ", \"ord\": " << event.ord << ", \"type\": \""
+       << jsonEscape(event.type) << "\", \"fields\": {";
+    for (std::size_t i = 0; i < event.fields.size(); ++i) {
+        const JournalField &field = event.fields[i];
+        os << (i > 0 ? ", " : "") << "\"" << jsonEscape(field.name)
+           << "\": ";
+        switch (field.kind) {
+          case JournalField::Kind::Int:
+            os << field.i;
+            break;
+          case JournalField::Kind::Float:
+            os << journalNumber(field.f);
+            break;
+          case JournalField::Kind::Text:
+            os << "\"" << jsonEscape(field.s) << "\"";
+            break;
+        }
+    }
+    os << "}}";
+}
 
 /**
  * One thread's append buffer. Only the owning thread pushes; the mutex
@@ -163,6 +205,39 @@ class JournalStore
         ring_resolved_.store(true, std::memory_order_relaxed);
     }
 
+    void setStreamPath(const std::string &path)
+    {
+        std::lock_guard<std::mutex> lock(stream_mutex_);
+        stream_.reset();
+        if (!path.empty()) {
+            stream_ = std::make_unique<std::ofstream>(
+                path, std::ios::out | std::ios::app);
+        }
+        stream_on_.store(stream_ != nullptr && !!*stream_,
+                         std::memory_order_relaxed);
+        stream_resolved_.store(true, std::memory_order_relaxed);
+    }
+
+    bool streamOn()
+    {
+        if (!stream_resolved_.load(std::memory_order_relaxed)) {
+            const char *env = std::getenv("KODAN_JOURNAL_STREAM");
+            setStreamPath(env != nullptr ? env : "");
+        }
+        return stream_on_.load(std::memory_order_relaxed);
+    }
+
+    void streamEvent(const JournalEvent &event)
+    {
+        std::lock_guard<std::mutex> lock(stream_mutex_);
+        if (stream_ == nullptr || !*stream_) {
+            return;
+        }
+        writeJournalEventBody(event, *stream_);
+        *stream_ << "\n";
+        stream_->flush();
+    }
+
     std::size_t ringCapacity()
     {
         if (!ring_resolved_.load(std::memory_order_relaxed)) {
@@ -184,6 +259,10 @@ class JournalStore
     std::atomic<std::uint64_t> next_region_{1};
     std::atomic<std::size_t> ring_capacity_{0};
     std::atomic<bool> ring_resolved_{false};
+    std::mutex stream_mutex_;
+    std::unique_ptr<std::ofstream> stream_;
+    std::atomic<bool> stream_on_{false};
+    std::atomic<bool> stream_resolved_{false};
 };
 
 int
@@ -212,15 +291,6 @@ compareFields(const std::vector<JournalField> &a,
         return a.size() < b.size() ? -1 : 1;
     }
     return 0;
-}
-
-/** %.17g double formatting, matching the metrics JSON exporter. */
-std::string
-journalNumber(double value)
-{
-    char buffer[40];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
 }
 
 } // namespace
@@ -262,6 +332,12 @@ std::size_t
 journalRingCapacity()
 {
     return JournalStore::instance().ringCapacity();
+}
+
+void
+setJournalStreamPath(const std::string &path)
+{
+    JournalStore::instance().setStreamPath(path);
 }
 
 JournalRegion::JournalRegion(const char *name)
@@ -323,6 +399,9 @@ JournalEventBuilder::~JournalEventBuilder()
         return;
     }
     JournalStore &store = JournalStore::instance();
+    if (store.streamOn()) {
+        store.streamEvent(event_);
+    }
     store.threadBuffer().push(std::move(event_), store.ringCapacity());
 }
 
@@ -390,28 +469,11 @@ writeJournalJsonl(const std::vector<JournalEvent> &events,
     os << "{\"kodan_journal\": 1, \"events\": " << events.size()
        << ", \"dropped\": " << dropped << "}\n";
     for (std::size_t seq = 0; seq < events.size(); ++seq) {
-        const JournalEvent &event = events[seq];
-        os << "{\"seq\": " << seq << ", \"region\": " << event.region
-           << ", \"slot\": " << event.slot << ", \"ord\": " << event.ord
-           << ", \"type\": \"" << jsonEscape(event.type)
-           << "\", \"fields\": {";
-        for (std::size_t i = 0; i < event.fields.size(); ++i) {
-            const JournalField &field = event.fields[i];
-            os << (i > 0 ? ", " : "") << "\"" << jsonEscape(field.name)
-               << "\": ";
-            switch (field.kind) {
-              case JournalField::Kind::Int:
-                os << field.i;
-                break;
-              case JournalField::Kind::Float:
-                os << journalNumber(field.f);
-                break;
-              case JournalField::Kind::Text:
-                os << "\"" << jsonEscape(field.s) << "\"";
-                break;
-            }
-        }
-        os << "}}\n";
+        os << "{\"seq\": " << seq << ", ";
+        // Splice the shared body after the seq key: drop its '{'.
+        std::ostringstream body;
+        writeJournalEventBody(events[seq], body);
+        os << body.str().substr(1) << "\n";
     }
 }
 

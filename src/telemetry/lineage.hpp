@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Per-frame lineage spans: a deterministic record of every frame's path
+ * through the mission pipeline, in simulated time.
+ *
+ * Each captured frame carries a deterministic lineage id derived from
+ * (satellite index, capture ordinal). The pipeline stamps the frame at
+ * fixed stages:
+ *
+ *   captured    frame leaves the sensor
+ *   decided     specialization/tiling/elision verdict (end of on-board
+ *               compute; inference is folded into this stage — the
+ *               mission filter model charges one frame_time for both)
+ *   enqueued    entered the downlink queue
+ *   contact     first granted contact at/after enqueue (transmission
+ *               could begin)
+ *   downlinked  last bit left the radio
+ *   received    ground receipt (propagation delay is negligible at the
+ *               model's resolution, so this equals `downlinked` today;
+ *               the stage exists so a future ground-processing model
+ *               has a slot)
+ *
+ * A frame that is discarded on orbit stops at `decided`; a frame that
+ * never got downlink budget stops at `enqueued`/`contact`. From the
+ * stamps kodan-report derives end-to-end latency (received − captured),
+ * data age at downlink (downlinked − captured) and a per-stage
+ * attribution: compute (decided − captured), contact-wait (time from
+ * enqueue until a granted contact was available) and queue-wait (the
+ * rest of the wait — behind other traffic once contact existed).
+ *
+ * Determinism: spans carry sim-time stamps only (no wall clock, no
+ * Rng); recording follows the journal's per-thread-buffer pattern and
+ * collection sorts by (frame_id, stage), so the exported bytes are
+ * invariant to KODAN_THREADS.
+ *
+ * Overhead: off by default; every site guards on lineageEnabled() — one
+ * relaxed atomic load, compiled to constant false under
+ * KODAN_TELEMETRY_DISABLED. Enable via the KODAN_LINEAGE env toggle or
+ * `--lineage-out <path>` (see telemetry::configureFromArgs).
+ */
+
+#ifndef KODAN_TELEMETRY_LINEAGE_HPP
+#define KODAN_TELEMETRY_LINEAGE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kodan::telemetry {
+
+/** Pipeline stages, in pipeline order. */
+enum class LineageStage : int
+{
+    Captured = 0,
+    Decided,
+    Enqueued,
+    Contact,
+    Downlinked,
+    Received,
+};
+
+constexpr int kLineageStageCount = 6;
+
+/** Stage name ("captured", "decided", ...). */
+const char *lineageStageName(LineageStage stage);
+
+/** Parse a stage name; returns false on an unknown name. */
+bool lineageStageFromName(const std::string &name, LineageStage &out);
+
+/** Deterministic lineage id: satellite index in the high 24 bits,
+ *  capture ordinal in the low 40. */
+inline std::uint64_t
+lineageFrameId(std::uint64_t satellite, std::uint64_t ordinal)
+{
+    return (satellite << 40) | (ordinal & ((1ULL << 40) - 1));
+}
+
+/** Satellite index of a lineage id. */
+inline std::uint64_t
+lineageSatellite(std::uint64_t frame_id)
+{
+    return frame_id >> 40;
+}
+
+/** Capture ordinal of a lineage id. */
+inline std::uint64_t
+lineageOrdinal(std::uint64_t frame_id)
+{
+    return frame_id & ((1ULL << 40) - 1);
+}
+
+/** One recorded stage stamp. */
+struct LineageSpan
+{
+    std::uint64_t frame_id = 0;
+    LineageStage stage = LineageStage::Captured;
+    /** Sim-time stamp (s). */
+    double t_s = 0.0;
+};
+
+namespace detail {
+
+/** Lineage recording state (resolved from KODAN_LINEAGE once). */
+extern std::atomic<int> g_lineage_enabled;
+
+bool resolveLineageEnabled();
+
+} // namespace detail
+
+/** Is lineage recording enabled? (KODAN_LINEAGE env / setLineageEnabled
+ *  / --lineage-out; independent of the metrics and journal toggles.) */
+inline bool
+lineageEnabled()
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    return false;
+#else
+    const int state =
+        detail::g_lineage_enabled.load(std::memory_order_relaxed);
+    if (state >= 0) {
+        return state != 0;
+    }
+    return detail::resolveLineageEnabled();
+#endif
+}
+
+/** Turn lineage recording on or off in-process (tests, CLI flags). */
+void setLineageEnabled(bool on);
+
+/** Record one stage stamp into the calling thread's buffer. */
+void recordLineageSpan(std::uint64_t frame_id, LineageStage stage,
+                       double t_s);
+
+/** All recorded spans, merged and sorted by (frame_id, stage, t). */
+std::vector<LineageSpan> collectLineage();
+
+/** Drop all recorded spans. */
+void clearLineage();
+
+/**
+ * Write spans as JSONL: a header line
+ *   {"kodan_lineage": 1, "spans": N}
+ * then one object per span with keys frame, sat, ord, stage, t_s.
+ */
+void writeLineageJsonl(const std::vector<LineageSpan> &spans,
+                       std::ostream &os);
+
+/* ------------------------------------------------------------------ */
+/* Assembly: spans -> per-frame chains -> latency attribution          */
+/* ------------------------------------------------------------------ */
+
+/** One frame's assembled stage chain. */
+struct FrameLineage
+{
+    std::uint64_t frame_id = 0;
+    double t[kLineageStageCount] = {};
+    bool has[kLineageStageCount] = {};
+
+    bool stamped(LineageStage stage) const
+    {
+        return has[static_cast<int>(stage)];
+    }
+
+    double at(LineageStage stage) const
+    {
+        return t[static_cast<int>(stage)];
+    }
+
+    /** Chain reaches ground receipt. */
+    bool complete() const { return stamped(LineageStage::Received); }
+
+    /** received − captured (0 unless complete). */
+    double endToEndS() const;
+    /** downlinked − captured (0 unless downlinked). */
+    double dataAgeAtDownlinkS() const;
+    /** decided − captured (0 unless decided). */
+    double computeS() const;
+    /** max(0, contact − enqueued): waiting for a granted contact. */
+    double contactWaitS() const;
+    /** downlinked − max(enqueued, contact): waiting behind traffic. */
+    double queueWaitS() const;
+};
+
+/** Group sorted-or-not spans into per-frame chains (later stamps of a
+ *  duplicated (frame, stage) win; output sorted by frame_id). */
+std::vector<FrameLineage>
+assembleLineage(const std::vector<LineageSpan> &spans);
+
+/** Aggregate latency/attribution statistics over assembled chains. */
+struct LineageStats
+{
+    std::int64_t frames = 0;     ///< chains seen
+    std::int64_t downlinked = 0; ///< chains reaching `downlinked`
+    double mean_end_to_end_s = 0.0;
+    double max_end_to_end_s = 0.0;
+    double mean_data_age_s = 0.0;
+    double mean_compute_s = 0.0;
+    double mean_contact_wait_s = 0.0;
+    double mean_queue_wait_s = 0.0;
+
+    /** The attribution bucket with the largest mean ("compute",
+     *  "contact-wait" or "queue-wait"; "none" when nothing downlinked). */
+    std::string dominantStage() const;
+};
+
+LineageStats summarizeLineage(const std::vector<FrameLineage> &frames);
+
+} // namespace kodan::telemetry
+
+#endif // KODAN_TELEMETRY_LINEAGE_HPP

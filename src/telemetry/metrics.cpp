@@ -82,6 +82,35 @@ Counter::reset()
     }
 }
 
+void
+Gauge::set(double value)
+{
+    // Replace everything recorded so far: clear the accumulation shards
+    // and store the new base. A serial-configuration write, not racing
+    // concurrent add()s (see the class comment).
+    for (auto &shard : shards_) {
+        shard.reset();
+    }
+    base_.store(value, std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const
+{
+    detail::Fixed128 total;
+    for (const auto &shard : shards_) {
+        detail::addFixed(total, shard.read());
+    }
+    return base_.load(std::memory_order_relaxed) +
+           detail::fromFixed(total);
+}
+
+void
+Gauge::reset()
+{
+    set(0.0);
+}
+
 Histogram::Histogram(std::vector<double> edges)
     : edges_(std::move(edges)), shards_(kMetricShards)
 {
@@ -133,11 +162,11 @@ Histogram::count() const
 double
 Histogram::sum() const
 {
-    double total = 0.0;
+    detail::Fixed128 total;
     for (const auto &shard : shards_) {
-        total += shard.sum.value.load(std::memory_order_relaxed);
+        detail::addFixed(total, shard.sum.read());
     }
-    return total;
+    return detail::fromFixed(total);
 }
 
 void
@@ -148,7 +177,7 @@ Histogram::reset()
             shard.buckets[b].store(0, std::memory_order_relaxed);
         }
         shard.count.value.store(0, std::memory_order_relaxed);
-        shard.sum.value.store(0.0, std::memory_order_relaxed);
+        shard.sum.reset();
     }
 }
 

@@ -9,11 +9,13 @@
  * a registry lock. Snapshots merge the shards deterministically — in
  * shard-index order — so every integer-valued reading (counter values,
  * histogram bucket counts, timer call counts) is an exact sum that is
- * invariant to thread count and interleaving. Floating-point sums
- * (timer durations, gauge accumulations) are exact sums of the recorded
- * values but, like any parallel reduction, may differ in final rounding
- * between runs; they carry no determinism contract (wall-clock readings
- * are nondeterministic anyway).
+ * invariant to thread count and interleaving. Floating-point
+ * accumulations (gauge adds, histogram sums) go through the
+ * order-invariant fixed-point accumulator in exact_sum.hpp, so they are
+ * *also* deterministic: the merged value depends only on the multiset
+ * of recorded values, never on which thread fed which shard. Only timer
+ * durations remain plain double sums — they read the wall clock and are
+ * nondeterministic at the source.
  *
  * Telemetry is OFF by default. It costs one relaxed atomic load per
  * instrumentation site while disabled (see `enabled()`), and compiles
@@ -34,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/exact_sum.hpp"
+
 namespace kodan::telemetry {
 
 /** Per-thread shard slots per metric (threads hash onto these). */
@@ -48,22 +52,6 @@ int threadShard();
 struct alignas(64) IntShard
 {
     std::atomic<std::int64_t> value{0};
-};
-
-/** One cache line holding one floating-point accumulator. */
-struct alignas(64) SumShard
-{
-    std::atomic<double> value{0.0};
-
-    /** Relaxed atomic add (CAS loop; atomic<double>::fetch_add is not
-     *  universally lock-free across toolchains). */
-    void add(double delta)
-    {
-        double current = value.load(std::memory_order_relaxed);
-        while (!value.compare_exchange_weak(current, current + delta,
-                                            std::memory_order_relaxed)) {
-        }
-    }
 };
 
 /** Enable-state cell: -1 unresolved, 0 disabled, 1 enabled. */
@@ -117,28 +105,30 @@ class Counter
 
 /**
  * A floating-point level: `set()` for sampled values (config, sizes),
- * `add()` for accumulated quantities (seconds, bits). Unsharded — not
- * for per-item hot paths.
+ * `add()` for accumulated quantities (seconds, bits). Accumulation is
+ * sharded through the order-invariant fixed-point accumulator
+ * (exact_sum.hpp), so the merged value is deterministic at any
+ * KODAN_THREADS. `set()` replaces everything accumulated so far; it is
+ * for serial configuration-style writes, not hot paths.
  */
 class Gauge
 {
   public:
-    void set(double value)
+    void set(double value);
+
+    void add(double delta)
     {
-        cell_.value.store(value, std::memory_order_relaxed);
+        shards_[detail::threadShard()].add(delta);
     }
 
-    void add(double delta) { cell_.add(delta); }
+    /** base (last set) + the exact fixed-point sum of every add. */
+    double value() const;
 
-    double value() const
-    {
-        return cell_.value.load(std::memory_order_relaxed);
-    }
-
-    void reset() { set(0.0); }
+    void reset();
 
   private:
-    detail::SumShard cell_;
+    std::atomic<double> base_{0.0};
+    detail::ExactShard shards_[kMetricShards];
 };
 
 /**
@@ -163,7 +153,8 @@ class Histogram
     /** Total recorded values. */
     std::int64_t count() const;
 
-    /** Sum of recorded values (no cross-run rounding contract). */
+    /** Sum of recorded values (order-invariant fixed-point; see
+     *  exact_sum.hpp — deterministic at any thread count). */
     double sum() const;
 
     void reset();
@@ -173,7 +164,7 @@ class Histogram
     {
         std::unique_ptr<std::atomic<std::int64_t>[]> buckets;
         detail::IntShard count;
-        detail::SumShard sum;
+        detail::ExactShard sum;
     };
 
     std::vector<double> edges_;

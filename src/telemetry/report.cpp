@@ -242,6 +242,126 @@ loadJournal(const std::string &path, JournalDoc &out, std::string *error)
 }
 
 /* ------------------------------------------------------------------ */
+/* Time-series loading                                                 */
+/* ------------------------------------------------------------------ */
+
+const SeriesReading *
+TimeSeriesDoc::find(const std::string &name) const
+{
+    for (const SeriesReading &entry : series) {
+        if (entry.name == name) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+bool
+parseTimeSeries(const std::string &text, TimeSeriesDoc &out,
+                std::string *error)
+{
+    json::Value doc;
+    if (!json::parse(text, doc, error)) {
+        return false;
+    }
+    if (doc.find("kodan_timeseries") == nullptr) {
+        fail(error, "document has no \"kodan_timeseries\" marker");
+        return false;
+    }
+    const json::Value *series = doc.find("series");
+    if (series == nullptr || !series->isArray()) {
+        fail(error, "document has no \"series\" array");
+        return false;
+    }
+    out.series.clear();
+    for (const json::Value &entry : series->array()) {
+        SeriesReading reading;
+        reading.name = entry.stringOr("name", "");
+        if (reading.name.empty()) {
+            fail(error, "series entry lacks a name");
+            return false;
+        }
+        reading.bin_s = entry.numberOr("bin_s", 0.0);
+        reading.dropped_bins = static_cast<std::uint64_t>(
+            entry.numberOr("dropped_bins", 0.0));
+        const json::Value *bins = entry.find("bins");
+        if (bins != nullptr && bins->isArray()) {
+            for (const json::Value &bin : bins->array()) {
+                SeriesBinReading b;
+                b.index =
+                    static_cast<std::int64_t>(bin.numberOr("bin", 0.0));
+                b.count =
+                    static_cast<std::int64_t>(bin.numberOr("count", 0.0));
+                b.sum = bin.numberOr("sum", 0.0);
+                b.min = bin.numberOr("min", 0.0);
+                b.max = bin.numberOr("max", 0.0);
+                reading.bins.push_back(b);
+            }
+        }
+        out.series.push_back(std::move(reading));
+    }
+    std::sort(out.series.begin(), out.series.end(),
+              [](const SeriesReading &a, const SeriesReading &b) {
+                  return a.name < b.name;
+              });
+    return true;
+}
+
+bool
+loadTimeSeries(const std::string &path, TimeSeriesDoc &out,
+               std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    if (!parseTimeSeries(text, out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+loadLineage(const std::string &path, std::vector<LineageSpan> &out,
+            std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    std::vector<json::Value> lines;
+    if (!json::parseLines(text, lines, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    if (lines.empty() || lines.front().find("kodan_lineage") == nullptr) {
+        fail(error, path + ": first line is not a kodan_lineage header");
+        return false;
+    }
+    out.clear();
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const json::Value &entry = lines[i];
+        LineageSpan span;
+        span.frame_id =
+            static_cast<std::uint64_t>(entry.numberOr("frame", 0.0));
+        span.t_s = entry.numberOr("t_s", 0.0);
+        const std::string stage = entry.stringOr("stage", "");
+        if (!lineageStageFromName(stage, span.stage)) {
+            fail(error, path + ": line " + std::to_string(i + 1) +
+                            " has unknown stage \"" + stage + "\"");
+            return false;
+        }
+        out.push_back(span);
+    }
+    return true;
+}
+
+/* ------------------------------------------------------------------ */
 /* Diffing                                                             */
 /* ------------------------------------------------------------------ */
 
@@ -422,6 +542,101 @@ diffJournals(const JournalDoc &base, const JournalDoc &cur,
     return diff;
 }
 
+namespace {
+
+/** Bin lookup by index (bins are exported sorted, but stay robust). */
+const SeriesBinReading *
+findBin(const SeriesReading &series, std::int64_t index)
+{
+    for (const SeriesBinReading &bin : series.bins) {
+        if (bin.index == index) {
+            return &bin;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+DiffResult
+diffTimeSeries(const TimeSeriesDoc &base, const TimeSeriesDoc &cur,
+               double bin_rel_tol, std::size_t max_reported)
+{
+    DiffResult diff;
+    for (const SeriesReading &series : base.series) {
+        const SeriesReading *other = cur.find(series.name);
+        if (other == nullptr) {
+            add(diff, Severity::Regression, series.name,
+                "series present in baseline, missing from current run");
+            continue;
+        }
+        if (series.bin_s != other->bin_s) {
+            add(diff, Severity::Regression, series.name,
+                "bin width changed: " + num(series.bin_s) + " s -> " +
+                    num(other->bin_s) + " s");
+            continue;
+        }
+        if (series.bins.size() != other->bins.size()) {
+            add(diff, Severity::Regression, series.name,
+                "bin count changed: " +
+                    std::to_string(series.bins.size()) + " -> " +
+                    std::to_string(other->bins.size()));
+        }
+        std::size_t reported = 0;
+        const auto offend = [&](std::int64_t bin_index,
+                                const std::string &message) {
+            if (reported < max_reported) {
+                add(diff, Severity::Regression,
+                    series.name + "[bin " + std::to_string(bin_index) +
+                        "]",
+                    message);
+            }
+            ++reported;
+        };
+        for (const SeriesBinReading &bin : series.bins) {
+            const SeriesBinReading *cur_bin = findBin(*other, bin.index);
+            if (cur_bin == nullptr) {
+                offend(bin.index, "bin missing from current run");
+                continue;
+            }
+            if (bin.count != cur_bin->count) {
+                offend(bin.index,
+                       "count changed: " + std::to_string(bin.count) +
+                           " -> " + std::to_string(cur_bin->count));
+                continue;
+            }
+            const auto off_value = [&](const char *what, double b,
+                                       double c) {
+                if (!withinRel(b, c, bin_rel_tol, 1e-12)) {
+                    offend(bin.index, std::string(what) + " changed: " +
+                                          num(b) + " -> " + num(c) +
+                                          " (" + percentDelta(b, c) +
+                                          ")");
+                    return true;
+                }
+                return false;
+            };
+            if (off_value("sum", bin.sum, cur_bin->sum) ||
+                off_value("min", bin.min, cur_bin->min) ||
+                off_value("max", bin.max, cur_bin->max)) {
+                continue;
+            }
+        }
+        if (reported > max_reported) {
+            add(diff, Severity::Regression, series.name,
+                std::to_string(reported - max_reported) +
+                    " further bin divergence(s) not listed");
+        }
+    }
+    for (const SeriesReading &series : cur.series) {
+        if (base.find(series.name) == nullptr) {
+            add(diff, Severity::Info, series.name,
+                "new series (absent from baseline)");
+        }
+    }
+    return diff;
+}
+
 DiffResult
 mergeDiffs(DiffResult a, const DiffResult &b)
 {
@@ -535,6 +750,19 @@ writeTrajectory(const Trajectory &trajectory, std::ostream &os)
            << "\n";
     }
     os << "  ]\n}\n";
+}
+
+void
+writeTrajectoryCsv(const Trajectory &trajectory, std::ostream &os)
+{
+    os << "label,metric,type,count,sum,max\n";
+    for (const TrajectoryEntry &entry : trajectory.entries) {
+        for (const MetricReading &m : entry.snapshot.metrics) {
+            os << entry.label << "," << m.name << "," << m.type << ","
+               << m.count << "," << num(m.sum) << "," << num(m.max)
+               << "\n";
+        }
+    }
 }
 
 bool

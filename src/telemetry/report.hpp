@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/lineage.hpp"
+
 namespace kodan::telemetry::report {
 
 /** One metric parsed back from a snapshot JSON. */
@@ -69,6 +71,46 @@ bool parseJournal(const std::string &text, JournalDoc &out,
 
 /** Read + parse a journal file. */
 bool loadJournal(const std::string &path, JournalDoc &out,
+                 std::string *error = nullptr);
+
+/** One merged bin parsed back from a time-series document. */
+struct SeriesBinReading
+{
+    std::int64_t index = 0;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** One series parsed back from a time-series document. */
+struct SeriesReading
+{
+    std::string name;
+    double bin_s = 0.0;
+    std::uint64_t dropped_bins = 0;
+    std::vector<SeriesBinReading> bins;
+};
+
+/** A parsed writeTimeSeriesJson document, series sorted by name. */
+struct TimeSeriesDoc
+{
+    std::vector<SeriesReading> series;
+
+    /** Pointer to the named series or nullptr. */
+    const SeriesReading *find(const std::string &name) const;
+};
+
+/** Parse the writeTimeSeriesJson document in @p text. */
+bool parseTimeSeries(const std::string &text, TimeSeriesDoc &out,
+                     std::string *error = nullptr);
+
+/** Read + parse a time-series file. */
+bool loadTimeSeries(const std::string &path, TimeSeriesDoc &out,
+                    std::string *error = nullptr);
+
+/** Read + parse a writeLineageJsonl file. */
+bool loadLineage(const std::string &path, std::vector<LineageSpan> &out,
                  std::string *error = nullptr);
 
 /**
@@ -125,6 +167,20 @@ DiffResult diffSnapshots(const Snapshot &base, const Snapshot &cur,
 DiffResult diffJournals(const JournalDoc &base, const JournalDoc &cur,
                         std::size_t max_reported = 5);
 
+/**
+ * Compare two time-series documents bin by bin. A series or bin present
+ * in the baseline but missing from the current run, a bin-width or
+ * per-bin count mismatch, or a per-bin sum/min/max outside
+ * |cur - base| <= bin_rel_tol * max(|base|, 1e-12) is a Regression
+ * (the default tolerance of 0 demands bit-equal values — the series
+ * are deterministic). At most @p max_reported offending bins are
+ * listed per series.
+ */
+DiffResult diffTimeSeries(const TimeSeriesDoc &base,
+                          const TimeSeriesDoc &cur,
+                          double bin_rel_tol = 0.0,
+                          std::size_t max_reported = 5);
+
 /** Merge b's findings after a's. */
 DiffResult mergeDiffs(DiffResult a, const DiffResult &b);
 
@@ -158,6 +214,10 @@ bool parseTrajectory(const std::string &text, Trajectory &out,
 
 /** Serialize a trajectory document. */
 void writeTrajectory(const Trajectory &trajectory, std::ostream &os);
+
+/** Serialize a trajectory as CSV (label,metric,type,count,sum,max; one
+ *  row per metric of each entry) for spreadsheet/plotting pipelines. */
+void writeTrajectoryCsv(const Trajectory &trajectory, std::ostream &os);
 
 /**
  * Append @p entry to the trajectory file at @p path, creating it (with

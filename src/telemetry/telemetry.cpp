@@ -16,11 +16,12 @@ namespace {
 std::mutex g_output_mutex;
 std::string g_output_path;         // guarded by g_output_mutex
 std::string g_journal_output_path; // guarded by g_output_mutex
+std::string g_lineage_output_path; // guarded by g_output_mutex
 std::atomic<bool> g_exit_hook_armed{false};
 
-/** foo.json -> foo.trace.json; anything else gets .trace.json appended. */
+/** foo.json -> foo<suffix>; anything else gets <suffix> appended. */
 std::string
-tracePathFor(const std::string &metrics_path)
+siblingPathFor(const std::string &metrics_path, const char *sibling)
 {
     const std::string suffix = ".json";
     if (metrics_path.size() > suffix.size() &&
@@ -28,9 +29,9 @@ tracePathFor(const std::string &metrics_path)
                              suffix.size(), suffix) == 0) {
         return metrics_path.substr(0,
                                    metrics_path.size() - suffix.size()) +
-               ".trace.json";
+               sibling;
     }
-    return metrics_path + ".trace.json";
+    return metrics_path + sibling;
 }
 
 void
@@ -87,13 +88,19 @@ configureFromArgs(int &argc, char **argv)
         } else if (std::strncmp(arg, "--journal-out=", 14) == 0) {
             setJournalOutputPath(arg + 14);
             setJournalEnabled(true);
+        } else if (std::strcmp(arg, "--lineage-out") == 0 && i + 1 < argc) {
+            setLineageOutputPath(argv[++i]);
+            setLineageEnabled(true);
+        } else if (std::strncmp(arg, "--lineage-out=", 14) == 0) {
+            setLineageOutputPath(arg + 14);
+            setLineageEnabled(true);
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
-    if (enabled() || journalEnabled()) {
+    if (enabled() || journalEnabled() || lineageEnabled()) {
         armExitHook();
         return true;
     }
@@ -134,6 +141,23 @@ setJournalOutputPath(const std::string &path)
     armExitHook();
 }
 
+std::string
+lineageOutputPath()
+{
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    return g_lineage_output_path;
+}
+
+void
+setLineageOutputPath(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        g_lineage_output_path = path;
+    }
+    armExitHook();
+}
+
 namespace {
 
 void
@@ -153,7 +177,7 @@ writeMetricsOutputs(const std::string &path)
         std::cerr << "[kodan-telemetry] wrote metrics snapshot to "
                   << path << "\n";
     }
-    const std::string trace_path = tracePathFor(path);
+    const std::string trace_path = siblingPathFor(path, ".trace.json");
     std::ofstream trace_file(trace_path);
     if (!trace_file) {
         std::cerr << "[kodan-telemetry] cannot write " << trace_path
@@ -165,6 +189,57 @@ writeMetricsOutputs(const std::string &path)
         std::cerr << "[kodan-telemetry] wrote Chrome trace to "
                   << trace_path << " (load at chrome://tracing)\n";
     }
+    const std::string prom_path = siblingPathFor(path, ".prom");
+    std::ofstream prom_file(prom_path);
+    if (!prom_file) {
+        std::cerr << "[kodan-telemetry] cannot write " << prom_path
+                  << "\n";
+    } else {
+        writePrometheusText(snapshot, prom_file);
+        std::cerr << "[kodan-telemetry] wrote Prometheus exposition to "
+                  << prom_path << "\n";
+    }
+    const TimeSeriesSnapshot series = timeSeriesSnapshot();
+    const std::string ts_json_path =
+        siblingPathFor(path, ".timeseries.json");
+    std::ofstream ts_json(ts_json_path);
+    if (!ts_json) {
+        std::cerr << "[kodan-telemetry] cannot write " << ts_json_path
+                  << "\n";
+    } else {
+        writeTimeSeriesJson(series, ts_json);
+        std::cerr << "[kodan-telemetry] wrote " << series.series.size()
+                  << " time series to " << ts_json_path << "\n";
+    }
+    const std::string ts_csv_path =
+        siblingPathFor(path, ".timeseries.csv");
+    std::ofstream ts_csv(ts_csv_path);
+    if (!ts_csv) {
+        std::cerr << "[kodan-telemetry] cannot write " << ts_csv_path
+                  << "\n";
+    } else {
+        writeTimeSeriesCsv(series, ts_csv);
+    }
+}
+
+void
+writeLineageOutputs(const std::string &path)
+{
+    const std::vector<LineageSpan> spans = collectLineage();
+    if (path.empty()) {
+        std::cerr << "[kodan-lineage] " << spans.size()
+                  << " span(s) recorded (set --lineage-out <path> for "
+                     "the JSONL)\n";
+        return;
+    }
+    std::ofstream lineage_file(path);
+    if (!lineage_file) {
+        std::cerr << "[kodan-lineage] cannot write " << path << "\n";
+        return;
+    }
+    writeLineageJsonl(spans, lineage_file);
+    std::cerr << "[kodan-lineage] wrote " << spans.size()
+              << " span(s) to " << path << "\n";
 }
 
 void
@@ -195,16 +270,21 @@ writeOutputs()
 {
     std::string metrics_path;
     std::string journal_path;
+    std::string lineage_path;
     {
         std::lock_guard<std::mutex> lock(g_output_mutex);
         metrics_path = g_output_path;
         journal_path = g_journal_output_path;
+        lineage_path = g_lineage_output_path;
     }
     if (enabled()) {
         writeMetricsOutputs(metrics_path);
     }
     if (journalEnabled()) {
         writeJournalOutputs(journal_path);
+    }
+    if (lineageEnabled()) {
+        writeLineageOutputs(lineage_path);
     }
 }
 
@@ -214,6 +294,8 @@ resetAll()
     registry().reset();
     Tracer::instance().reset();
     clearJournal();
+    clearTimeSeries();
+    clearLineage();
 }
 
 } // namespace kodan::telemetry

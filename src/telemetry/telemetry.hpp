@@ -26,7 +26,9 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/journal.hpp"
+#include "telemetry/lineage.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace kodan::telemetry {
@@ -38,10 +40,15 @@ namespace kodan::telemetry {
  *    writes the metrics snapshot JSON to <path> and the Chrome trace
  *    beside it (foo.json -> foo.trace.json);
  *  - `--journal-out <path>` (or `=<path>`): enables the flight
- *    recorder and writes the journal JSONL to <path> at exit.
- * Honors the KODAN_TELEMETRY / KODAN_JOURNAL env toggles either way
- * (enabled without a path, the exit hook prints a summary to stderr
- * instead).
+ *    recorder and writes the journal JSONL to <path> at exit;
+ *  - `--lineage-out <path>` (or `=<path>`): enables per-frame lineage
+ *    spans and writes their JSONL to <path> at exit.
+ * With `--telemetry-out foo.json`, the exit hook also writes the
+ * sim-time series beside it (foo.timeseries.json + foo.timeseries.csv)
+ * and the Prometheus text exposition of the final metrics (foo.prom).
+ * Honors the KODAN_TELEMETRY / KODAN_JOURNAL / KODAN_LINEAGE env
+ * toggles either way (enabled without a path, the exit hook prints a
+ * summary to stderr instead).
  *
  * @return true if any recording is enabled after parsing.
  */
@@ -59,6 +66,12 @@ std::string journalOutputPath();
 /** Set/replace the journal JSONL path and arm the exit hook. */
 void setJournalOutputPath(const std::string &path);
 
+/** Lineage output path set by configureFromArgs/setLineageOutputPath. */
+std::string lineageOutputPath();
+
+/** Set/replace the lineage JSONL path and arm the exit hook. */
+void setLineageOutputPath(const std::string &path);
+
 /**
  * Write outputs now: metrics JSON + Chrome trace to outputPath() and
  * the journal JSONL to journalOutputPath() (or summaries to stderr when
@@ -67,7 +80,8 @@ void setJournalOutputPath(const std::string &path);
  */
 void writeOutputs();
 
-/** Zero all metrics, drop all trace events, clear the journal. */
+/** Zero all metrics, drop all trace events, clear the journal, the
+ *  time series, and the lineage spans. */
 void resetAll();
 
 } // namespace kodan::telemetry
@@ -87,6 +101,7 @@ void resetAll();
 #define KODAN_GAUGE_ADD(name_, v_) ((void)0)
 #define KODAN_HISTOGRAM(name_, v_, ...) ((void)0)
 #define KODAN_TIMER_RECORD(name_, seconds_) ((void)0)
+#define KODAN_TS_RECORD(name_, t_, v_, bin_s_) ((void)0)
 #define KODAN_TIME_SCOPE(name_) ((void)0)
 #define KODAN_TRACE_SPAN(name_) ((void)0)
 #define KODAN_PROFILE_SCOPE(name_) ((void)0)
@@ -149,6 +164,19 @@ void resetAll();
             static ::kodan::telemetry::Timer &kodan_tm_handle =            \
                 ::kodan::telemetry::registry().timer(name_);               \
             kodan_tm_handle.record(static_cast<double>(seconds_));         \
+        }                                                                  \
+    } while (0)
+
+/** Record @p v_ at sim time @p t_ into the time series @p name_ with
+ *  bin width @p bin_s_ (used on first registration). */
+#define KODAN_TS_RECORD(name_, t_, v_, bin_s_)                             \
+    do {                                                                   \
+        if (::kodan::telemetry::enabled()) {                               \
+            static const ::kodan::telemetry::SeriesId kodan_tm_handle =    \
+                ::kodan::telemetry::timeSeries(name_, bin_s_);             \
+            ::kodan::telemetry::timeSeriesRecord(                          \
+                kodan_tm_handle, static_cast<double>(t_),                  \
+                static_cast<double>(v_));                                  \
         }                                                                  \
     } while (0)
 

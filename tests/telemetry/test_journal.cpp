@@ -207,6 +207,61 @@ TEST(Journal, RingModeBoundsMemoryAndCountsDrops)
 #endif
 }
 
+TEST(Journal, RingModeExportStaysWellFormed)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    setJournalRingCapacity(8);
+    for (int i = 0; i < 100; ++i) {
+        JournalEventBuilder("unit.ring").i64("i", i);
+    }
+    const std::string text = exportJournal();
+
+    std::vector<json::Value> lines;
+    std::string error;
+    ASSERT_TRUE(json::parseLines(text, lines, &error)) << error;
+    ASSERT_EQ(lines.size(), 9u); // header + the 8 retained events
+    // Header reports both the surviving count and the overflow.
+    const json::Value &header = lines.front();
+    EXPECT_EQ(header.numberOr("events", -1.0), 8.0);
+    EXPECT_EQ(header.numberOr("dropped", -1.0), 92.0);
+    // The retained window is the newest events, still in order.
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i].numberOr("seq", -1.0),
+                  static_cast<double>(i - 1));
+        const json::Value *fields = lines[i].find("fields");
+        ASSERT_NE(fields, nullptr);
+        EXPECT_EQ(fields->numberOr("i", -1.0),
+                  static_cast<double>(92 + i - 1));
+    }
+#endif
+}
+
+TEST(Journal, RingModeBoundsEveryThreadBuffer)
+{
+#ifdef KODAN_TELEMETRY_DISABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    JournalGuard guard;
+    setJournalEnabled(true);
+    setJournalRingCapacity(16);
+    constexpr std::size_t kEvents = 4096;
+    util::setGlobalThreads(7);
+    util::parallelFor(kEvents, [](std::size_t i) {
+        JournalEventBuilder("unit.flood").i64("i",
+                                              static_cast<std::int64_t>(i));
+    });
+    const auto events = collectJournal();
+    // The bound is per recording thread: with a 7-thread pool (+ the
+    // caller) at most 8 buffers of 16 survive, never the full flood.
+    EXPECT_LE(events.size(), 8u * 16u);
+    EXPECT_EQ(events.size() + journalDroppedEvents(), kEvents);
+#endif
+}
+
 TEST(Journal, JsonlExportRoundTripsThroughJsonReader)
 {
 #ifdef KODAN_TELEMETRY_DISABLED

@@ -6,13 +6,17 @@
  *
  *   kodan-report diff <base.json> <current.json>
  *       [--journal <base.jsonl> <current.jsonl>]
- *       [--tol-timer F] [--tol-value F] [--timer-floor SECONDS]
+ *       [--timeseries <base.timeseries.json> <current.timeseries.json>]
+ *       [--tol-timer F] [--tol-value F] [--tol-bin F]
+ *       [--timer-floor SECONDS]
  *       [--tol NAME=F]... [--ignore PREFIX]...
  *       [--markdown PATH]
  *     Compares two metrics snapshots (writeMetricsJson output) and
- *     optionally two flight-recorder journals. Prints the markdown
- *     summary (to stdout, or PATH with --markdown). Exit status: 0 when
- *     no regression, 1 on regression, 2 on usage/parse errors.
+ *     optionally two flight-recorder journals and/or two sim-time
+ *     series documents (--tol-bin sets the per-bin relative tolerance,
+ *     default 0 = bit-equal). Prints the markdown summary (to stdout,
+ *     or PATH with --markdown). Exit status: 0 when no regression, 1 on
+ *     regression, 2 on usage/parse errors.
  *
  *   kodan-report aggregate --name NAME [--label LABEL] [--out PATH]
  *       <snapshot.json>...
@@ -21,12 +25,25 @@
  *     PATH: BENCH_<NAME>.json in the working directory). Counters,
  *     counts, and sums add across snapshots; max takes the max. An
  *     existing entry with the same label is replaced.
+ *
+ *   kodan-report trajectory <BENCH_name.json> [--format json|csv]
+ *       [--out PATH]
+ *     Re-emits a trajectory file (to stdout, or PATH with --out) in the
+ *     requested format; csv yields label,metric,type,count,sum,max rows
+ *     for spreadsheet/plotting pipelines.
+ *
+ *   kodan-report lineage <spans.jsonl>
+ *     Assembles per-frame lineage spans (writeLineageJsonl output) into
+ *     stage chains and prints end-to-end latency and per-stage
+ *     attribution (compute / contact-wait / queue-wait). Exit status: 0
+ *     on success, 2 on usage/parse errors.
  */
 
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,11 +60,16 @@ usage()
         << "usage:\n"
            "  kodan-report diff <base.json> <current.json>\n"
            "      [--journal <base.jsonl> <current.jsonl>]\n"
-           "      [--tol-timer F] [--tol-value F] [--timer-floor S]\n"
+           "      [--timeseries <base.ts.json> <current.ts.json>]\n"
+           "      [--tol-timer F] [--tol-value F] [--tol-bin F]\n"
+           "      [--timer-floor S]\n"
            "      [--tol NAME=F]... [--ignore PREFIX]... "
            "[--markdown PATH]\n"
            "  kodan-report aggregate --name NAME [--label LABEL]\n"
-           "      [--out PATH] <snapshot.json>...\n";
+           "      [--out PATH] <snapshot.json>...\n"
+           "  kodan-report trajectory <BENCH_name.json>\n"
+           "      [--format json|csv] [--out PATH]\n"
+           "  kodan-report lineage <spans.jsonl>\n";
     return 2;
 }
 
@@ -72,13 +94,23 @@ runDiff(const std::vector<std::string> &args)
     std::vector<std::string> positional;
     std::string journal_base;
     std::string journal_cur;
+    std::string ts_base;
+    std::string ts_cur;
     std::string markdown_path;
+    double tol_bin = 0.0;
     report::Tolerances tol;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--journal" && i + 2 < args.size()) {
             journal_base = args[++i];
             journal_cur = args[++i];
+        } else if (arg == "--timeseries" && i + 2 < args.size()) {
+            ts_base = args[++i];
+            ts_cur = args[++i];
+        } else if (arg == "--tol-bin" && i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol_bin)) {
+                return fail("bad --tol-bin value");
+            }
         } else if (arg == "--tol-timer" && i + 1 < args.size()) {
             if (!parseDouble(args[++i], tol.timer_rel)) {
                 return fail("bad --tol-timer value");
@@ -131,6 +163,16 @@ runDiff(const std::vector<std::string> &args)
         }
         diff = report::mergeDiffs(std::move(diff),
                                   report::diffJournals(jbase, jcur));
+    }
+    if (!ts_base.empty()) {
+        report::TimeSeriesDoc tbase;
+        report::TimeSeriesDoc tcur;
+        if (!report::loadTimeSeries(ts_base, tbase, &error) ||
+            !report::loadTimeSeries(ts_cur, tcur, &error)) {
+            return fail(error);
+        }
+        diff = report::mergeDiffs(
+            std::move(diff), report::diffTimeSeries(tbase, tcur, tol_bin));
     }
 
     if (markdown_path.empty()) {
@@ -218,6 +260,103 @@ runAggregate(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+runTrajectory(const std::vector<std::string> &args)
+{
+    std::string format = "json";
+    std::string out_path;
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--format" && i + 1 < args.size()) {
+            format = args[++i];
+        } else if (arg == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown trajectory option: " + arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 1) {
+        return usage();
+    }
+    if (format != "json" && format != "csv") {
+        return fail("bad --format (want json or csv): " + format);
+    }
+
+    std::ifstream file(positional[0], std::ios::binary);
+    if (!file) {
+        return fail("cannot open " + positional[0]);
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    report::Trajectory trajectory;
+    std::string error;
+    if (!report::parseTrajectory(buffer.str(), trajectory, &error)) {
+        return fail(positional[0] + ": " + error);
+    }
+
+    const auto emit = [&](std::ostream &os) {
+        if (format == "csv") {
+            report::writeTrajectoryCsv(trajectory, os);
+        } else {
+            report::writeTrajectory(trajectory, os);
+        }
+    };
+    if (out_path.empty()) {
+        emit(std::cout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            return fail("cannot write " + out_path);
+        }
+        emit(out);
+        std::cerr << "kodan-report: wrote " << out_path << "\n";
+    }
+    return 0;
+}
+
+int
+runLineage(const std::vector<std::string> &args)
+{
+    std::vector<std::string> positional;
+    for (const std::string &arg : args) {
+        if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown lineage option: " + arg);
+        }
+        positional.push_back(arg);
+    }
+    if (positional.size() != 1) {
+        return usage();
+    }
+
+    namespace tm = kodan::telemetry;
+    std::vector<tm::LineageSpan> spans;
+    std::string error;
+    if (!report::loadLineage(positional[0], spans, &error)) {
+        return fail(error);
+    }
+    const std::vector<tm::FrameLineage> frames =
+        tm::assembleLineage(spans);
+    const tm::LineageStats stats = tm::summarizeLineage(frames);
+
+    std::cout << "# kodan-report: lineage `" << positional[0] << "`\n\n"
+              << "- frames: " << stats.frames << "\n"
+              << "- downlinked: " << stats.downlinked << "\n"
+              << "- mean end-to-end latency: " << stats.mean_end_to_end_s
+              << " s (max " << stats.max_end_to_end_s << " s)\n"
+              << "- mean data age at downlink: " << stats.mean_data_age_s
+              << " s\n\n"
+              << "| stage | mean wait (s) |\n| --- | --- |\n"
+              << "| compute | " << stats.mean_compute_s << " |\n"
+              << "| contact-wait | " << stats.mean_contact_wait_s
+              << " |\n"
+              << "| queue-wait | " << stats.mean_queue_wait_s << " |\n\n"
+              << "Dominant stage: **" << stats.dominantStage() << "**\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -233,6 +372,12 @@ main(int argc, char **argv)
     }
     if (command == "aggregate") {
         return runAggregate(args);
+    }
+    if (command == "trajectory") {
+        return runTrajectory(args);
+    }
+    if (command == "lineage") {
+        return runLineage(args);
     }
     return usage();
 }

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * kodan-top — live mission view over the flight-recorder event stream.
+ *
+ *   kodan-top <journal.jsonl> [--follow] [--interval-ms N]
+ *       [--metric NAME] [--width N] [--prefix P]
+ *
+ * Tails a journal file — either a finished `--journal-out` export or
+ * the live stream tap written by KODAN_JOURNAL_STREAM /
+ * setJournalStreamPath — picks out the per-satellite sim-time bin
+ * events (`<prefix>.satellite.bin`, emitted by the mission simulator)
+ * and renders one sparkline row per satellite of the chosen per-bin
+ * metric, plus totals.
+ *
+ * Modes:
+ *  - default: read the whole file, render one frame, exit (pipeable);
+ *  - --follow: poll the file for appended lines every --interval-ms
+ *    (default 500), repainting in place until interrupted.
+ *
+ * Metrics (per-bin event fields): frames, processed, queued_bits,
+ * bits, high_bits, dvd (default).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace json = kodan::util::json;
+
+namespace {
+
+constexpr const char *kSparkLevels[] = {"▁", "▂", "▃",
+                                        "▄", "▅", "▆",
+                                        "▇", "█"};
+constexpr int kSparkLevelCount = 8;
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+                 "  kodan-top <journal.jsonl> [--follow]\n"
+                 "      [--interval-ms N] [--metric NAME] [--width N]\n"
+                 "      [--prefix P]\n"
+                 "metrics: frames processed queued_bits bits high_bits "
+                 "dvd\n";
+    return 2;
+}
+
+int
+fail(const std::string &message)
+{
+    std::cerr << "kodan-top: " << message << "\n";
+    return 2;
+}
+
+/** Aggregated view of the bin events seen so far. */
+struct MissionView
+{
+    /** satellite -> bin index -> metric value. */
+    std::map<std::int64_t, std::map<std::int64_t, double>> per_satellite;
+    /** satellite -> latest whole-satellite summary fields. */
+    std::map<std::int64_t, double> frames_total;
+    std::uint64_t events_seen = 0;
+    double bin_s = 0.0;
+
+    std::int64_t minBin() const
+    {
+        std::int64_t lo = 0;
+        bool first = true;
+        for (const auto &[sat, bins] : per_satellite) {
+            if (!bins.empty() &&
+                (first || bins.begin()->first < lo)) {
+                lo = bins.begin()->first;
+                first = false;
+            }
+        }
+        return lo;
+    }
+
+    std::int64_t maxBin() const
+    {
+        std::int64_t hi = 0;
+        bool first = true;
+        for (const auto &[sat, bins] : per_satellite) {
+            if (!bins.empty() &&
+                (first || bins.rbegin()->first > hi)) {
+                hi = bins.rbegin()->first;
+                first = false;
+            }
+        }
+        return hi;
+    }
+};
+
+/** Feed one parsed journal line into the view. */
+void
+ingest(MissionView &view, const json::Value &event,
+       const std::string &metric, const std::string &suffix)
+{
+    const std::string type = event.stringOr("type", "");
+    if (type.size() < suffix.size() ||
+        type.compare(type.size() - suffix.size(), suffix.size(),
+                     suffix) != 0) {
+        return;
+    }
+    const json::Value *fields = event.find("fields");
+    if (fields == nullptr) {
+        return;
+    }
+    const auto sat =
+        static_cast<std::int64_t>(fields->numberOr("sat", -1.0));
+    const auto bin =
+        static_cast<std::int64_t>(fields->numberOr("bin", 0.0));
+    if (sat < 0) {
+        return;
+    }
+    view.per_satellite[sat][bin] = fields->numberOr(metric, 0.0);
+    view.frames_total[sat] += fields->numberOr("frames", 0.0);
+    ++view.events_seen;
+    const double t_s = fields->numberOr("t_s", 0.0);
+    if (bin != 0 && t_s != 0.0) {
+        view.bin_s = t_s / static_cast<double>(bin);
+    }
+}
+
+/** One sparkline row over [lo, hi] bins, at most @p width cells. */
+std::string
+sparkline(const std::map<std::int64_t, double> &bins, std::int64_t lo,
+          std::int64_t hi, int width, double peak)
+{
+    const std::int64_t span = hi - lo + 1;
+    const std::int64_t cells =
+        std::min<std::int64_t>(span, std::max(1, width));
+    std::string out;
+    for (std::int64_t c = 0; c < cells; ++c) {
+        // Cell c covers bins [lo + c*span/cells, lo + (c+1)*span/cells).
+        const std::int64_t b0 = lo + c * span / cells;
+        const std::int64_t b1 = lo + (c + 1) * span / cells;
+        double value = 0.0;
+        bool seen = false;
+        for (std::int64_t b = b0; b < std::max(b0 + 1, b1); ++b) {
+            const auto it = bins.find(b);
+            if (it != bins.end()) {
+                value = std::max(value, it->second);
+                seen = true;
+            }
+        }
+        if (!seen) {
+            out += "·"; // middle dot: no data in this cell
+        } else if (peak <= 0.0) {
+            out += kSparkLevels[0];
+        } else {
+            const int level = std::min(
+                kSparkLevelCount - 1,
+                static_cast<int>(std::floor(
+                    value / peak * static_cast<double>(kSparkLevelCount))));
+            out += kSparkLevels[std::max(0, level)];
+        }
+    }
+    return out;
+}
+
+void
+render(const MissionView &view, const std::string &metric, int width,
+       bool follow, std::ostream &os)
+{
+    if (follow) {
+        os << "\033[H\033[2J"; // home + clear
+    }
+    os << "kodan-top — per-satellite `" << metric << "` by sim-time bin";
+    if (view.bin_s > 0.0) {
+        os << " (" << view.bin_s << " s/bin)";
+    }
+    os << "\n";
+    if (view.per_satellite.empty()) {
+        os << "  (no satellite.bin events yet — run a mission with "
+              "--journal-out or KODAN_JOURNAL_STREAM)\n";
+        os.flush();
+        return;
+    }
+    const std::int64_t lo = view.minBin();
+    const std::int64_t hi = view.maxBin();
+    double peak = 0.0;
+    for (const auto &[sat, bins] : view.per_satellite) {
+        for (const auto &[bin, value] : bins) {
+            peak = std::max(peak, value);
+        }
+    }
+    os << "bins " << lo << ".." << hi << ", peak " << peak << ", "
+       << view.events_seen << " event(s)\n";
+    for (const auto &[sat, bins] : view.per_satellite) {
+        double last = 0.0;
+        double total = 0.0;
+        for (const auto &[bin, value] : bins) {
+            last = value;
+            total += value;
+        }
+        os << "  sat " << sat << " |"
+           << sparkline(bins, lo, hi, width, peak) << "| last " << last
+           << " total " << total;
+        const auto frames = view.frames_total.find(sat);
+        if (frames != view.frames_total.end()) {
+            os << " frames " << frames->second;
+        }
+        os << "\n";
+    }
+    os.flush();
+}
+
+/** Incremental JSONL reader: remembers the file offset and carries any
+ *  partial trailing line between polls. */
+struct Tail
+{
+    std::string path;
+    std::streamoff offset = 0;
+    std::string partial;
+
+    /** Read newly appended complete lines. */
+    std::vector<std::string> poll()
+    {
+        std::vector<std::string> lines;
+        std::ifstream file(path, std::ios::binary);
+        if (!file) {
+            return lines;
+        }
+        file.seekg(0, std::ios::end);
+        const std::streamoff size = file.tellg();
+        if (size <= offset) {
+            return lines;
+        }
+        file.seekg(offset);
+        std::string chunk(static_cast<std::size_t>(size - offset), '\0');
+        file.read(chunk.data(),
+                  static_cast<std::streamsize>(chunk.size()));
+        offset = size;
+        partial += chunk;
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < partial.size(); ++i) {
+            if (partial[i] == '\n') {
+                lines.push_back(partial.substr(start, i - start));
+                start = i + 1;
+            }
+        }
+        partial.erase(0, start);
+        return lines;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string metric = "dvd";
+    std::string prefix;
+    bool follow = false;
+    int interval_ms = 500;
+    int width = 64;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--follow") {
+            follow = true;
+        } else if (arg == "--interval-ms" && i + 1 < argc) {
+            interval_ms = std::atoi(argv[++i]);
+            if (interval_ms <= 0) {
+                return fail("bad --interval-ms value");
+            }
+        } else if (arg == "--metric" && i + 1 < argc) {
+            metric = argv[++i];
+        } else if (arg == "--width" && i + 1 < argc) {
+            width = std::atoi(argv[++i]);
+            if (width <= 0) {
+                return fail("bad --width value");
+            }
+        } else if (arg == "--prefix" && i + 1 < argc) {
+            prefix = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown option: " + arg);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty()) {
+        return usage();
+    }
+    // Match events by type suffix so any telemetry_prefix works; an
+    // explicit --prefix narrows to "<prefix>.satellite.bin" exactly.
+    const std::string suffix = prefix.empty()
+                                   ? std::string(".satellite.bin")
+                                   : prefix + ".satellite.bin";
+
+    MissionView view;
+    Tail tail{path, 0, ""};
+
+    const auto ingestLines = [&](const std::vector<std::string> &lines) {
+        for (const std::string &line : lines) {
+            if (line.empty() ||
+                line.find("\"kodan_journal\"") != std::string::npos) {
+                continue; // export header
+            }
+            json::Value event;
+            if (json::parse(line, event, nullptr)) {
+                ingest(view, event, metric, suffix);
+            }
+        }
+    };
+
+    if (!follow) {
+        std::ifstream file(path, std::ios::binary);
+        if (!file) {
+            return fail("cannot open " + path);
+        }
+        ingestLines(tail.poll());
+        render(view, metric, width, false, std::cout);
+        return 0;
+    }
+
+    for (;;) {
+        ingestLines(tail.poll());
+        render(view, metric, width, true, std::cout);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}
