@@ -1,0 +1,348 @@
+/**
+ * @file
+ * ML kernel layer: Blocked vs Naive wall-clock, at KODAN_THREADS=1 so
+ * the numbers isolate the per-core algorithmic win (cache blocking,
+ * unrolling, allocation-free scratch) from outer parallelism. Four
+ * workloads:
+ *
+ *   gemm            raw kernel GFLOP/s on an MLP-shaped product
+ *   mlp_forward     batched surrogate inference (tier-7 network)
+ *   transform_sweep end-to-end transformApp + select
+ *   runtime_batch   Runtime::processFrames over a replicated frame set
+ *
+ * Every workload's Blocked result is cross-checked bit-exactly against
+ * the Naive oracle while it is being timed; a divergence exits 1 — a
+ * speedup that changed the numbers would be a bug, not a win.
+ *
+ * Results go to stdout and to BENCH_ml_kernels.run.json (in
+ * KODAN_BENCH_CSV_DIR when set, else the working directory). The
+ * committed BENCH_ml_kernels.json at the repo root is the cross-PR
+ * trajectory maintained by `kodan-report aggregate` (see
+ * scripts/check_regressions.sh).
+ *
+ * --assert-speedup enforces the acceptance floors (>= 3x mlp_forward,
+ * >= 1.5x transform_sweep); left off in the timer-tolerant regression
+ * smoke where wall-clock is too noisy to gate on.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "data/tiler.hpp"
+#include "ml/kernels.hpp"
+#include "ml/matrix.hpp"
+#include "ml/mlp.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace kodan;
+
+double
+timeSeconds(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Measurement
+{
+    std::string workload;
+    double naive_seconds = 0.0;
+    double blocked_seconds = 0.0;
+    double speedup = 0.0;
+    double gflops = 0.0; // Blocked-path throughput where meaningful
+};
+
+ml::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, util::Rng &rng)
+{
+    ml::Matrix m(rows, cols);
+    for (double &v : m.data()) {
+        v = rng.uniform(-1.0, 1.0);
+    }
+    return m;
+}
+
+bool
+sameBits(const ml::Matrix &a, const ml::Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(double)) == 0;
+}
+
+core::TransformOptions
+sweepOptions()
+{
+    core::TransformOptions options;
+    options.train_frames = 40;
+    options.val_frames = 24;
+    options.specialize.max_train_blocks = 16000;
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    kodan::bench::initHarness(argc, argv);
+    bool assert_speedup = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--assert-speedup") {
+            assert_speedup = true;
+        }
+    }
+    bench::banner("ML kernel layer: Blocked vs Naive",
+                  "the kernel layer of DESIGN.md; no paper figure");
+
+    // Per-core comparison: the kernels themselves are serial; outer
+    // parallelism belongs to bench_parallel_speedup.
+    util::setGlobalThreads(1);
+    std::vector<Measurement> measurements;
+
+    // ---- Workload 1: raw GEMM, MLP-shaped (batch x fan_in x fan_out).
+    {
+        const std::size_t m = 4096, k = 64, n = 64;
+        const int reps = 40;
+        util::Rng rng(7);
+        const ml::Matrix a = randomMatrix(m, k, rng);
+        const ml::Matrix b = randomMatrix(k, n, rng);
+        Measurement mm;
+        mm.workload = "gemm_4096x64x64";
+        ml::Matrix naive, blocked;
+        ml::kernels::setBackend(ml::kernels::Backend::Naive);
+        mm.naive_seconds = timeSeconds([&] {
+            for (int r = 0; r < reps; ++r) {
+                naive = ml::Matrix::multiply(a, b);
+            }
+        });
+        ml::kernels::setBackend(ml::kernels::Backend::Blocked);
+        mm.blocked_seconds = timeSeconds([&] {
+            for (int r = 0; r < reps; ++r) {
+                blocked = ml::Matrix::multiply(a, b);
+            }
+        });
+        if (!sameBits(naive, blocked)) {
+            std::cerr << "[kodan-bench] DETERMINISM VIOLATION: gemm "
+                         "backends disagree\n";
+            return 1;
+        }
+        const double flops = 2.0 * static_cast<double>(m * k * n) * reps;
+        mm.gflops = mm.blocked_seconds > 0.0
+                        ? flops / mm.blocked_seconds / 1e9
+                        : 0.0;
+        measurements.push_back(mm);
+    }
+
+    // ---- Workload 2: batched tier-7 surrogate inference (the heaviest
+    // deployed architecture — the computational bottleneck the paper
+    // targets).
+    {
+        const std::size_t rows = std::size_t{256} * data::kBlocksPerTile;
+        const int reps = 30;
+        util::Rng rng(11);
+        ml::Mlp net(core::Application{7}.surrogateConfig(), rng);
+        const ml::Matrix x =
+            randomMatrix(rows, data::kBlockInputDim, rng);
+        Measurement mm;
+        mm.workload = "mlp_forward_tier7";
+        ml::Matrix naive, blocked;
+        ml::kernels::setBackend(ml::kernels::Backend::Naive);
+        mm.naive_seconds = timeSeconds([&] {
+            for (int r = 0; r < reps; ++r) {
+                net.forwardBatch(x, naive);
+            }
+        });
+        ml::kernels::setBackend(ml::kernels::Backend::Blocked);
+        mm.blocked_seconds = timeSeconds([&] {
+            for (int r = 0; r < reps; ++r) {
+                net.forwardBatch(x, blocked);
+            }
+        });
+        if (!sameBits(naive, blocked)) {
+            std::cerr << "[kodan-bench] DETERMINISM VIOLATION: "
+                         "mlp_forward backends disagree\n";
+            return 1;
+        }
+        const double flops =
+            2.0 * static_cast<double>(net.parameterCount()) *
+            static_cast<double>(rows) * reps;
+        mm.gflops = mm.blocked_seconds > 0.0
+                        ? flops / mm.blocked_seconds / 1e9
+                        : 0.0;
+        measurements.push_back(mm);
+    }
+
+    // ---- Workloads 3 + 4: the end-to-end paths the kernels serve.
+    {
+        const data::GeoModel world;
+        const core::Transformer transformer(sweepOptions());
+        // Shared data preparation runs once on the default backend; the
+        // timed region is the per-application transform + selection.
+        const auto shared = transformer.prepareData(world);
+        const auto profile = core::SystemProfile::landsat8(
+            hw::Target::Orin15W, shared.prevalence);
+
+        Measurement sweep;
+        sweep.workload = "transform_sweep";
+        double dvd_naive = 0.0, dvd_blocked = 0.0;
+        ml::kernels::setBackend(ml::kernels::Backend::Naive);
+        sweep.naive_seconds = timeSeconds([&] {
+            const auto artifacts =
+                transformer.transformApp(core::Application{4}, shared);
+            dvd_naive = transformer.select(artifacts, profile).outcome.dvd;
+        });
+        ml::kernels::setBackend(ml::kernels::Backend::Blocked);
+        sweep.blocked_seconds = timeSeconds([&] {
+            const auto artifacts =
+                transformer.transformApp(core::Application{4}, shared);
+            dvd_blocked =
+                transformer.select(artifacts, profile).outcome.dvd;
+        });
+        if (dvd_naive != dvd_blocked) {
+            std::cerr << "[kodan-bench] DETERMINISM VIOLATION: sweep dvd "
+                      << dvd_blocked << " != " << dvd_naive << "\n";
+            return 1;
+        }
+        measurements.push_back(sweep);
+
+        // Deployed runtime over a replicated validation frame set.
+        ml::kernels::setBackend(ml::kernels::Backend::Blocked);
+        const auto artifacts =
+            transformer.transformApp(core::Application{4}, shared);
+        const auto selected = transformer.select(artifacts, profile);
+        const core::Runtime runtime(selected.logic, shared.engine.get(),
+                                    &artifacts.zoo, hw::Target::Orin15W);
+        std::vector<data::FrameSample> frames;
+        for (int rep = 0; rep < 8; ++rep) {
+            frames.insert(frames.end(), shared.val.begin(),
+                          shared.val.end());
+        }
+        Measurement batch;
+        batch.workload = "runtime_batch";
+        core::FrameReport report_naive, report_blocked;
+        ml::kernels::setBackend(ml::kernels::Backend::Naive);
+        batch.naive_seconds = timeSeconds(
+            [&] { report_naive = runtime.processFrames(frames); });
+        ml::kernels::setBackend(ml::kernels::Backend::Blocked);
+        batch.blocked_seconds = timeSeconds(
+            [&] { report_blocked = runtime.processFrames(frames); });
+        if (report_naive.compute_time != report_blocked.compute_time ||
+            report_naive.product_fraction !=
+                report_blocked.product_fraction) {
+            std::cerr << "[kodan-bench] DETERMINISM VIOLATION: runtime "
+                         "batch backends disagree\n";
+            return 1;
+        }
+        measurements.push_back(batch);
+    }
+    util::setGlobalThreads(0);
+
+    for (auto &m : measurements) {
+        m.speedup = m.blocked_seconds > 0.0
+                        ? m.naive_seconds / m.blocked_seconds
+                        : 0.0;
+    }
+
+    // Feed the measurements into the telemetry snapshot so the
+    // kodan-report pipeline (check_regressions.sh baseline diff +
+    // BENCH_ml_kernels.json trajectory) sees them: wall-clock as timers
+    // (diffed with the machine-noise tolerance), derived ratios under
+    // bench.ml_kernels.ratio.* (excluded from the diff, recorded in the
+    // trajectory).
+#ifndef KODAN_TELEMETRY_DISABLED
+    if (telemetry::enabled()) {
+        auto &reg = telemetry::registry();
+        for (const auto &m : measurements) {
+            reg.timer("bench.ml_kernels.time." + m.workload + ".naive")
+                .record(m.naive_seconds);
+            reg.timer("bench.ml_kernels.time." + m.workload + ".blocked")
+                .record(m.blocked_seconds);
+            reg.gauge("bench.ml_kernels.ratio." + m.workload + ".speedup")
+                .set(m.speedup);
+            if (m.gflops > 0.0) {
+                reg.gauge("bench.ml_kernels.ratio." + m.workload +
+                          ".gflops")
+                    .set(m.gflops);
+            }
+        }
+    }
+#endif
+
+    util::TablePrinter table({"workload", "naive (s)", "blocked (s)",
+                              "speedup", "GFLOP/s"});
+    for (const auto &m : measurements) {
+        table.addRow({m.workload,
+                      util::TablePrinter::fmt(m.naive_seconds, 3),
+                      util::TablePrinter::fmt(m.blocked_seconds, 3),
+                      util::TablePrinter::fmt(m.speedup, 2),
+                      m.gflops > 0.0 ? util::TablePrinter::fmt(m.gflops, 2)
+                                     : std::string("-")});
+    }
+    table.print(std::cout);
+    std::cout << "\nAll workloads at KODAN_THREADS=1; every Blocked "
+                 "result verified bit-identical to the Naive oracle.\n";
+    bench::emitCsv("bench_ml_kernels", table);
+
+    // JSON record for the perf trajectory.
+    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+        "BENCH_ml_kernels.run.json";
+    std::ofstream json(path);
+    if (json) {
+        json << "{\n  \"measurements\": [\n";
+        for (std::size_t i = 0; i < measurements.size(); ++i) {
+            const auto &m = measurements[i];
+            json << "    {\"workload\": \"" << m.workload
+                 << "\", \"naive_seconds\": " << m.naive_seconds
+                 << ", \"blocked_seconds\": " << m.blocked_seconds
+                 << ", \"speedup\": " << m.speedup
+                 << ", \"gflops\": " << m.gflops << "}"
+                 << (i + 1 < measurements.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+        std::cerr << "[kodan-bench] wrote " << path << "\n";
+    }
+
+    if (assert_speedup) {
+        int status = 0;
+        for (const auto &m : measurements) {
+            double floor = 0.0;
+            if (m.workload == "mlp_forward_tier7") {
+                floor = 3.0;
+            } else if (m.workload == "transform_sweep") {
+                floor = 1.5;
+            }
+            if (floor > 0.0 && m.speedup < floor) {
+                std::cerr << "[kodan-bench] SPEEDUP FLOOR MISSED: "
+                          << m.workload << " " << m.speedup << "x < "
+                          << floor << "x\n";
+                status = 1;
+            }
+        }
+        if (status != 0) {
+            return status;
+        }
+        std::cout << "Speedup floors met (mlp_forward >= 3x, "
+                     "transform_sweep >= 1.5x).\n";
+    }
+    return 0;
+}

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Telemetry regression smoke: run bench_parallel_speedup,
-# bench_fig02_downlink_gap, and the bench_fig10 mission sweep with the
-# metrics snapshot + flight recorder + time series enabled, then feed
-# the outputs to `kodan-report diff` against the committed baselines in
-# bench/baselines/. Non-zero exit on regression.
+# bench_fig02_downlink_gap, the bench_fig10 mission sweep, and
+# bench_ml_kernels with the metrics snapshot + flight recorder + time
+# series enabled, then feed the outputs to `kodan-report diff` against
+# the committed baselines in bench/baselines/. Non-zero exit on
+# regression (including any ML-kernel Blocked-vs-Naive bit mismatch,
+# which fails the bench itself).
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
 #
 # --rebaseline regenerates bench/baselines/ from the current build and
 # appends an entry (labeled with the current git commit) to the
-# BENCH_parallel_speedup.json trajectory at the repo root, instead of
-# diffing.
+# BENCH_parallel_speedup.json and BENCH_ml_kernels.json trajectories at
+# the repo root, instead of diffing.
 #
 # Baseline caveat: the committed baselines are toolchain-pinned. Counters,
 # gauges, journals, and time series are bit-deterministic for a given
@@ -50,8 +52,10 @@ REPORT="$BUILD_DIR/tools/kodan-report"
 SPEEDUP_BENCH="$BUILD_DIR/bench/bench_parallel_speedup"
 FIG02_BENCH="$BUILD_DIR/bench/bench_fig02_downlink_gap"
 FIG10_BENCH="$BUILD_DIR/bench/bench_fig10_dvd_vs_time"
+MLKERN_BENCH="$BUILD_DIR/bench/bench_ml_kernels"
 
-for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH"; do
+for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH" \
+              "$MLKERN_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -77,6 +81,15 @@ echo "[check_regressions] running bench_fig10 mission sweep ..."
     --telemetry-out "$WORKDIR/fig10_mission.metrics.json" \
     > /dev/null)
 
+# bench_ml_kernels exits non-zero on any Blocked-vs-Naive bit mismatch,
+# so this run is the kernel-correctness smoke as well as the perf probe;
+# no --assert-speedup here because the diff's timers already tolerate
+# machine noise (floors are asserted when the trajectory is recorded).
+echo "[check_regressions] running bench_ml_kernels ..."
+(cd "$WORKDIR" && "$MLKERN_BENCH" \
+    --telemetry-out "$WORKDIR/ml_kernels.metrics.json" \
+    > /dev/null)
+
 if [[ "$REBASELINE" -eq 1 ]]; then
     mkdir -p "$BASELINES"
     cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
@@ -84,12 +97,16 @@ if [[ "$REBASELINE" -eq 1 ]]; then
        "$WORKDIR/parallel_speedup.metrics.json" \
        "$WORKDIR/fig10_mission.metrics.json" \
        "$WORKDIR/fig10_mission.metrics.timeseries.json" \
+       "$WORKDIR/ml_kernels.metrics.json" \
        "$BASELINES/"
     LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
              echo local)"
     "$REPORT" aggregate --name parallel_speedup --label "$LABEL" \
         --out "$REPO_ROOT/BENCH_parallel_speedup.json" \
         "$WORKDIR/parallel_speedup.metrics.json"
+    "$REPORT" aggregate --name ml_kernels --label "$LABEL" \
+        --out "$REPO_ROOT/BENCH_ml_kernels.json" \
+        "$WORKDIR/ml_kernels.metrics.json"
     echo "[check_regressions] baselines rebaselined in $BASELINES"
     exit 0
 fi
@@ -113,6 +130,17 @@ echo "[check_regressions] diffing parallel_speedup against baseline ..."
 "$REPORT" diff \
     "$BASELINES/parallel_speedup.metrics.json" \
     "$WORKDIR/parallel_speedup.metrics.json" \
+    --tol-timer 100 || STATUS=1
+
+# Ratio gauges (speedup, GFLOP/s) measure this machine and vary with
+# load, so they are recorded in the trajectory but not diffed; the
+# deterministic counters/histograms and the bench's own bit-identity
+# exit code are the correctness guard.
+echo "[check_regressions] diffing ml_kernels against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/ml_kernels.metrics.json" \
+    "$WORKDIR/ml_kernels.metrics.json" \
+    --ignore bench.ml_kernels.ratio \
     --tol-timer 100 || STATUS=1
 
 echo "[check_regressions] diffing fig10 mission series against baseline ..."

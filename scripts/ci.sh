@@ -11,6 +11,7 @@
 #   build/           default flags (tier-1)
 #   build-tsan/      -DKODAN_SANITIZE=thread   (bench/examples off)
 #   build-asan/      -DKODAN_SANITIZE=address  (bench/examples off)
+#   build-native/    -DKODAN_NATIVE=ON         (mlkernels suite only)
 #
 # The sanitizer passes rerun only the labeled suites — determinism,
 # telemetry, journal, report, and time-series tests — because those are
@@ -39,7 +40,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 # ctest ANDs repeated -L flags, so the label filter must be one regex.
-LABELS='parallel|telemetry|journal|report|timeseries'
+LABELS='parallel|telemetry|journal|report|timeseries|mlkernels'
 
 echo "[ci] tier-1: configure + build + full ctest (jobs=$JOBS)"
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT"
@@ -66,4 +67,15 @@ sanitized_pass() {
 sanitized_pass thread "$REPO_ROOT/build-tsan"
 sanitized_pass address "$REPO_ROOT/build-asan"
 
-echo "[ci] OK — tier-1, TSan, and ASan passes all green"
+# One -march=native kernel build: proves the ML kernel layer's
+# bit-identity contract holds with the host's full vector width
+# (-ffp-contract=off pins rounding; see DESIGN.md "ML kernel layer").
+echo "[ci] KODAN_NATIVE: configure + build + mlkernels ctest"
+cmake -B "$REPO_ROOT/build-native" -S "$REPO_ROOT" \
+    -DKODAN_NATIVE=ON \
+    -DKODAN_BUILD_EXAMPLES=OFF
+cmake --build "$REPO_ROOT/build-native" -j "$JOBS"
+(cd "$REPO_ROOT/build-native" && ctest --output-on-failure -j "$JOBS" \
+    -L mlkernels)
+
+echo "[ci] OK — tier-1, TSan, ASan, and native-kernel passes all green"

@@ -1,10 +1,13 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <istream>
 #include <ostream>
 #include <string>
+
+#include "ml/kernels.hpp"
 
 namespace kodan::core {
 
@@ -69,6 +72,32 @@ ContextEngine::classify(const data::TileData &tile) const
     std::array<double, kInputDim> input{};
     tileInput(tile, input.data());
     return net_.predictClass(input.data());
+}
+
+void
+ContextEngine::classifyBatch(const std::vector<data::TileData> &tiles,
+                             std::vector<int> &out) const
+{
+    const std::size_t n = tiles.size();
+    out.resize(n);
+    if (n == 0) {
+        return;
+    }
+    auto &arena = ml::kernels::scratch();
+    ml::kernels::Scratch::Frame frame(arena);
+    double *inputs = arena.alloc(n * kInputDim);
+    for (std::size_t i = 0; i < n; ++i) {
+        tileInput(tiles[i], inputs + i * kInputDim);
+    }
+    const auto classes = static_cast<std::size_t>(context_count_);
+    double *probs = arena.alloc(n * classes);
+    net_.forwardBatch(inputs, n, probs);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *row = probs + i * classes;
+        // First-of-equals argmax, the same rule as predictClass.
+        out[i] = static_cast<int>(std::max_element(row, row + classes) -
+                                  row);
+    }
 }
 
 ContextEngine::ContextEngine(int context_count, ml::Standardizer scaler,

@@ -46,6 +46,15 @@ class ContextEngine
     int classify(const data::TileData &tile) const;
 
     /**
+     * Classify every tile of a batch with one batched forward pass
+     * (bit-identical to calling classify per tile).
+     * @param tiles Tiles to classify.
+     * @param out Resized to tiles.size(); context id per tile.
+     */
+    void classifyBatch(const std::vector<data::TileData> &tiles,
+                       std::vector<int> &out) const;
+
+    /**
      * Agreement with the partition's truth-label assignment on a tile
      * set (the engine's training accuracy proxy).
      */

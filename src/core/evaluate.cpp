@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "ml/kernels.hpp"
 #include "orbit/propagator.hpp"
 #include "sense/camera.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace kodan::core {
@@ -102,6 +104,7 @@ ContextActionTable
 DeploymentEvaluator::measureTable(
     const std::vector<data::FrameSample> &frames, int tiles_per_side) const
 {
+    KODAN_PROFILE_SCOPE("evaluate.table.measure");
     assert(engine_ != nullptr);
     const int context_count = engine_->contextCount();
 
@@ -132,11 +135,20 @@ DeploymentEvaluator::measureTable(
     double total_tiles = 0.0;
 
     const data::Tiler tiler(tiles_per_side);
+    std::vector<int> tile_contexts;
     for (const auto &frame : frames) {
         const auto tiles = tiler.tile(frame);
-        for (const auto &tile : tiles) {
-            const int ctx = engine_->classify(tile);
-            const BlockTruth truth(tile);
+        // One batched engine forward per frame instead of one matvec
+        // chain per tile.
+        engine_->classifyBatch(tiles, tile_contexts);
+        std::vector<BlockTruth> truths;
+        truths.reserve(tiles.size());
+        std::vector<std::vector<std::size_t>> by_context(context_count);
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+            const auto &tile = tiles[t];
+            const int ctx = tile_contexts[t];
+            truths.emplace_back(tile);
+            const BlockTruth &truth = truths.back();
             ++context_tiles[ctx];
             ++total_tiles;
             context_cells[ctx] += truth.tile_total;
@@ -153,25 +165,59 @@ DeploymentEvaluator::measureTable(
             ctx_accums[1].kept_cells += truth.tile_total;
             ctx_accums[1].kept_high_cells += truth.tile_high;
             ctx_accums[1].correct_cells += truth.tile_high;
-            // Model candidates.
+            if (!model_cands[ctx].empty()) {
+                by_context[ctx].push_back(t);
+            }
+        }
+        // Model candidates: one standardized block batch per context
+        // covering every one of its tiles in this frame, shared by all
+        // of the context's candidates — the frame's inference collapses
+        // to one GEMM chain per candidate. Per accumulator, the tiles
+        // contribute in the same ascending order as the per-tile loop,
+        // so the sums are bit-identical to it.
+        auto &arena = ml::kernels::scratch();
+        for (int ctx = 0; ctx < context_count; ++ctx) {
+            const auto &group = by_context[ctx];
+            if (group.empty()) {
+                continue;
+            }
+            ml::kernels::Scratch::Frame scratch_frame(arena);
+            const std::size_t rows =
+                group.size() * data::kBlocksPerTile;
+            double *scaled =
+                arena.alloc(rows * data::kBlockInputDim);
+            for (std::size_t g = 0; g < group.size(); ++g) {
+                zoo_->tileInputs(tiles[group[g]],
+                                 scaled + g *
+                                              std::size_t{
+                                                  data::kBlocksPerTile} *
+                                              data::kBlockInputDim);
+            }
+            double *probs = arena.alloc(rows);
+            auto &ctx_accums = accums[ctx];
             for (std::size_t m = 0; m < model_cands[ctx].size(); ++m) {
                 const int entry = model_cands[ctx][m];
                 ActionAccum &accum = ctx_accums[2 + m];
-                accum.total_cells += truth.tile_total;
-                for (int b = 0; b < data::kBlocksPerTile; ++b) {
-                    if (truth.total[b] <= 0.0) {
-                        continue;
-                    }
-                    const double p_cloudy =
-                        zoo_->predictBlock(entry, tile, b);
-                    if (p_cloudy < 0.5) {
-                        // Block kept as high-value.
-                        accum.kept_cells += truth.total[b];
-                        accum.kept_high_cells += truth.high[b];
-                        accum.correct_cells += truth.high[b];
-                    } else {
-                        accum.correct_cells +=
-                            truth.total[b] - truth.high[b];
+                zoo_->predictRows(entry, scaled, rows, probs);
+                for (std::size_t g = 0; g < group.size(); ++g) {
+                    const BlockTruth &truth = truths[group[g]];
+                    accum.total_cells += truth.tile_total;
+                    const double *tile_probs =
+                        probs + g * data::kBlocksPerTile;
+                    for (int b = 0; b < data::kBlocksPerTile; ++b) {
+                        if (truth.total[b] <= 0.0) {
+                            continue;
+                        }
+                        const double p_cloudy = tile_probs[b];
+                        if (p_cloudy < 0.5) {
+                            // Block kept as high-value.
+                            accum.kept_cells += truth.total[b];
+                            accum.kept_high_cells += truth.high[b];
+                            accum.correct_cells += truth.high[b];
+                        } else {
+                            accum.correct_cells +=
+                                truth.total[b] - truth.high[b];
+                        }
                     }
                 }
             }
@@ -203,6 +249,7 @@ ContextActionTable
 DeploymentEvaluator::measureDirectTable(
     const std::vector<data::FrameSample> &frames, int tiles_per_side) const
 {
+    KODAN_PROFILE_SCOPE("evaluate.direct.measure");
     ContextActionTable table;
     table.tiles_per_side = tiles_per_side;
     table.contexts.resize(1);
@@ -216,17 +263,34 @@ DeploymentEvaluator::measureDirectTable(
     const data::Tiler tiler(tiles_per_side);
     for (const auto &frame : frames) {
         const auto tiles = tiler.tile(frame);
-        for (const auto &tile : tiles) {
-            const BlockTruth truth(tile);
+        // One standardized batch + one forward chain per frame; the
+        // per-tile accumulation below runs in the same ascending order
+        // as the per-tile inference it replaced — identical bits.
+        auto &arena = ml::kernels::scratch();
+        ml::kernels::Scratch::Frame scratch_frame(arena);
+        const std::size_t rows =
+            tiles.size() * data::kBlocksPerTile;
+        double *scaled = arena.alloc(rows * data::kBlockInputDim);
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+            zoo_->tileInputs(tiles[t],
+                             scaled + t *
+                                          std::size_t{
+                                              data::kBlocksPerTile} *
+                                          data::kBlockInputDim);
+        }
+        double *probs = arena.alloc(rows);
+        zoo_->predictRows(zoo_->reference, scaled, rows, probs);
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+            const BlockTruth truth(tiles[t]);
             cells += truth.tile_total;
             high += truth.tile_high;
             accum.total_cells += truth.tile_total;
+            const double *tile_probs = probs + t * data::kBlocksPerTile;
             for (int b = 0; b < data::kBlocksPerTile; ++b) {
                 if (truth.total[b] <= 0.0) {
                     continue;
                 }
-                const double p_cloudy =
-                    zoo_->predictBlock(zoo_->reference, tile, b);
+                const double p_cloudy = tile_probs[b];
                 if (p_cloudy < 0.5) {
                     accum.kept_cells += truth.total[b];
                     accum.kept_high_cells += truth.high[b];
@@ -251,14 +315,29 @@ DeploymentEvaluator::measureModelOnTiles(
     int entry, const std::vector<const data::TileData *> &tiles) const
 {
     ActionAccum accum;
-    for (const auto *tile : tiles) {
-        const BlockTruth truth(*tile);
+    // One batch over every tile; same ascending accumulation order as
+    // the per-tile loop it replaced — identical bits.
+    auto &arena = ml::kernels::scratch();
+    ml::kernels::Scratch::Frame scratch_frame(arena);
+    const std::size_t rows = tiles.size() * data::kBlocksPerTile;
+    double *scaled = arena.alloc(rows * data::kBlockInputDim);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        zoo_->tileInputs(*tiles[t],
+                         scaled + t *
+                                      std::size_t{data::kBlocksPerTile} *
+                                      data::kBlockInputDim);
+    }
+    double *probs = arena.alloc(rows);
+    zoo_->predictRows(entry, scaled, rows, probs);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const BlockTruth truth(*tiles[t]);
         accum.total_cells += truth.tile_total;
+        const double *tile_probs = probs + t * data::kBlocksPerTile;
         for (int b = 0; b < data::kBlocksPerTile; ++b) {
             if (truth.total[b] <= 0.0) {
                 continue;
             }
-            const double p_cloudy = zoo_->predictBlock(entry, *tile, b);
+            const double p_cloudy = tile_probs[b];
             if (p_cloudy < 0.5) {
                 accum.kept_cells += truth.total[b];
                 accum.kept_high_cells += truth.high[b];

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "data/tiler.hpp"
+#include "ml/kernels.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,9 +29,14 @@ Runtime::processFrame(const data::FrameSample &frame) const
     const double frame_cells = static_cast<double>(frame.cellCount());
     const double engine_time = hw::CostModel::contextEngineTime(target_);
 
-    for (const auto &tile : tiles) {
+    // One batched engine forward over the frame's tiles; identical
+    // context ids to the per-tile classify calls.
+    std::vector<int> tile_contexts;
+    engine_->classifyBatch(tiles, tile_contexts);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const auto &tile = tiles[t];
         report.compute_time += engine_time;
-        const int ctx = engine_->classify(tile);
+        const int ctx = tile_contexts[t];
         const Action &action = logic_.per_context[ctx];
         const double tile_cells = static_cast<double>(tile.cellCount());
 
@@ -69,10 +75,22 @@ Runtime::processFrame(const data::FrameSample &frame) const
                 hw::CostModel::tierParamCount(
                     zoo_->entries[action.model].tier),
                 target_);
-            // Per-block keep decision, applied to the block's cells.
+            // Per-block keep decision, applied to the block's cells;
+            // the model runs once over the tile's block batch.
             std::array<bool, data::kBlocksPerTile> keep{};
-            for (int b = 0; b < data::kBlocksPerTile; ++b) {
-                keep[b] = zoo_->predictBlock(action.model, tile, b) < 0.5;
+            {
+                auto &arena = ml::kernels::scratch();
+                ml::kernels::Scratch::Frame scratch_frame(arena);
+                double *scaled =
+                    arena.alloc(std::size_t{data::kBlocksPerTile} *
+                                data::kBlockInputDim);
+                zoo_->tileInputs(tile, scaled);
+                double *probs = arena.alloc(data::kBlocksPerTile);
+                zoo_->predictRows(action.model, scaled,
+                                  data::kBlocksPerTile, probs);
+                for (int b = 0; b < data::kBlocksPerTile; ++b) {
+                    keep[b] = probs[b] < 0.5;
+                }
             }
             for (int r = 0; r < tile.cell_rows; ++r) {
                 for (int c = 0; c < tile.cell_cols; ++c) {

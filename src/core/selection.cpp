@@ -81,22 +81,25 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
         combos *= allowed[c].size();
     }
 
+    // One actions buffer reused across the whole enumeration — the
+    // assemble/measure pair runs for every combination, so a per-call
+    // vector allocation here dominated the sweep's allocator traffic.
+    std::vector<Action> actions(contexts);
     auto assemble = [&](const std::vector<std::size_t> &choice) {
-        std::vector<Action> actions(contexts);
         for (int c = 0; c < contexts; ++c) {
             actions[c] = table.actions[c][allowed[c][choice[c]]];
         }
-        return actions;
     };
-    auto measure = [&](const std::vector<Action> &actions) {
+    auto measure = [&]() {
         ++evaluated;
         return evaluateLogic(profile, table, actions, true,
                              options_.send_unprocessed_raw);
     };
 
     std::vector<std::size_t> choice(contexts, 0);
-    std::vector<Action> best_actions = assemble(choice);
-    DeploymentOutcome best_outcome = measure(best_actions);
+    assemble(choice);
+    std::vector<Action> best_actions = actions;
+    DeploymentOutcome best_outcome = measure();
 
     if (!overflow) {
         // Exhaustive odometer over all combinations.
@@ -112,8 +115,8 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
             if (pos < 0) {
                 break;
             }
-            const auto actions = assemble(choice);
-            const auto outcome = measure(actions);
+            assemble(choice);
+            const auto outcome = measure();
             if (betterOutcome(outcome, best_outcome)) {
                 best_outcome = outcome;
                 best_actions = actions;
@@ -126,8 +129,9 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
     // Coordinate ascent fallback for very large candidate spaces.
     std::vector<std::size_t> current(contexts, 0);
     bool improved = true;
-    best_actions = assemble(current);
-    best_outcome = measure(best_actions);
+    assemble(current);
+    best_actions = actions;
+    best_outcome = measure();
     while (improved) {
         improved = false;
         for (int c = 0; c < contexts; ++c) {
@@ -137,8 +141,8 @@ SelectionOptimizer::optimizeAtTiling(const SystemProfile &profile,
                     continue;
                 }
                 current[c] = cand;
-                const auto actions = assemble(current);
-                const auto outcome = measure(actions);
+                assemble(current);
+                const auto outcome = measure();
                 if (betterOutcome(outcome, best_outcome)) {
                     best_outcome = outcome;
                     best_actions = actions;

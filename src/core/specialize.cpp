@@ -94,6 +94,25 @@ SpecializedZoo::predictBlock(int entry, const data::TileData &tile,
     return entries[entry].net.predictProb(input.data());
 }
 
+void
+SpecializedZoo::tileInputs(const data::TileData &tile, double *out) const
+{
+    for (int b = 0; b < data::kBlocksPerTile; ++b) {
+        double *row = out + static_cast<std::size_t>(b) *
+                                data::kBlockInputDim;
+        tile.blockInput(b, row);
+        scaler.transformRow(row);
+    }
+}
+
+void
+SpecializedZoo::predictRows(int entry, const double *scaled,
+                            std::size_t rows, double *out) const
+{
+    assert(entry >= 0 && entry < static_cast<int>(entries.size()));
+    entries[entry].net.forwardBatch(scaled, rows, out);
+}
+
 std::vector<int>
 SpecializedZoo::candidatesFor(int context) const
 {
@@ -182,14 +201,14 @@ ModelSpecializer::trainZoo(
         }
         {
             const ml::Matrix clean_scaled = zoo.scaler.transform(cx);
-            for (std::size_t i = 0; i < refs.size(); ++i) {
-                const auto &tile = tiles[refs[i].tile];
-                if (options_.labels_from_reference) {
-                    // The deployed reference application labels the
-                    // data.
-                    cy[i] = zoo.entries[zoo.reference].net.predictProb(
-                        clean_scaled.row(i));
-                } else {
+            if (options_.labels_from_reference) {
+                // The deployed reference application labels the data —
+                // one batched forward pass over every candidate row.
+                zoo.entries[zoo.reference].net.forwardBatch(
+                    clean_scaled.data().data(), refs.size(), cy.data());
+            } else {
+                for (std::size_t i = 0; i < refs.size(); ++i) {
+                    const auto &tile = tiles[refs[i].tile];
                     cy[i] = tile.block_cloud_fraction[refs[i].block];
                 }
             }

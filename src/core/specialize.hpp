@@ -44,6 +44,28 @@ struct SpecializedZoo
     double predictBlock(int entry, const data::TileData &tile,
                         int block) const;
 
+    /**
+     * Standardized model inputs of all kBlocksPerTile blocks of a tile,
+     * ready for predictRows. Computed once per tile, the batch is shared
+     * by every candidate model evaluated on it.
+     *
+     * @param tile Tile to featurize.
+     * @param out Row-major kBlocksPerTile x kBlockInputDim buffer.
+     */
+    void tileInputs(const data::TileData &tile, double *out) const;
+
+    /**
+     * Batched predictBlock over pre-standardized input rows (as filled
+     * by tileInputs); bit-identical to per-block predictBlock calls.
+     *
+     * @param entry Zoo entry index.
+     * @param scaled Row-major rows x kBlockInputDim standardized inputs.
+     * @param rows Number of input rows.
+     * @param out One cloud probability per row.
+     */
+    void predictRows(int entry, const double *scaled, std::size_t rows,
+                     double *out) const;
+
     /** Candidate entry indices usable for context @p context. */
     std::vector<int> candidatesFor(int context) const;
 };

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic compute-kernel layer for the ML substrate.
+ *
+ * Every kernel here keeps a FIXED summation order: each output element
+ * accumulates its products in ascending reduction index with a single
+ * sequential accumulator chain, exactly the order of the scalar
+ * reference loops it replaces. The speedup comes from cache blocking,
+ * 4x unrolling over the reduction index (which turns one streaming pass
+ * into four fused ones, vectorizable across the output index), and the
+ * elimination of per-call heap allocation — never from reassociation.
+ * Results are therefore bit-identical to the naive loops, at any
+ * KODAN_THREADS, and invariant to how callers compose batches.
+ *
+ * The naive code paths stay in-tree (Backend::Naive) as the oracle the
+ * equivalence tests and bench_ml_kernels compare against.
+ */
+
+#ifndef KODAN_ML_KERNELS_HPP
+#define KODAN_ML_KERNELS_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace kodan::ml::kernels {
+
+/** Which implementation the ML substrate dispatches to. */
+enum class Backend
+{
+    /** The original scalar reference loops (the oracle). */
+    Naive,
+    /** Cache-blocked, unrolled, allocation-free kernels (default). */
+    Blocked,
+};
+
+/**
+ * Active backend. Defaults to Blocked; the KODAN_ML_KERNELS environment
+ * variable ("naive" or "blocked") overrides the default, and
+ * setBackend() overrides both.
+ */
+Backend backend();
+
+/** Override the active backend (process-wide). */
+void setBackend(Backend b);
+
+/**
+ * Per-thread bump arena for kernel workspaces.
+ *
+ * Chunks are never reallocated once handed out, so pointers stay valid
+ * until the frame that produced them unwinds. Typical use:
+ *
+ *   Scratch::Frame frame(scratch());
+ *   double *buf = scratch().alloc(n);
+ *   ... // buf dies with `frame`
+ *
+ * Frames nest; allocation is O(1) after warmup (no heap traffic once
+ * the high-water chunks exist).
+ */
+class Scratch
+{
+  public:
+    /** RAII marker: restores the arena position on destruction. */
+    class Frame
+    {
+      public:
+        explicit Frame(Scratch &arena)
+            : arena_(arena), chunk_(arena.chunk_), used_(arena.used_)
+        {
+        }
+        ~Frame()
+        {
+            arena_.chunk_ = chunk_;
+            arena_.used_ = used_;
+        }
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+      private:
+        Scratch &arena_;
+        std::size_t chunk_;
+        std::size_t used_;
+    };
+
+    /** Uninitialized workspace of @p count doubles. */
+    double *alloc(std::size_t count);
+
+    /** Zero-initialized workspace of @p count doubles. */
+    double *allocZeroed(std::size_t count);
+
+    /** Number of chunks ever allocated (diagnostics). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<double[]> data;
+        std::size_t capacity = 0;
+    };
+
+    /** Minimum chunk size in doubles (128 KiB). */
+    static constexpr std::size_t kMinChunk = std::size_t{1} << 14;
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_ = 0; // active chunk index
+    std::size_t used_ = 0;  // doubles consumed in the active chunk
+};
+
+/** The calling thread's scratch arena. */
+Scratch &scratch();
+
+/**
+ * Element-wise transform fused into gemm's final store. Fusing saves a
+ * full read+write pass over C — significant when C is a large batch
+ * activation matrix — and cannot change bits: the transform is applied
+ * to exactly the finished accumulator value a separate pass would have
+ * loaded back.
+ */
+enum class Epilogue
+{
+    None,
+    /** c = max(0.0, c) — the hidden-layer activation. */
+    Relu,
+};
+
+/**
+ * C = A * B (+ bias), dense row-major.
+ *
+ * A is m x k, B is k x n, C is m x n. When @p bias is non-null it holds
+ * n values and seeds every row of C; otherwise C starts at zero. Each C
+ * element is bias[j] + sum over ascending p of A[i,p] * B[p,j],
+ * accumulated in exactly that order — bit-identical to the scalar
+ * matvec `z = bias; for p: z += a[p] * b[p]` — with @p epilogue applied
+ * to the finished value.
+ */
+void gemm(std::size_t m, std::size_t k, std::size_t n, const double *a,
+          const double *b, double *c, const double *bias = nullptr,
+          Epilogue epilogue = Epilogue::None);
+
+/**
+ * y = W * x (+ bias) for one sample: W is rows x cols row-major, x has
+ * cols values, y gets rows values. Same fixed ascending-index order as
+ * gemm.
+ */
+void gemv(std::size_t rows, std::size_t cols, const double *w,
+          const double *x, const double *bias, double *y);
+
+/** out = a^T for row-major a (rows x cols); out is cols x rows. */
+void transpose(std::size_t rows, std::size_t cols, const double *a,
+               double *out);
+
+/**
+ * out[i] = squared L2 norm of row i of x (rows x dim), accumulated in
+ * ascending dimension order.
+ */
+void rowSquaredNorms(std::size_t rows, std::size_t dim, const double *x,
+                     double *out);
+
+/**
+ * out[i,d] = (x[i,d] - mean[d]) / stddev[d] — the Standardizer's exact
+ * per-element expression, batched.
+ */
+void standardizeRows(std::size_t rows, std::size_t dim, const double *x,
+                     const double *mean, const double *stddev, double *out);
+
+} // namespace kodan::ml::kernels
+
+#endif // KODAN_ML_KERNELS_HPP

@@ -42,6 +42,11 @@ struct KMeansResult
 
     /**
      * Index of the nearest centroid to @p x (under the fit's metric).
+     *
+     * For Euclidean fits the comparison is on squared distances — sqrt
+     * is monotone, so the argmin (first-of-ties) is the same and the
+     * per-centroid sqrt is skipped.
+     *
      * @param x Vector of centroids.cols() values.
      */
     int nearest(const double *x) const;
@@ -85,6 +90,20 @@ class KMeans
     int restarts_;
 
     KMeansResult fitOnce(const Matrix &x, util::Rng &rng) const;
+
+    /** Original per-point Lloyd iterations (the Naive oracle). */
+    void lloydNaive(const Matrix &x, util::Rng &rng,
+                    KMeansResult &result) const;
+
+    /**
+     * Batched Lloyd iterations (Blocked backend): Euclidean and Cosine
+     * assignment via one point-by-centroid GEMM per iteration (with the
+     * norm expansion ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 for
+     * Euclidean), Hamming on pre-binarized bytes. Assignments, inertia,
+     * and rng consumption are bit-identical to lloydNaive.
+     */
+    void lloydBlocked(const Matrix &x, util::Rng &rng,
+                      KMeansResult &result) const;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ml/kernels.hpp"
+
 namespace kodan::ml {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -35,8 +37,17 @@ Matrix::scale(double s)
 Matrix
 Matrix::multiply(const Matrix &a, const Matrix &b)
 {
-    assert(a.cols_ == b.rows_);
+    assert(a.cols_ == b.rows_ && "multiply: inner dimensions must match");
     Matrix c(a.rows_, b.cols_);
+    if (kernels::backend() == kernels::Backend::Blocked) {
+        // The blocked kernel accumulates every element over ascending
+        // inner index, the same chain as the naive loop below (whose
+        // zero-skip is bit-neutral: an accumulator seeded with +0.0
+        // never becomes -0.0, so adding aik * b == +/-0.0 is identity).
+        kernels::gemm(a.rows_, a.cols_, b.cols_, a.data_.data(),
+                      b.data_.data(), c.data_.data(), nullptr);
+        return c;
+    }
     for (std::size_t i = 0; i < a.rows_; ++i) {
         for (std::size_t k = 0; k < a.cols_; ++k) {
             const double aik = a.at(i, k);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace kodan::ml {
@@ -29,6 +31,41 @@ softmaxInPlace(std::vector<double> &z)
     }
     for (auto &v : z) {
         v /= total;
+    }
+}
+
+/**
+ * Raw-buffer activation helpers of the Blocked path. Element-for-element
+ * the same expressions (and, for softmax, the same reduction order) as
+ * the std::vector versions above, so both backends emit identical bits.
+ */
+void
+reluRows(double *v, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        v[i] = std::max(0.0, v[i]);
+    }
+}
+
+void
+sigmoidRows(double *v, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        v[i] = sigmoid(v[i]);
+    }
+}
+
+void
+softmaxRow(double *v, std::size_t n)
+{
+    const double peak = *std::max_element(v, v + n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - peak);
+        total += v[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] /= total;
     }
 }
 
@@ -64,6 +101,25 @@ Mlp::Mlp(const MlpConfig &config, util::Rng &rng)
         layer.v_b.assign(fan_out, 0.0);
         layers_.push_back(std::move(layer));
     }
+    for (int d : dims) {
+        max_width_ = std::max(max_width_, static_cast<std::size_t>(d));
+    }
+    refreshTransposes();
+}
+
+void
+Mlp::refreshTransposes()
+{
+    for (auto &layer : layers_) {
+        const std::size_t rows = layer.weights.rows();
+        const std::size_t cols = layer.weights.cols();
+        if (layer.weights_t.rows() != cols ||
+            layer.weights_t.cols() != rows) {
+            layer.weights_t = Matrix(cols, rows);
+        }
+        kernels::transpose(rows, cols, layer.weights.data().data(),
+                           layer.weights_t.data().data());
+    }
 }
 
 std::size_t
@@ -79,6 +135,16 @@ Mlp::parameterCount() const
 
 void
 Mlp::forward(const double *x, double *out) const
+{
+    if (kernels::backend() == kernels::Backend::Naive) {
+        forwardNaive(x, out);
+    } else {
+        forwardBlocked(x, out);
+    }
+}
+
+void
+Mlp::forwardNaive(const double *x, double *out) const
 {
     std::vector<double> current(x, x + config_.input_dim);
     std::vector<double> next;
@@ -112,6 +178,104 @@ Mlp::forward(const double *x, double *out) const
     std::copy(current.begin(), current.end(), out);
 }
 
+void
+Mlp::forwardBlocked(const double *x, double *out) const
+{
+    kernels::Scratch::Frame frame(kernels::scratch());
+    double *current = kernels::scratch().alloc(max_width_);
+    double *next = kernels::scratch().alloc(max_width_);
+    std::memcpy(current, x,
+                static_cast<std::size_t>(config_.input_dim) *
+                    sizeof(double));
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::size_t fan_out = layer.weights.rows();
+        const std::size_t fan_in = layer.weights.cols();
+        kernels::gemv(fan_out, fan_in, layer.weights.data().data(),
+                      current, layer.bias.data(), next);
+        const bool last = l + 1 == layers_.size();
+        if (!last) {
+            reluRows(next, fan_out);
+        } else if (config_.output == OutputKind::Sigmoid) {
+            sigmoidRows(next, fan_out);
+        } else {
+            softmaxRow(next, fan_out);
+        }
+        std::swap(current, next);
+    }
+    std::memcpy(out, current,
+                static_cast<std::size_t>(config_.output_dim) *
+                    sizeof(double));
+}
+
+void
+Mlp::forwardBatch(const double *x, std::size_t count, double *out) const
+{
+    const auto in_dim = static_cast<std::size_t>(config_.input_dim);
+    const auto out_dim = static_cast<std::size_t>(config_.output_dim);
+    if (count == 0) {
+        return;
+    }
+    KODAN_TIME_SCOPE("ml.mlp.forward_batch");
+    KODAN_COUNT_ADD("ml.mlp.forward_batch.rows", count);
+    if (kernels::backend() == kernels::Backend::Naive) {
+        for (std::size_t r = 0; r < count; ++r) {
+            forwardNaive(x + r * in_dim, out + r * out_dim);
+        }
+        return;
+    }
+    // Strip-mine the batch through the whole layer chain so the
+    // intermediate activations stay cache-resident (strip x widest
+    // layer) instead of streaming a full-batch activation matrix
+    // through memory once per layer. Rows are independent, so the
+    // per-row bits are unchanged by the strip size.
+    constexpr std::size_t kStripRows = 512;
+    for (std::size_t r0 = 0; r0 < count; r0 += kStripRows) {
+        const std::size_t rows = std::min(kStripRows, count - r0);
+        kernels::Scratch::Frame frame(kernels::scratch());
+        const double *current = x + r0 * in_dim;
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const Layer &layer = layers_[l];
+            const std::size_t fan_out = layer.weights.rows();
+            const std::size_t fan_in = layer.weights.cols();
+            const bool last = l + 1 == layers_.size();
+            double *next = last
+                               ? out + r0 * out_dim
+                               : kernels::scratch().alloc(rows * fan_out);
+            // Hidden-layer relu rides on the gemm's final store (same
+            // finished value a separate pass would reload — bits
+            // unchanged, one full pass over the activations saved).
+            kernels::gemm(rows, fan_in, fan_out, current,
+                          layer.weights_t.data().data(), next,
+                          layer.bias.data(),
+                          last ? kernels::Epilogue::None
+                               : kernels::Epilogue::Relu);
+            if (last) {
+                if (config_.output == OutputKind::Sigmoid) {
+                    sigmoidRows(next, rows * fan_out);
+                } else {
+                    for (std::size_t r = 0; r < rows; ++r) {
+                        softmaxRow(next + r * fan_out, fan_out);
+                    }
+                }
+            }
+            current = next;
+        }
+    }
+}
+
+void
+Mlp::forwardBatch(const Matrix &x, Matrix &out) const
+{
+    assert(static_cast<int>(x.cols()) == config_.input_dim);
+    if (out.rows() != x.rows() ||
+        out.cols() != static_cast<std::size_t>(config_.output_dim)) {
+        out = Matrix(x.rows(),
+                     static_cast<std::size_t>(config_.output_dim));
+    }
+    forwardBatch(x.data().data(), x.rows(), out.data().data());
+}
+
 double
 Mlp::predictProb(const double *x) const
 {
@@ -124,10 +288,18 @@ Mlp::predictProb(const double *x) const
 int
 Mlp::predictClass(const double *x) const
 {
-    std::vector<double> probs(config_.output_dim);
-    forward(x, probs.data());
+    if (kernels::backend() == kernels::Backend::Naive) {
+        std::vector<double> probs(config_.output_dim);
+        forward(x, probs.data());
+        return static_cast<int>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+    }
+    kernels::Scratch::Frame frame(kernels::scratch());
+    double *probs = kernels::scratch().alloc(
+        static_cast<std::size_t>(config_.output_dim));
+    forward(x, probs);
     return static_cast<int>(
-        std::max_element(probs.begin(), probs.end()) - probs.begin());
+        std::max_element(probs, probs + config_.output_dim) - probs);
 }
 
 void
@@ -178,6 +350,20 @@ Mlp::train(const Matrix &x, const std::vector<double> &targets,
                n * static_cast<std::size_t>(config_.output_dim));
     }
     assert(options.batch_size >= 1);
+    (void)n;
+
+    if (kernels::backend() == kernels::Backend::Naive) {
+        return trainNaive(x, targets, options, rng);
+    }
+    return trainBlocked(x, targets, options, rng);
+}
+
+double
+Mlp::trainNaive(const Matrix &x, const std::vector<double> &targets,
+                const TrainOptions &options, util::Rng &rng)
+{
+    const std::size_t n = x.rows();
+    const bool softmax = config_.output == OutputKind::Softmax;
 
     // Per-layer gradient accumulators, reused across minibatches.
     std::vector<Matrix> grad_w;
@@ -315,6 +501,191 @@ Mlp::train(const Matrix &x, const std::vector<double> &targets,
         }
         last_epoch_loss = epoch_loss / static_cast<double>(n);
     }
+    refreshTransposes();
+    return last_epoch_loss;
+}
+
+double
+Mlp::trainBlocked(const Matrix &x, const std::vector<double> &targets,
+                  const TrainOptions &options, util::Rng &rng)
+{
+    // Bit-identical restatement of trainNaive: the per-sample forwards
+    // of a minibatch become one GEMM per layer; weight gradients become
+    // delta^T * acts (ascending sample index == the oracle's ascending
+    // accumulation); the backpropagated delta becomes delta * W
+    // (ascending output index, ditto). The loss and the Adam update are
+    // byte-for-byte the oracle's code.
+    const std::size_t n = x.rows();
+    const bool softmax = config_.output == OutputKind::Softmax;
+    const auto in_dim = static_cast<std::size_t>(config_.input_dim);
+    const auto out_dim = static_cast<std::size_t>(config_.output_dim);
+    const std::size_t depth = layers_.size();
+
+    std::vector<Matrix> grad_w;
+    std::vector<std::vector<double>> grad_b;
+    for (const auto &layer : layers_) {
+        grad_w.emplace_back(layer.weights.rows(), layer.weights.cols());
+        grad_b.emplace_back(layer.bias.size(), 0.0);
+    }
+
+    // Layer widths: width[0] = input, width[l + 1] = layer l fan-out.
+    std::vector<std::size_t> width(depth + 1);
+    width[0] = in_dim;
+    for (std::size_t l = 0; l < depth; ++l) {
+        width[l + 1] = layers_[l].weights.rows();
+    }
+    std::vector<double *> acts(depth + 1);
+
+    double last_epoch_loss = 0.0;
+    const double beta1 = 0.9;
+    const double beta2 = 0.999;
+    const double eps = 1.0e-8;
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        const auto order = rng.permutation(n);
+        double epoch_loss = 0.0;
+        std::size_t batch_start = 0;
+        while (batch_start < n) {
+            const std::size_t batch_end =
+                std::min(n, batch_start + options.batch_size);
+            const std::size_t bsz = batch_end - batch_start;
+            const auto batch_n = static_cast<double>(bsz);
+            kernels::Scratch::Frame frame(kernels::scratch());
+            auto &arena = kernels::scratch();
+
+            // Gather the shuffled minibatch rows contiguously.
+            double *xb = arena.alloc(bsz * in_dim);
+            for (std::size_t s = 0; s < bsz; ++s) {
+                std::memcpy(xb + s * in_dim,
+                            x.row(order[batch_start + s]),
+                            in_dim * sizeof(double));
+            }
+            acts[0] = xb;
+
+            // Forward: one GEMM per layer, activations kept for
+            // backprop.
+            for (std::size_t l = 0; l < depth; ++l) {
+                const Layer &layer = layers_[l];
+                double *z = arena.alloc(bsz * width[l + 1]);
+                kernels::gemm(bsz, width[l], width[l + 1], acts[l],
+                              layer.weights_t.data().data(), z,
+                              layer.bias.data());
+                const bool last = l + 1 == depth;
+                if (!last) {
+                    reluRows(z, bsz * width[l + 1]);
+                } else if (config_.output == OutputKind::Sigmoid) {
+                    sigmoidRows(z, bsz * width[l + 1]);
+                } else {
+                    for (std::size_t s = 0; s < bsz; ++s) {
+                        softmaxRow(z + s * width[l + 1], width[l + 1]);
+                    }
+                }
+                acts[l + 1] = z;
+            }
+
+            // Output delta and loss, in minibatch sample order (the
+            // oracle's epoch_loss accumulation order).
+            double *delta = arena.alloc(bsz * out_dim);
+            for (std::size_t s = 0; s < bsz; ++s) {
+                const std::size_t idx = order[batch_start + s];
+                const double *out_row = acts[depth] + s * out_dim;
+                double *d_row = delta + s * out_dim;
+                if (softmax) {
+                    const int cls = static_cast<int>(targets[idx]);
+                    assert(cls >= 0 && cls < config_.output_dim);
+                    for (std::size_t o = 0; o < out_dim; ++o) {
+                        d_row[o] = out_row[o] -
+                                   (static_cast<int>(o) == cls ? 1.0 : 0.0);
+                    }
+                    epoch_loss +=
+                        -std::log(std::max(1.0e-12, out_row[cls]));
+                } else {
+                    for (std::size_t o = 0; o < out_dim; ++o) {
+                        const double target = targets[idx * out_dim + o];
+                        d_row[o] = out_row[o] - target;
+                        epoch_loss +=
+                            -(target *
+                                  std::log(std::max(1.0e-12, out_row[o])) +
+                              (1.0 - target) *
+                                  std::log(std::max(1.0e-12,
+                                                    1.0 - out_row[o])));
+                    }
+                }
+            }
+
+            // Backward.
+            for (std::size_t l = depth; l-- > 0;) {
+                const Layer &layer = layers_[l];
+                const std::size_t fan_out = width[l + 1];
+                const std::size_t fan_in = width[l];
+                // grad_w = delta^T * acts[l]: each weight accumulates
+                // over ascending sample index, the oracle's order.
+                double *delta_t = arena.alloc(fan_out * bsz);
+                kernels::transpose(bsz, fan_out, delta, delta_t);
+                kernels::gemm(fan_out, bsz, fan_in, delta_t, acts[l],
+                              grad_w[l].data().data(), nullptr);
+                auto &gb = grad_b[l];
+                std::fill(gb.begin(), gb.end(), 0.0);
+                for (std::size_t s = 0; s < bsz; ++s) {
+                    const double *d_row = delta + s * fan_out;
+                    for (std::size_t o = 0; o < fan_out; ++o) {
+                        gb[o] += d_row[o];
+                    }
+                }
+                if (l == 0) {
+                    break;
+                }
+                // delta_prev = delta * W, then the ReLU mask of the
+                // previous layer's post-activations.
+                double *delta_prev = arena.alloc(bsz * fan_in);
+                kernels::gemm(bsz, fan_out, fan_in, delta,
+                              layer.weights.data().data(), delta_prev,
+                              nullptr);
+                const double *a_prev = acts[l];
+                for (std::size_t i = 0; i < bsz * fan_in; ++i) {
+                    if (a_prev[i] <= 0.0) {
+                        delta_prev[i] = 0.0;
+                    }
+                }
+                delta = delta_prev;
+            }
+
+            // Adam update.
+            ++adam_step_;
+            const double bc1 =
+                1.0 - std::pow(beta1, static_cast<double>(adam_step_));
+            const double bc2 =
+                1.0 - std::pow(beta2, static_cast<double>(adam_step_));
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                auto &gw = grad_w[l].data();
+                auto &w = layer.weights.data();
+                auto &mw = layer.m_w.data();
+                auto &vw = layer.v_w.data();
+                for (std::size_t i = 0; i < w.size(); ++i) {
+                    const double g = gw[i] / batch_n +
+                                     options.weight_decay * w[i];
+                    mw[i] = beta1 * mw[i] + (1.0 - beta1) * g;
+                    vw[i] = beta2 * vw[i] + (1.0 - beta2) * g * g;
+                    w[i] -= options.learning_rate * (mw[i] / bc1) /
+                            (std::sqrt(vw[i] / bc2) + eps);
+                }
+                for (std::size_t o = 0; o < layer.bias.size(); ++o) {
+                    const double g = grad_b[l][o] / batch_n;
+                    layer.m_b[o] = beta1 * layer.m_b[o] + (1.0 - beta1) * g;
+                    layer.v_b[o] =
+                        beta2 * layer.v_b[o] + (1.0 - beta2) * g * g;
+                    layer.bias[o] -= options.learning_rate *
+                                     (layer.m_b[o] / bc1) /
+                                     (std::sqrt(layer.v_b[o] / bc2) + eps);
+                }
+            }
+            // The next minibatch's forward GEMM reads weights_t.
+            refreshTransposes();
+            batch_start = batch_end;
+        }
+        last_epoch_loss = epoch_loss / static_cast<double>(n);
+    }
     return last_epoch_loss;
 }
 
@@ -372,6 +743,7 @@ Mlp::load(std::istream &is)
     if (!is) {
         util::fatal("Mlp::load: truncated stream");
     }
+    mlp.refreshTransposes();
     return mlp;
 }
 

@@ -6,6 +6,12 @@
  * per-block binary cloud classifiers (sigmoid head) and the multi-class
  * context engine (softmax head). Seven capacity tiers play the role of
  * the seven application architectures of Table 1.
+ *
+ * Inference and training dispatch on kernels::backend(): the Blocked
+ * path runs one GEMM per layer over the whole batch with scratch-arena
+ * workspaces (no per-call heap traffic), the Naive path keeps the
+ * original per-sample scalar loops as the bit-exact oracle. Both
+ * produce identical bits (see tests/ml/test_kernels.cpp).
  */
 
 #ifndef KODAN_ML_MLP_HPP
@@ -14,6 +20,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "ml/kernels.hpp"
 #include "ml/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +87,24 @@ class Mlp
      */
     void forward(const double *x, double *out) const;
 
+    /**
+     * Forward pass of @p count samples at once: one GEMM per layer on
+     * the Blocked backend. Bit-identical to @p count calls of forward()
+     * for any batch composition.
+     *
+     * @param x Row-major samples, count x config().input_dim.
+     * @param count Number of samples.
+     * @param out Row-major output, count x config().output_dim.
+     */
+    void forwardBatch(const double *x, std::size_t count,
+                      double *out) const;
+
+    /**
+     * Matrix convenience overload of the batched forward pass; @p out
+     * is resized to x.rows() x config().output_dim.
+     */
+    void forwardBatch(const Matrix &x, Matrix &out) const;
+
     /** Probability of the positive class (binary head convenience). */
     double predictProb(const double *x) const;
 
@@ -112,6 +137,10 @@ class Mlp
     struct Layer
     {
         Matrix weights; // out x in
+        // Transposed weights (in x out), the GEMM operand of the
+        // batched forward pass; refreshed eagerly whenever weights
+        // change so const inference paths stay thread-safe.
+        Matrix weights_t;
         std::vector<double> bias;
         // Adam state.
         Matrix m_w, v_w;
@@ -121,6 +150,25 @@ class Mlp
     MlpConfig config_;
     std::vector<Layer> layers_;
     long long adam_step_ = 0;
+    std::size_t max_width_ = 0; // widest layer incl. input and output
+
+    /** Rebuild weights_t of every layer from weights. */
+    void refreshTransposes();
+
+    /** Original per-sample scalar forward (the Naive oracle). */
+    void forwardNaive(const double *x, double *out) const;
+
+    /** Scratch-arena forward of one sample (Blocked backend). */
+    void forwardBlocked(const double *x, double *out) const;
+
+    /** Original per-sample training loop (the Naive oracle). */
+    double trainNaive(const Matrix &x, const std::vector<double> &targets,
+                      const TrainOptions &options, util::Rng &rng);
+
+    /** GEMM-batched training (Blocked backend); identical bits. */
+    double trainBlocked(const Matrix &x,
+                        const std::vector<double> &targets,
+                        const TrainOptions &options, util::Rng &rng);
 
     /**
      * Forward pass keeping activations for backprop.
