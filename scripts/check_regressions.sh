@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Telemetry regression smoke: run bench_parallel_speedup,
-# bench_fig02_downlink_gap, the bench_fig10 mission sweep, and
-# bench_ml_kernels with the metrics snapshot + flight recorder + time
-# series enabled, then feed the outputs to `kodan-report diff` against
-# the committed baselines in bench/baselines/. Non-zero exit on
-# regression (including any ML-kernel Blocked-vs-Naive bit mismatch,
-# which fails the bench itself).
+# bench_fig02_downlink_gap, the bench_fig10 mission sweep,
+# bench_ml_kernels, and the bench_constellation smoke + golden
+# long-horizon fixture (100 satellites x 30 days) with the metrics
+# snapshot + flight recorder + time series enabled, then feed the
+# outputs to `kodan-report diff` against the committed baselines in
+# bench/baselines/. Non-zero exit on regression (including any
+# ML-kernel Blocked-vs-Naive bit mismatch, a constellation-engine
+# thread-divergence under --verify, or a miss of the constellation
+# throughput floor under --assert-throughput, all of which fail the
+# bench itself).
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
 #
 # --rebaseline regenerates bench/baselines/ from the current build and
 # appends an entry (labeled with the current git commit) to the
-# BENCH_parallel_speedup.json and BENCH_ml_kernels.json trajectories at
-# the repo root, instead of diffing.
+# BENCH_parallel_speedup.json, BENCH_ml_kernels.json, and
+# BENCH_constellation.json trajectories at the repo root, instead of
+# diffing.
 #
 # Baseline caveat: the committed baselines are toolchain-pinned. Counters,
 # gauges, journals, and time series are bit-deterministic for a given
@@ -53,9 +58,10 @@ SPEEDUP_BENCH="$BUILD_DIR/bench/bench_parallel_speedup"
 FIG02_BENCH="$BUILD_DIR/bench/bench_fig02_downlink_gap"
 FIG10_BENCH="$BUILD_DIR/bench/bench_fig10_dvd_vs_time"
 MLKERN_BENCH="$BUILD_DIR/bench/bench_ml_kernels"
+CONSTEL_BENCH="$BUILD_DIR/bench/bench_constellation"
 
 for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH" \
-              "$MLKERN_BENCH"; do
+              "$MLKERN_BENCH" "$CONSTEL_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -90,6 +96,30 @@ echo "[check_regressions] running bench_ml_kernels ..."
     --telemetry-out "$WORKDIR/ml_kernels.metrics.json" \
     > /dev/null)
 
+# Constellation engine smoke: small scenario with the full recording
+# stack (metrics + journal + time series) for the bit-exact baseline
+# diff, plus --verify (reruns a scaled scenario at 1/4/16 threads and
+# fails on any bit divergence).
+echo "[check_regressions] running bench_constellation smoke ..."
+(cd "$WORKDIR" && "$CONSTEL_BENCH" \
+    --sats 8 --days 1 --planes 4 --stations landsat --scan-step 60 \
+    --verify \
+    --telemetry-out "$WORKDIR/constellation.metrics.json" \
+    --journal-out "$WORKDIR/constellation.journal.jsonl" \
+    > /dev/null)
+
+# Golden long-horizon fixture: 100 satellites over 30 simulated days
+# (the memory-flat streaming path: 30 one-day chunks). The committed
+# per-bin series pin the mission-scale totals — frames, downlinked
+# bits, DVD, contact utilization — against drift; the throughput floor
+# guards the engine's sat-days-per-second rate at mission scale.
+echo "[check_regressions] running bench_constellation golden (100 sats x 30 days) ..."
+(cd "$WORKDIR" && "$CONSTEL_BENCH" \
+    --sats 100 --days 30 --planes 5 --stations landsat --bin-hours 6 \
+    --assert-throughput 150 \
+    --telemetry-out "$WORKDIR/constellation_golden.metrics.json" \
+    > /dev/null)
+
 if [[ "$REBASELINE" -eq 1 ]]; then
     mkdir -p "$BASELINES"
     cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
@@ -98,6 +128,11 @@ if [[ "$REBASELINE" -eq 1 ]]; then
        "$WORKDIR/fig10_mission.metrics.json" \
        "$WORKDIR/fig10_mission.metrics.timeseries.json" \
        "$WORKDIR/ml_kernels.metrics.json" \
+       "$WORKDIR/constellation.metrics.json" \
+       "$WORKDIR/constellation.metrics.timeseries.json" \
+       "$WORKDIR/constellation.journal.jsonl" \
+       "$WORKDIR/constellation_golden.metrics.json" \
+       "$WORKDIR/constellation_golden.metrics.timeseries.json" \
        "$BASELINES/"
     LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
              echo local)"
@@ -107,6 +142,9 @@ if [[ "$REBASELINE" -eq 1 ]]; then
     "$REPORT" aggregate --name ml_kernels --label "$LABEL" \
         --out "$REPO_ROOT/BENCH_ml_kernels.json" \
         "$WORKDIR/ml_kernels.metrics.json"
+    "$REPORT" aggregate --name constellation --label "$LABEL" \
+        --out "$REPO_ROOT/BENCH_constellation.json" \
+        "$WORKDIR/constellation_golden.metrics.json"
     echo "[check_regressions] baselines rebaselined in $BASELINES"
     exit 0
 fi
@@ -150,6 +188,27 @@ echo "[check_regressions] diffing fig10 mission series against baseline ..."
     --timeseries \
     "$BASELINES/fig10_mission.metrics.timeseries.json" \
     "$WORKDIR/fig10_mission.metrics.timeseries.json" \
+    --tol-timer 100 || STATUS=1
+
+echo "[check_regressions] diffing constellation smoke against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/constellation.metrics.json" \
+    "$WORKDIR/constellation.metrics.json" \
+    --journal \
+    "$BASELINES/constellation.journal.jsonl" \
+    "$WORKDIR/constellation.journal.jsonl" \
+    --timeseries \
+    "$BASELINES/constellation.metrics.timeseries.json" \
+    "$WORKDIR/constellation.metrics.timeseries.json" \
+    --tol-timer 100 || STATUS=1
+
+echo "[check_regressions] diffing constellation golden against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/constellation_golden.metrics.json" \
+    "$WORKDIR/constellation_golden.metrics.json" \
+    --timeseries \
+    "$BASELINES/constellation_golden.metrics.timeseries.json" \
+    "$WORKDIR/constellation_golden.metrics.timeseries.json" \
     --tol-timer 100 || STATUS=1
 
 if [[ "$STATUS" -ne 0 ]]; then

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
 
 namespace kodan::ground {
 
@@ -97,6 +100,89 @@ ContactFinder::find(const orbit::J2Propagator &sat,
 }
 
 std::vector<ContactWindow>
+ContactFinder::findAdaptive(const orbit::J2Propagator &sat,
+                            const GroundStation &station, double t0,
+                            double t1) const
+{
+    assert(t1 >= t0);
+    const orbit::Vec3 site = station.ecef();
+    const double site_r = site.norm();
+    const auto &elems = sat.elements();
+    // Visibility-cone half-angle (geocentric separation between site and
+    // satellite directions) at the mask elevation, evaluated at apogee
+    // radius: the cone only shrinks at lower radii, so theta beyond this
+    // angle proves the satellite is below the mask. Exact for the
+    // geocentric-up elevation model; a small margin absorbs float slop.
+    const double r_apogee =
+        elems.semi_major_axis * (1.0 + elems.eccentricity);
+    const double cos_arg = std::clamp(
+        (site_r / r_apogee) * std::cos(station.min_elevation), -1.0, 1.0);
+    const double lambda_safe =
+        std::acos(cos_arg) - station.min_elevation + 0.01;
+    // Upper bound on d(theta)/dt: fastest in-plane sweep (true-anomaly
+    // rate at perigee) plus apsidal/nodal precession plus Earth spin.
+    const double e = elems.eccentricity;
+    const double rate =
+        1.05 * (sat.meanMotion() * std::sqrt(1.0 + e) /
+                    std::pow(1.0 - e, 1.5) +
+                std::abs(sat.argPerigeeRate()) + std::abs(sat.raanRate()) +
+                util::kEarthOmega);
+
+    std::vector<ContactWindow> windows;
+    bool in_window =
+        maskedElevation(sat, site, station.min_elevation, t0) >= 0.0;
+    double window_start = in_window ? t0 : 0.0;
+
+    for (double t = t0 + coarse_step_; t < t1 + coarse_step_;
+         t += coarse_step_) {
+        const double t_clamped = std::min(t, t1);
+        const orbit::Vec3 sat_ecef = sat.positionEcef(t_clamped);
+        const bool above = orbit::elevationAngle(site, sat_ecef) -
+                               station.min_elevation >=
+                           0.0;
+        if (above && !in_window) {
+            window_start = refineCrossing(sat, station,
+                                          t_clamped - coarse_step_,
+                                          t_clamped, /*rising=*/true);
+            in_window = true;
+        } else if (!above && in_window) {
+            const double window_end =
+                refineCrossing(sat, station, t_clamped - coarse_step_,
+                               t_clamped, /*rising=*/false);
+            windows.push_back({0, 0, std::max(window_start, t0),
+                               std::min(window_end, t1)});
+            in_window = false;
+        }
+        if (t_clamped >= t1) {
+            break;
+        }
+        if (!above) {
+            // Stride over provably-out-of-view grid cells. The time is
+            // advanced by repeated += so the surviving samples land on
+            // exactly the accumulated grid find() walks.
+            const double sat_r = sat_ecef.norm();
+            const double cos_theta = std::clamp(
+                site.dot(sat_ecef) / (site_r * sat_r), -1.0, 1.0);
+            const double slack = std::acos(cos_theta) - lambda_safe;
+            if (slack > 0.0) {
+                const double cells =
+                    std::floor(slack / (rate * coarse_step_));
+                // One grid cell is consumed by the loop increment.
+                for (double skipped = 1.0;
+                     skipped < cells && t + coarse_step_ < t1;
+                     skipped += 1.0) {
+                    t += coarse_step_;
+                }
+            }
+        }
+    }
+    if (in_window) {
+        windows.push_back({0, 0, std::max(window_start, t0), t1});
+    }
+    return windows;
+}
+
+std::vector<ContactWindow>
 ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
                        const std::vector<GroundStation> &stations, double t0,
                        double t1) const
@@ -121,6 +207,58 @@ ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
     if (telemetry::journalEnabled()) {
         // Flight recorder: one begin/end pair per window, in the sorted
         // (deterministic) window order on the caller's journal lane.
+        for (const auto &w : all) {
+            telemetry::JournalEventBuilder("ground.contact.begin")
+                .i64("satellite", static_cast<std::int64_t>(w.satellite))
+                .i64("station", static_cast<std::int64_t>(w.station))
+                .f64("t_s", w.start);
+            telemetry::JournalEventBuilder("ground.contact.end")
+                .i64("satellite", static_cast<std::int64_t>(w.satellite))
+                .i64("station", static_cast<std::int64_t>(w.station))
+                .f64("t_s", w.end)
+                .f64("duration_s", w.duration());
+        }
+    }
+    return all;
+}
+
+std::vector<ContactWindow>
+ContactFinder::findAllParallel(
+    const std::vector<orbit::J2Propagator> &sats,
+    const std::vector<GroundStation> &stations, double t0, double t1) const
+{
+    KODAN_PROFILE_SCOPE("ground.contact.scan");
+    const std::size_t pair_count = sats.size() * stations.size();
+    std::vector<std::vector<ContactWindow>> per_pair(pair_count);
+    util::parallelFor(pair_count, [&](std::size_t p) {
+        const std::size_t s = p / stations.size();
+        const std::size_t g = p % stations.size();
+        auto windows = findAdaptive(sats[s], stations[g], t0, t1);
+        for (auto &w : windows) {
+            w.satellite = s;
+            w.station = g;
+        }
+        per_pair[p] = std::move(windows);
+    });
+    std::vector<ContactWindow> all;
+    std::size_t total = 0;
+    for (const auto &windows : per_pair) {
+        total += windows.size();
+    }
+    all.reserve(total);
+    // Concatenate in pair index order — the exact sequence findAll()'s
+    // nested serial loops produce — so the unstable start-time sort sees
+    // identical input and the result is bit-identical at any thread
+    // count.
+    for (auto &windows : per_pair) {
+        all.insert(all.end(), windows.begin(), windows.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ContactWindow &a, const ContactWindow &b) {
+                  return a.start < b.start;
+              });
+    KODAN_COUNT_ADD("ground.contact.windows.scanned", all.size());
+    if (telemetry::journalEnabled()) {
         for (const auto &w : all) {
             telemetry::JournalEventBuilder("ground.contact.begin")
                 .i64("satellite", static_cast<std::int64_t>(w.satellite))

@@ -56,6 +56,24 @@ class ContactFinder
                                     double t0, double t1) const;
 
     /**
+     * Adaptive-stride variant of find(): bit-identical windows, far
+     * fewer propagator evaluations.
+     *
+     * While the satellite is provably outside the station's visibility
+     * cone, the scan strides ahead by whole grid cells: with the
+     * geocentric separation at theta and the cone's safe half-angle at
+     * lambda, the angular rate bound r (perigee true-anomaly rate plus
+     * Earth spin and J2 precession) guarantees the satellite stays out
+     * of view for (theta - lambda) / r seconds, so every skipped sample
+     * is provably below the mask. Samples stay on the same accumulated
+     * t0 + k*step grid as find(), so rise/set brackets — and therefore
+     * the refined window edges — are bit-identical.
+     */
+    std::vector<ContactWindow> findAdaptive(const orbit::J2Propagator &sat,
+                                            const GroundStation &station,
+                                            double t0, double t1) const;
+
+    /**
      * All windows of a constellation against a ground segment, with
      * station/satellite indices filled in, sorted by start time.
      */
@@ -63,6 +81,19 @@ class ContactFinder
     findAll(const std::vector<orbit::J2Propagator> &sats,
             const std::vector<GroundStation> &stations, double t0,
             double t1) const;
+
+    /**
+     * Parallel adaptive sweep: fans the (satellite, station) pairs out
+     * over the global thread pool, each pair scanned with
+     * findAdaptive(). Pair results are concatenated in (satellite,
+     * station) index order before the same start-time sort findAll()
+     * applies, so the output — windows, counters, and journal events —
+     * is bit-identical to findAll() at any KODAN_THREADS.
+     */
+    std::vector<ContactWindow>
+    findAllParallel(const std::vector<orbit::J2Propagator> &sats,
+                    const std::vector<GroundStation> &stations, double t0,
+                    double t1) const;
 
   private:
     double coarse_step_;

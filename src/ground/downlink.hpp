@@ -54,6 +54,18 @@ struct DownlinkModel
  * segment saturates. A hysteresis slack keeps grants contiguous within a
  * pass (real stations do not retarget their dish every few seconds), so
  * per-pass link overhead is paid once per pass rather than per step.
+ *
+ * Two implementations share these semantics bit-for-bit (proved by the
+ * oracle property suite in tests/props/):
+ *  - allocate() / the State API walk per-station *contact event queues*:
+ *    windows activate from a start-sorted cursor and expire lazily, so
+ *    each step touches only the windows actually in view at that station
+ *    — O(steps x stations + windows) instead of the rescan's
+ *    O(steps x stations x windows). The State form is resumable, so
+ *    year-long drivers can feed windows chunk by chunk and keep memory
+ *    flat.
+ *  - allocateRescan() is the original brute-force rescan-per-step,
+ *    retained as the reference oracle for the property tests.
  */
 class GroundSegmentScheduler
 {
@@ -97,6 +109,50 @@ class GroundSegmentScheduler
         double idle_station_seconds = 0.0;
     };
 
+    /** One station's currently open granted run (internal to State). */
+    struct OpenRun
+    {
+        std::size_t satellite = static_cast<std::size_t>(-1);
+        double start = 0.0;
+        double end = 0.0;
+    };
+
+    /**
+     * Resumable allocation state for chunked (streaming) drivers.
+     *
+     * The step clock advances by repeated `+= step` from t0 exactly as
+     * the one-shot loop does, so feeding the same windows through any
+     * chunking of allocateSpan() calls produces bit-identical results —
+     * provided span boundaries land on the step grid (an integer step
+     * over integer boundaries stays exact in double arithmetic).
+     */
+    struct State
+    {
+        Allocation allocation;
+        /** Next step start time (exact accumulated step clock). */
+        double clock = 0.0;
+        /** Satellite served in the previous step, per station. */
+        std::vector<std::size_t> last_served;
+        /** Open granted run per station, carried across spans. */
+        std::vector<OpenRun> open_runs;
+    };
+
+    /** Start a resumable allocation at @p t0. */
+    State beginAllocation(std::size_t satellite_count,
+                          std::size_t station_count, double t0) const;
+
+    /**
+     * Advance the stepped allocation to @p t1. @p windows must contain
+     * every window overlapping [state.clock, t1) (windows split at span
+     * boundaries are fine: visibility is evaluated per step, and pass
+     * coalescing rides on the grant continuity in @p state).
+     */
+    void allocateSpan(const std::vector<ContactWindow> &windows, double t1,
+                      State &state) const;
+
+    /** Close open runs and finalize interval ordering. */
+    Allocation finishAllocation(State &&state) const;
+
     /**
      * Allocate station time over [t0, t1].
      *
@@ -110,6 +166,17 @@ class GroundSegmentScheduler
                         std::size_t satellite_count,
                         std::size_t station_count, double t0,
                         double t1) const;
+
+    /**
+     * Reference implementation: rescans the full window list at every
+     * (step, station). Bit-identical to allocate() — kept as the oracle
+     * for the incremental scheduler's property tests. Emits no
+     * telemetry.
+     */
+    Allocation allocateRescan(const std::vector<ContactWindow> &windows,
+                              std::size_t satellite_count,
+                              std::size_t station_count, double t0,
+                              double t1) const;
 
   private:
     double step_;

@@ -41,4 +41,37 @@ sparseGroundSegment()
     };
 }
 
+std::vector<GroundStation>
+globalGroundSegment()
+{
+    // Sites follow the public KSAT / AWS Ground Station / Azure Orbital
+    // footprints (approximate coordinates; sea-level heights).
+    return {
+        makeStation("Svalbard", 78.23, 15.39),
+        makeStation("Inuvik", 68.32, -133.55),
+        makeStation("GilmoreCreek", 64.98, -147.50),
+        makeStation("TromsoNO", 69.66, 18.94),
+        makeStation("Esrange", 67.88, 21.07),
+        makeStation("NorthPoleAK", 64.80, -147.50),
+        makeStation("PrinceAlbert", 53.21, -105.93),
+        makeStation("Neustrelitz", 53.33, 13.07),
+        makeStation("Ireland", 53.42, -7.90),
+        makeStation("SiouxFalls", 43.74, -96.62),
+        makeStation("Ohio", 40.06, -83.00),
+        makeStation("Oregon", 45.59, -121.18),
+        makeStation("Bahrain", 26.07, 50.56),
+        makeStation("Hawaii", 19.82, -155.47),
+        makeStation("Seoul", 37.46, 126.44),
+        makeStation("Singapore", 1.35, 103.82),
+        makeStation("Dubbo", -32.24, 148.60),
+        makeStation("AliceSprings", -23.76, 133.88),
+        makeStation("Awarua", -46.53, 168.38),
+        makeStation("Hartebeesthoek", -25.89, 27.69),
+        makeStation("CapeTown", -33.93, 18.42),
+        makeStation("PuntaArenas", -52.94, -70.85),
+        makeStation("Cordoba", -31.52, -64.46),
+        makeStation("TrollAntarctica", -72.01, 2.53),
+    };
+}
+
 } // namespace kodan::ground

@@ -51,6 +51,17 @@ std::vector<GroundStation> landsatGroundSegment();
  */
 std::vector<GroundStation> sparseGroundSegment();
 
+/**
+ * A commercial-scale global ground segment (24 sites, 10-degree masks):
+ * the KSAT/AWS/Azure-style network a large imaging constellation would
+ * lease. High-latitude sites (Svalbard, Inuvik, Punta Arenas, Troll,
+ * ...) dominate sun-synchronous contact time; mid- and low-latitude
+ * sites add the equatorial coverage polar networks lack. This is the
+ * segment ConstellationEngine scenarios pair with multi-plane
+ * MissionConfig::makeConstellation layouts.
+ */
+std::vector<GroundStation> globalGroundSegment();
+
 } // namespace kodan::ground
 
 #endif // KODAN_GROUND_STATION_HPP

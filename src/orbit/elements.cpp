@@ -90,6 +90,14 @@ walkerConstellation(int total, int planes, int phasing,
     return constellation;
 }
 
+std::vector<OrbitalElements>
+sunSynchronousConstellation(int total, int planes, int phasing,
+                            double altitude_m)
+{
+    return walkerConstellation(total, planes, phasing, altitude_m,
+                               sunSynchronousInclination(altitude_m));
+}
+
 double
 solveKepler(double mean_anomaly, double eccentricity)
 {

@@ -91,6 +91,21 @@ std::vector<OrbitalElements> walkerConstellation(int total, int planes,
                                                  double inclination_rad);
 
 /**
+ * Walker-delta constellation at the sun-synchronous inclination for
+ * @p altitude_m: the canonical layout for staggered-plane imaging
+ * constellations (every plane keeps the same local solar time).
+ *
+ * @param total Total satellites; must be divisible by @p planes.
+ * @param planes Number of orbital planes (>= 1).
+ * @param phasing Walker phasing parameter f in [0, planes).
+ * @param altitude_m Circular orbit altitude (m).
+ */
+std::vector<OrbitalElements> sunSynchronousConstellation(int total,
+                                                         int planes,
+                                                         int phasing,
+                                                         double altitude_m);
+
+/**
  * Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly.
  *
  * Newton iteration; converges in a handful of steps for e < 0.9.

@@ -103,14 +103,18 @@ struct SatTelemetry
 MissionConfig
 MissionConfig::landsatConstellation(int satellite_count)
 {
+    return makeConstellation(satellite_count, 1, 0);
+}
+
+MissionConfig
+MissionConfig::makeConstellation(int satellite_count, int planes,
+                                 int phasing)
+{
     assert(satellite_count >= 1);
+    assert(planes >= 1 && satellite_count % planes == 0);
     MissionConfig config;
-    for (int k = 0; k < satellite_count; ++k) {
-        const double phase =
-            util::kTwoPi * k / static_cast<double>(satellite_count);
-        config.satellites.push_back(
-            orbit::OrbitalElements::landsat8(0.0, phase));
-    }
+    config.satellites = orbit::sunSynchronousConstellation(
+        satellite_count, planes, phasing, 705.0e3);
     config.stations = ground::landsatGroundSegment();
     config.camera = sense::CameraModel::landsat8Multispectral();
     return config;
@@ -145,11 +149,12 @@ MissionSim::MissionSim(const data::GeoModel *world, double fixed_prevalence)
 }
 
 double
-MissionSim::frameValueFraction(const orbit::Geodetic &center, double time,
-                               util::Rng &rng) const
+frameValueFraction(const data::GeoModel *world, double fixed_prevalence,
+                   const orbit::Geodetic &center, double time,
+                   util::Rng &rng)
 {
-    if (world_ == nullptr) {
-        return rng.bernoulli(fixed_prevalence_) ? 1.0 : 0.0;
+    if (world == nullptr) {
+        return rng.bernoulli(fixed_prevalence) ? 1.0 : 0.0;
     }
     // Sample a 3x3 lattice across the frame footprint.
     const double spread = 50.0e3 / util::kEarthRadius; // ~ frame third
@@ -160,12 +165,20 @@ MissionSim::frameValueFraction(const orbit::Geodetic &center, double time,
                                            -util::kPi / 2.0 + 1e-6,
                                            util::kPi / 2.0 - 1e-6);
             const double lon = center.longitude + dc * spread;
-            if (!world_->cloudyAt(lat, lon, time)) {
+            if (!world->cloudyAt(lat, lon, time)) {
                 ++clear;
             }
         }
     }
     return clear / 9.0;
+}
+
+double
+MissionSim::frameValueFraction(const orbit::Geodetic &center, double time,
+                               util::Rng &rng) const
+{
+    return sim::frameValueFraction(world_, fixed_prevalence_, center, time,
+                                   rng);
 }
 
 SatelliteResult
@@ -245,12 +258,14 @@ MissionSim::run(const MissionConfig &config,
     };
     std::vector<SatTelemetry> sat_telemetry(want_timing ? sats.size() : 0);
 
-    // Satellites are simulated in parallel. Each satellite draws from its
-    // own RNG stream derived from (mission seed, satellite index), so its
-    // trajectory of random decisions is a pure function of the config —
-    // independent of thread count and of the other satellites.
+    // Satellites are simulated in parallel, grouped into shard work
+    // units. Each satellite draws from its own RNG stream derived from
+    // (mission seed, satellite index) and records into its own journal
+    // lane, so its trajectory of random decisions is a pure function of
+    // the config — independent of thread count, shard size, and the
+    // other satellites.
     result.per_satellite.resize(sats.size());
-    util::parallelFor(sats.size(), [&](std::size_t s) {
+    const auto simulateSatellite = [&](std::size_t s) {
         telemetry::JournalScope journal_scope(journal_region.id(), s);
         util::Rng rng(util::splitMix64(config.seed ^
                                        (0x5A7E111E5ULL + s)));
@@ -502,6 +517,16 @@ MissionSim::run(const MissionConfig &config,
         }
 
         result.per_satellite[s] = sat_result;
+    };
+    const std::size_t shard =
+        config.shard_size > 0 ? config.shard_size : 1;
+    const std::size_t shard_count = (sats.size() + shard - 1) / shard;
+    util::parallelFor(shard_count, [&](std::size_t shard_idx) {
+        const std::size_t begin = shard_idx * shard;
+        const std::size_t end = std::min(sats.size(), begin + shard);
+        for (std::size_t s = begin; s < end; ++s) {
+            simulateSatellite(s);
+        }
     });
 
     // Fold the per-satellite bins into the global time series serially,

@@ -60,12 +60,35 @@ struct MissionConfig
      * them apart.
      */
     std::string telemetry_prefix = "sim";
+    /**
+     * Satellites per parallel work unit (shard). Results are bit-identical
+     * for any value — shards only coarsen scheduling, each satellite
+     * keeps its own RNG stream and journal lane. 0 = one satellite per
+     * work item.
+     */
+    std::size_t shard_size = 0;
 
     /**
      * Build an N-satellite, single-plane Landsat-8-like constellation
      * with evenly spaced mean anomalies and the standard ground segment.
      */
     static MissionConfig landsatConstellation(int satellite_count);
+
+    /**
+     * Build a multi-plane sun-synchronous constellation at the Landsat
+     * altitude: a Walker delta pattern of @p satellite_count satellites
+     * over @p planes equally-spaced planes with the Walker phasing
+     * parameter @p phasing, imaging the WRS-2 grid against the standard
+     * ground segment. makeConstellation(n, 1, 0) is bit-identical to
+     * landsatConstellation(n).
+     *
+     * @param satellite_count Total satellites (divisible by @p planes).
+     * @param planes Orbital planes (staggered RAAN).
+     * @param phasing Walker phasing parameter f in [0, planes).
+     */
+    static MissionConfig makeConstellation(int satellite_count,
+                                           int planes = 1,
+                                           int phasing = 0);
 };
 
 /**
@@ -181,6 +204,17 @@ class MissionSim
     double frameValueFraction(const orbit::Geodetic &center, double time,
                               util::Rng &rng) const;
 };
+
+/**
+ * High-value fraction of a frame centered at @p center at @p time —
+ * the shared value model of MissionSim and ConstellationEngine. When
+ * @p world is null, draws a Bernoulli with @p fixed_prevalence from
+ * @p rng instead (one draw per call).
+ */
+double frameValueFraction(const data::GeoModel *world,
+                          double fixed_prevalence,
+                          const orbit::Geodetic &center, double time,
+                          util::Rng &rng);
 
 } // namespace kodan::sim
 

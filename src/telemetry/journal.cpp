@@ -373,11 +373,32 @@ JournalScope::JournalScope(std::uint64_t region, std::uint64_t index)
     cursor = {region, index + 1, 0};
 }
 
+JournalScope::JournalScope(std::uint64_t region, std::uint64_t index,
+                           std::uint32_t resume_ord)
+{
+    if (region == 0 || !journalEnabled()) {
+        return;
+    }
+    active_ = true;
+    detail::JournalCursor &cursor = detail::journalCursor();
+    saved_ = cursor;
+    cursor = {region, index + 1, resume_ord};
+}
+
 JournalScope::~JournalScope()
 {
     if (active_) {
         detail::journalCursor() = saved_;
     }
+}
+
+std::uint32_t
+journalScopeOrd()
+{
+    if (!journalEnabled()) {
+        return 0;
+    }
+    return detail::journalCursor().ord;
 }
 
 JournalEventBuilder::JournalEventBuilder(const char *type)

@@ -192,6 +192,16 @@ class JournalScope
 {
   public:
     JournalScope(std::uint64_t region, std::uint64_t index);
+
+    /**
+     * Re-entrant variant for chunked drivers: resume the lane's ordinal
+     * at @p resume_ord instead of 0, so a work item that records across
+     * several scope entries (one per time chunk) still produces one
+     * monotone ord sequence. Read the ordinal to carry forward with
+     * journalScopeOrd() before the scope closes.
+     */
+    JournalScope(std::uint64_t region, std::uint64_t index,
+                 std::uint32_t resume_ord);
     JournalScope(const JournalScope &) = delete;
     JournalScope &operator=(const JournalScope &) = delete;
     ~JournalScope();
@@ -200,6 +210,13 @@ class JournalScope
     bool active_ = false;
     detail::JournalCursor saved_;
 };
+
+/**
+ * The calling thread's next emission ordinal within its current
+ * (region, slot) — the value to pass as resume_ord when re-entering the
+ * same lane later. 0 when the journal is disabled.
+ */
+std::uint32_t journalScopeOrd();
 
 /**
  * Builder for one event; commits to the calling thread's buffer on

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests for the constellation-scale ground segment: the
+ * incremental event-queue scheduler against the brute-force rescan
+ * oracle over randomized contact patterns, chunked (streaming) span
+ * allocation against the one-shot path, and the adaptive-stride contact
+ * sweep against the fixed-grid scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ground/contact.hpp"
+#include "ground/downlink.hpp"
+#include "ground/station.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/propagator.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace kodan::ground {
+namespace {
+
+/**
+ * Random overlapping contact pattern: bursts of visibility with varied
+ * durations and frequent multi-satellite contention at each station.
+ */
+std::vector<ContactWindow>
+randomWindows(util::Rng &rng, std::size_t sats, std::size_t stations,
+              double horizon)
+{
+    std::vector<ContactWindow> windows;
+    for (std::size_t s = 0; s < sats; ++s) {
+        for (std::size_t g = 0; g < stations; ++g) {
+            double t = rng.uniform(0.0, 900.0);
+            while (t < horizon) {
+                const double duration = rng.uniform(30.0, 900.0);
+                windows.push_back(
+                    {g, s, t, std::min(t + duration, horizon)});
+                t += duration + rng.uniform(60.0, 2400.0);
+            }
+        }
+    }
+    // Feed the scheduler in a scrambled order: results must not depend
+    // on the window list order beyond the documented scan-order
+    // tie-break, which both implementations share.
+    const auto perm = rng.permutation(windows.size());
+    std::vector<ContactWindow> shuffled(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        shuffled[i] = windows[perm[i]];
+    }
+    return shuffled;
+}
+
+void
+expectAllocationsIdentical(const GroundSegmentScheduler::Allocation &a,
+                           const GroundSegmentScheduler::Allocation &b)
+{
+    ASSERT_EQ(a.seconds_per_satellite.size(),
+              b.seconds_per_satellite.size());
+    for (std::size_t s = 0; s < a.seconds_per_satellite.size(); ++s) {
+        EXPECT_EQ(a.seconds_per_satellite[s], b.seconds_per_satellite[s])
+            << "seconds diverge for satellite " << s;
+        EXPECT_EQ(a.passes_per_satellite[s], b.passes_per_satellite[s])
+            << "passes diverge for satellite " << s;
+        ASSERT_EQ(a.intervals_per_satellite[s].size(),
+                  b.intervals_per_satellite[s].size())
+            << "interval count diverges for satellite " << s;
+        for (std::size_t i = 0; i < a.intervals_per_satellite[s].size();
+             ++i) {
+            const auto &ia = a.intervals_per_satellite[s][i];
+            const auto &ib = b.intervals_per_satellite[s][i];
+            EXPECT_EQ(ia.station, ib.station);
+            EXPECT_EQ(ia.start, ib.start);
+            EXPECT_EQ(ia.end, ib.end);
+        }
+    }
+    EXPECT_EQ(a.busy_station_seconds, b.busy_station_seconds);
+    EXPECT_EQ(a.idle_station_seconds, b.idle_station_seconds);
+}
+
+class SchedulerOracleProps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerOracleProps, IncrementalMatchesRescan)
+{
+    util::Rng rng(0xC0117AC7ULL + GetParam());
+    const std::size_t sats = 1 + rng.uniformInt(0, 11);
+    const std::size_t stations = 1 + rng.uniformInt(0, 4);
+    const double horizon = rng.uniform(6.0, 48.0) * 3600.0;
+    const auto windows = randomWindows(rng, sats, stations, horizon);
+    const GroundSegmentScheduler scheduler(10.0,
+                                           rng.uniform(0.0, 480.0));
+    const auto fast =
+        scheduler.allocate(windows, sats, stations, 0.0, horizon);
+    const auto oracle =
+        scheduler.allocateRescan(windows, sats, stations, 0.0, horizon);
+    expectAllocationsIdentical(fast, oracle);
+}
+
+TEST_P(SchedulerOracleProps, ChunkedSpansMatchOneShot)
+{
+    util::Rng seeded(0x5EA7ULL * 131 + GetParam());
+    const std::size_t sats = 1 + seeded.uniformInt(0, 7);
+    const std::size_t stations = 1 + seeded.uniformInt(0, 3);
+    const double horizon = 24.0 * 3600.0;
+    const auto windows = randomWindows(seeded, sats, stations, horizon);
+    const GroundSegmentScheduler scheduler(10.0, 240.0);
+    const auto one_shot =
+        scheduler.allocate(windows, sats, stations, 0.0, horizon);
+
+    // Stream the same windows through span chunks on the step grid,
+    // passing each chunk only the windows overlapping it (the streaming
+    // driver's contract).
+    const double chunk = 3600.0;
+    auto state = scheduler.beginAllocation(sats, stations, 0.0);
+    for (double t = 0.0; t < horizon; t += chunk) {
+        const double t_end = std::min(t + chunk, horizon);
+        std::vector<ContactWindow> overlap;
+        for (const auto &w : windows) {
+            if (w.end > t && w.start < t_end) {
+                overlap.push_back(w);
+            }
+        }
+        scheduler.allocateSpan(overlap, t_end, state);
+    }
+    const auto chunked = scheduler.finishAllocation(std::move(state));
+    expectAllocationsIdentical(chunked, one_shot);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, SchedulerOracleProps,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Adaptive-stride contact sweep vs the fixed-grid scan.
+
+void
+expectWindowsIdentical(const std::vector<ContactWindow> &a,
+                       const std::vector<ContactWindow> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].satellite, b[i].satellite);
+        EXPECT_EQ(a[i].station, b[i].station);
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].end, b[i].end);
+    }
+}
+
+TEST(ContactSweepProps, AdaptiveMatchesFixedGridPerPair)
+{
+    const auto stations = landsatGroundSegment();
+    const auto elements = orbit::walkerConstellation(
+        6, 3, 1, 705.0e3, orbit::sunSynchronousInclination(705.0e3));
+    const ContactFinder finder(30.0);
+    const double horizon = 2.0 * 86400.0;
+    for (const auto &elems : elements) {
+        const orbit::J2Propagator sat(elems);
+        for (const auto &station : stations) {
+            const auto oracle = finder.find(sat, station, 0.0, horizon);
+            const auto fast =
+                finder.findAdaptive(sat, station, 0.0, horizon);
+            expectWindowsIdentical(fast, oracle);
+        }
+    }
+}
+
+TEST(ContactSweepProps, ParallelSweepMatchesSerialAtAnyThreadCount)
+{
+    const auto stations = sparseGroundSegment();
+    std::vector<orbit::J2Propagator> sats;
+    for (const auto &elems : orbit::walkerConstellation(
+             8, 2, 1, 705.0e3,
+             orbit::sunSynchronousInclination(705.0e3))) {
+        sats.emplace_back(elems);
+    }
+    const ContactFinder finder(30.0);
+    const auto serial = finder.findAll(sats, stations, 0.0, 86400.0);
+    for (const int threads : {1, 4, 16}) {
+        util::setGlobalThreads(threads);
+        const auto parallel =
+            finder.findAllParallel(sats, stations, 0.0, 86400.0);
+        expectWindowsIdentical(parallel, serial);
+    }
+    util::setGlobalThreads(0);
+}
+
+} // namespace
+} // namespace kodan::ground

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Constellation-engine suite: bit-identical results — MissionResult,
+ * journal bytes, time-series bytes — across thread counts and shard
+ * sizes, physical sanity of the fluid downlink model, the bounded
+ * storage cap, multi-plane constellation coverage, and the global
+ * ground segment preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/constellation.hpp"
+#include "sim/coverage.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kodan::sim {
+namespace {
+
+/** Enables metrics + journal, restores everything on exit. */
+class TelemetryGuard
+{
+  public:
+    TelemetryGuard()
+        : metrics_were_enabled_(telemetry::enabled()),
+          journal_was_enabled_(telemetry::journalEnabled()),
+          saved_ring_(telemetry::journalRingCapacity())
+    {
+        telemetry::resetAll();
+        telemetry::setEnabled(true);
+        telemetry::setJournalEnabled(true);
+        telemetry::setJournalRingCapacity(0);
+    }
+
+    ~TelemetryGuard()
+    {
+        telemetry::setEnabled(metrics_were_enabled_);
+        telemetry::setJournalEnabled(journal_was_enabled_);
+        telemetry::setJournalRingCapacity(saved_ring_);
+        telemetry::resetAll();
+        util::setGlobalThreads(0);
+    }
+
+  private:
+    bool metrics_were_enabled_;
+    bool journal_was_enabled_;
+    std::size_t saved_ring_;
+};
+
+ConstellationConfig
+smallScenario()
+{
+    ConstellationConfig config;
+    config.mission = MissionConfig::makeConstellation(10, 2, 1);
+    config.mission.duration = 12.0 * 3600.0;
+    config.mission.scheduler_step = 30.0;
+    config.mission.contact_scan_step = 60.0;
+    config.mission.telemetry_bin_s = 1800.0;
+    config.mission.telemetry_prefix = "constellation";
+    config.chunk_s = 4.0 * 3600.0; // three chunks
+    return config;
+}
+
+/** Everything a run produces, captured for bitwise comparison. */
+struct CapturedRun
+{
+    MissionResult result;
+    std::string journal;
+    std::string series;
+};
+
+CapturedRun
+runCaptured(const ConstellationConfig &config,
+            const FilterBehavior &filter, int threads)
+{
+    telemetry::resetAll();
+    util::setGlobalThreads(threads);
+    const ConstellationEngine engine(nullptr, 1.0 / 3.0);
+    CapturedRun run;
+    run.result = engine.run(config, filter);
+    util::setGlobalThreads(0);
+    std::ostringstream journal_out;
+    telemetry::writeJournalJsonl(telemetry::collectJournal(),
+                                 telemetry::journalDroppedEvents(),
+                                 journal_out);
+    run.journal = journal_out.str();
+    std::ostringstream series_out;
+    telemetry::writeTimeSeriesJson(telemetry::timeSeriesSnapshot(),
+                                   series_out);
+    run.series = series_out.str();
+    return run;
+}
+
+void
+expectResultsIdentical(const MissionResult &a, const MissionResult &b)
+{
+    ASSERT_EQ(a.per_satellite.size(), b.per_satellite.size());
+    for (std::size_t s = 0; s < a.per_satellite.size(); ++s) {
+        const SatelliteResult &x = a.per_satellite[s];
+        const SatelliteResult &y = b.per_satellite[s];
+        EXPECT_EQ(x.frames_observed, y.frames_observed) << "sat " << s;
+        EXPECT_EQ(x.frames_processed, y.frames_processed) << "sat " << s;
+        EXPECT_EQ(x.frames_downlinked, y.frames_downlinked) << "sat " << s;
+        EXPECT_EQ(x.bits_observed, y.bits_observed) << "sat " << s;
+        EXPECT_EQ(x.high_bits_observed, y.high_bits_observed)
+            << "sat " << s;
+        EXPECT_EQ(x.bits_downlinked, y.bits_downlinked) << "sat " << s;
+        EXPECT_EQ(x.high_bits_downlinked, y.high_bits_downlinked)
+            << "sat " << s;
+        EXPECT_EQ(x.contact_seconds, y.contact_seconds) << "sat " << s;
+        EXPECT_EQ(x.frame_deadline, y.frame_deadline) << "sat " << s;
+    }
+    EXPECT_EQ(a.idle_station_seconds, b.idle_station_seconds);
+    EXPECT_EQ(a.busy_station_seconds, b.busy_station_seconds);
+}
+
+// The determinism contract: MissionResult, journal bytes, and
+// time-series bytes are bit-identical for every (threads, shard_size)
+// combination — parallelism and shard granularity are pure scheduling
+// detail.
+TEST(ConstellationEngine, ThreadAndShardInvariance)
+{
+    TelemetryGuard guard;
+    const FilterBehavior filter = FilterBehavior::idealFilter();
+    const int thread_counts[] = {1, 4, 16};
+    const std::size_t shard_sizes[] = {1, 7, 64};
+
+    ConstellationConfig reference_config = smallScenario();
+    reference_config.shard_size = 1;
+    const CapturedRun reference =
+        runCaptured(reference_config, filter, 1);
+    ASSERT_GT(reference.result.totals().frames_observed, 0);
+    ASSERT_FALSE(reference.journal.empty());
+    ASSERT_FALSE(reference.series.empty());
+
+    for (const int threads : thread_counts) {
+        for (const std::size_t shard : shard_sizes) {
+            if (threads == 1 && shard == 1) {
+                continue;
+            }
+            ConstellationConfig config = smallScenario();
+            config.shard_size = shard;
+            const CapturedRun run = runCaptured(config, filter, threads);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " shard=" + std::to_string(shard));
+            expectResultsIdentical(reference.result, run.result);
+            EXPECT_EQ(reference.journal, run.journal);
+            EXPECT_EQ(reference.series, run.series);
+        }
+    }
+}
+
+TEST(ConstellationEngine, BentPipeDvdEqualsPrevalence)
+{
+    const ConstellationEngine engine(nullptr, 1.0 / 3.0);
+    const auto totals =
+        engine.run(smallScenario(), FilterBehavior::bentPipe()).totals();
+    ASSERT_GT(totals.bits_downlinked, 0.0);
+    EXPECT_NEAR(totals.dvd(), 1.0 / 3.0, 0.08);
+    EXPECT_EQ(totals.frames_processed, 0);
+}
+
+TEST(ConstellationEngine, IdealFilterDownlinksOnlyHighValue)
+{
+    const ConstellationEngine engine(nullptr, 1.0 / 3.0);
+    const ConstellationConfig config = smallScenario();
+    const auto bent =
+        engine.run(config, FilterBehavior::bentPipe()).totals();
+    const auto ideal =
+        engine.run(config, FilterBehavior::idealFilter()).totals();
+    ASSERT_GT(ideal.bits_downlinked, 0.0);
+    EXPECT_NEAR(ideal.dvd(), 1.0, 1e-9);
+    EXPECT_GT(ideal.high_bits_downlinked, bent.high_bits_downlinked);
+}
+
+TEST(ConstellationEngine, DownlinkBoundedByContactCapacity)
+{
+    const ConstellationEngine engine(nullptr, 0.5);
+    const ConstellationConfig config = smallScenario();
+    const auto result = engine.run(config, FilterBehavior::bentPipe());
+    for (const auto &sat : result.per_satellite) {
+        EXPECT_LE(sat.bits_downlinked,
+                  config.mission.radio.datarate_bps * sat.contact_seconds +
+                      1.0);
+    }
+}
+
+// The bounded recorder: a zero-capacity store sheds the entire backlog
+// before every drain, so nothing ever reaches the ground; observation
+// accounting is unaffected.
+TEST(ConstellationEngine, StorageCapShedsBacklog)
+{
+    const ConstellationEngine engine(nullptr, 1.0 / 3.0);
+    ConstellationConfig uncapped = smallScenario();
+    uncapped.storage_bits = 1.0e18;
+    ConstellationConfig capped = smallScenario();
+    capped.storage_bits = 0.0;
+    const auto big =
+        engine.run(uncapped, FilterBehavior::bentPipe()).totals();
+    const auto none =
+        engine.run(capped, FilterBehavior::bentPipe()).totals();
+    EXPECT_GT(big.bits_downlinked, 0.0);
+    EXPECT_EQ(none.bits_downlinked, 0.0);
+    EXPECT_EQ(none.frames_observed, big.frames_observed);
+}
+
+// Multi-plane Walker layouts must buy coverage: the staggered planes
+// observe far more distinct WRS scenes per day than the same satellite
+// count flying clustered at one point of one plane, and the builder
+// must actually stagger the planes (distinct RAANs, phased anomalies).
+TEST(ConstellationConfig, MultiPlaneCoverageBeatsClusteredPlane)
+{
+    const sense::WrsGrid grid;
+    const MissionConfig four_planes =
+        MissionConfig::makeConstellation(8, 4, 1);
+    std::set<double> raans;
+    for (const auto &sat : four_planes.satellites) {
+        raans.insert(sat.raan);
+    }
+    EXPECT_EQ(raans.size(), 4u);
+
+    const std::vector<orbit::OrbitalElements> cluster(
+        8, orbit::OrbitalElements::landsat8());
+    const auto clustered =
+        uniqueSceneCoverage(cluster, four_planes.camera, grid);
+    const auto spread = uniqueSceneCoverage(
+        four_planes.satellites, four_planes.camera, grid);
+    EXPECT_EQ(clustered.total_frames, spread.total_frames);
+    EXPECT_GT(spread.unique_scenes, 3 * clustered.unique_scenes);
+    EXPECT_GT(spread.coverageFraction(), 0.02);
+}
+
+TEST(ConstellationConfig, SinglePlaneMatchesLandsatPreset)
+{
+    const MissionConfig a = MissionConfig::landsatConstellation(6);
+    const MissionConfig b = MissionConfig::makeConstellation(6, 1, 0);
+    ASSERT_EQ(a.satellites.size(), b.satellites.size());
+    for (std::size_t s = 0; s < a.satellites.size(); ++s) {
+        EXPECT_EQ(a.satellites[s].semi_major_axis,
+                  b.satellites[s].semi_major_axis);
+        EXPECT_EQ(a.satellites[s].inclination, b.satellites[s].inclination);
+        EXPECT_EQ(a.satellites[s].raan, b.satellites[s].raan);
+        EXPECT_EQ(a.satellites[s].mean_anomaly,
+                  b.satellites[s].mean_anomaly);
+    }
+}
+
+TEST(GlobalGroundSegment, HasDistinctGlobalSites)
+{
+    const auto stations = ground::globalGroundSegment();
+    EXPECT_GE(stations.size(), 24u);
+    std::set<std::string> names;
+    bool has_northern = false;
+    bool has_southern = false;
+    for (const auto &station : stations) {
+        names.insert(station.name);
+        has_northern |= station.location.latitude > 1.0;
+        has_southern |= station.location.latitude < -0.5;
+        EXPECT_GT(station.min_elevation, 0.0);
+    }
+    EXPECT_EQ(names.size(), stations.size());
+    EXPECT_TRUE(has_northern);
+    EXPECT_TRUE(has_southern);
+}
+
+TEST(GlobalGroundSegment, GrantsMoreContactThanLandsatSegment)
+{
+    const ConstellationEngine engine(nullptr, 1.0 / 3.0);
+    const ConstellationConfig base = smallScenario();
+    ConstellationConfig global = smallScenario();
+    global.mission.stations = ground::globalGroundSegment();
+    const auto narrow =
+        engine.run(base, FilterBehavior::bentPipe()).totals();
+    const auto wide =
+        engine.run(global, FilterBehavior::bentPipe()).totals();
+    EXPECT_GT(wide.contact_seconds, narrow.contact_seconds);
+    EXPECT_GE(wide.bits_downlinked, narrow.bits_downlinked);
+}
+
+} // namespace
+} // namespace kodan::sim
