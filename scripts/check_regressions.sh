@@ -1,24 +1,25 @@
 #!/usr/bin/env bash
 # Telemetry regression smoke: run bench_parallel_speedup,
 # bench_fig02_downlink_gap, the bench_fig10 mission sweep,
-# bench_ml_kernels, and the bench_constellation smoke + golden
-# long-horizon fixture (100 satellites x 30 days) with the metrics
-# snapshot + flight recorder + time series enabled, then feed the
-# outputs to `kodan-report diff` against the committed baselines in
+# bench_ml_kernels, bench_dataplane, and the bench_constellation smoke
+# + golden long-horizon fixture (100 satellites x 30 days) with the
+# metrics snapshot + flight recorder + time series enabled, then feed
+# the outputs to `kodan-report diff` against the committed baselines in
 # bench/baselines/. Non-zero exit on regression (including any
 # ML-kernel Blocked-vs-Naive bit mismatch, a constellation-engine
-# thread-divergence under --verify, or a miss of the constellation
-# throughput floor under --assert-throughput, all of which fail the
-# bench itself).
+# thread-divergence under --verify, a miss of the constellation
+# throughput floor under --assert-throughput, a staged-vs-batch report
+# mismatch or steady-state heap allocation in bench_dataplane, all of
+# which fail the bench itself).
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
 #
 # --rebaseline regenerates bench/baselines/ from the current build and
 # appends an entry (labeled with the current git commit) to the
-# BENCH_parallel_speedup.json, BENCH_ml_kernels.json, and
-# BENCH_constellation.json trajectories at the repo root, instead of
-# diffing.
+# BENCH_parallel_speedup.json, BENCH_ml_kernels.json,
+# BENCH_dataplane.json, and BENCH_constellation.json trajectories at
+# the repo root, instead of diffing.
 #
 # Baseline caveat: the committed baselines are toolchain-pinned. Counters,
 # gauges, journals, and time series are bit-deterministic for a given
@@ -58,10 +59,11 @@ SPEEDUP_BENCH="$BUILD_DIR/bench/bench_parallel_speedup"
 FIG02_BENCH="$BUILD_DIR/bench/bench_fig02_downlink_gap"
 FIG10_BENCH="$BUILD_DIR/bench/bench_fig10_dvd_vs_time"
 MLKERN_BENCH="$BUILD_DIR/bench/bench_ml_kernels"
+DATAPLANE_BENCH="$BUILD_DIR/bench/bench_dataplane"
 CONSTEL_BENCH="$BUILD_DIR/bench/bench_constellation"
 
 for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH" \
-              "$MLKERN_BENCH" "$CONSTEL_BENCH"; do
+              "$MLKERN_BENCH" "$DATAPLANE_BENCH" "$CONSTEL_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -96,6 +98,16 @@ echo "[check_regressions] running bench_ml_kernels ..."
     --telemetry-out "$WORKDIR/ml_kernels.metrics.json" \
     > /dev/null)
 
+# bench_dataplane exits non-zero if any staged configuration's report
+# diverges from the batch path (bit-identity) or the steady-state
+# allocation guard counts a heap allocation, so this run is the data
+# plane's correctness smoke as well as the perf probe; no
+# --assert-speedup here for the same reason as ml_kernels above.
+echo "[check_regressions] running bench_dataplane ..."
+(cd "$WORKDIR" && "$DATAPLANE_BENCH" \
+    --telemetry-out "$WORKDIR/dataplane.metrics.json" \
+    > /dev/null)
+
 # Constellation engine smoke: small scenario with the full recording
 # stack (metrics + journal + time series) for the bit-exact baseline
 # diff, plus --verify (reruns a scaled scenario at 1/4/16 threads and
@@ -128,6 +140,7 @@ if [[ "$REBASELINE" -eq 1 ]]; then
        "$WORKDIR/fig10_mission.metrics.json" \
        "$WORKDIR/fig10_mission.metrics.timeseries.json" \
        "$WORKDIR/ml_kernels.metrics.json" \
+       "$WORKDIR/dataplane.metrics.json" \
        "$WORKDIR/constellation.metrics.json" \
        "$WORKDIR/constellation.metrics.timeseries.json" \
        "$WORKDIR/constellation.journal.jsonl" \
@@ -142,6 +155,9 @@ if [[ "$REBASELINE" -eq 1 ]]; then
     "$REPORT" aggregate --name ml_kernels --label "$LABEL" \
         --out "$REPO_ROOT/BENCH_ml_kernels.json" \
         "$WORKDIR/ml_kernels.metrics.json"
+    "$REPORT" aggregate --name dataplane --label "$LABEL" \
+        --out "$REPO_ROOT/BENCH_dataplane.json" \
+        "$WORKDIR/dataplane.metrics.json"
     "$REPORT" aggregate --name constellation --label "$LABEL" \
         --out "$REPO_ROOT/BENCH_constellation.json" \
         "$WORKDIR/constellation_golden.metrics.json"
@@ -179,6 +195,13 @@ echo "[check_regressions] diffing ml_kernels against baseline ..."
     "$BASELINES/ml_kernels.metrics.json" \
     "$WORKDIR/ml_kernels.metrics.json" \
     --ignore bench.ml_kernels.ratio \
+    --tol-timer 100 || STATUS=1
+
+echo "[check_regressions] diffing dataplane against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/dataplane.metrics.json" \
+    "$WORKDIR/dataplane.metrics.json" \
+    --ignore bench.dataplane.ratio \
     --tol-timer 100 || STATUS=1
 
 echo "[check_regressions] diffing fig10 mission series against baseline ..."

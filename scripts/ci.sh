@@ -14,8 +14,9 @@
 #   build-native/    -DKODAN_NATIVE=ON         (mlkernels suite only)
 #
 # The sanitizer passes rerun only the labeled suites — determinism,
-# telemetry, journal, report, and time-series tests — because those are
-# the ones that exercise cross-thread merges and the recorder hot paths.
+# telemetry, journal, report, time-series, and data-plane tests —
+# because those are the ones that exercise cross-thread merges, the
+# lock-free stage rings, and the recorder hot paths.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -40,7 +41,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 # ctest ANDs repeated -L flags, so the label filter must be one regex.
-LABELS='parallel|telemetry|journal|report|timeseries|mlkernels|constellation'
+LABELS='parallel|telemetry|journal|report|timeseries|mlkernels|constellation|dataplane'
 
 echo "[ci] tier-1: configure + build + full ctest (jobs=$JOBS)"
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT"

@@ -23,20 +23,94 @@ FrameReport
 Runtime::processFrame(const data::FrameSample &frame) const
 {
     KODAN_PROFILE_SCOPE("runtime.frame.process");
-    FrameReport report;
-    const data::Tiler tiler(logic_.tiles_per_side);
-    const auto tiles = tiler.tile(frame);
-    const double frame_cells = static_cast<double>(frame.cellCount());
-    const double engine_time = hw::CostModel::contextEngineTime(target_);
+    FrameWork work;
+    stageTileClassify(frame, work);
+    for (std::size_t t = 0; t < work.tiles.size(); ++t) {
+        if (logic_.per_context[work.contexts[t]].kind ==
+            ActionKind::RunModel) {
+            stageInferTile(work, t);
+        }
+    }
+    stageElide(work);
+    stageRecord(work);
+    return work.report;
+}
 
+void
+Runtime::stageTileClassify(const data::FrameSample &frame,
+                           FrameWork &work) const
+{
+    work.frame = &frame;
+    const data::Tiler tiler(logic_.tiles_per_side);
+    tiler.tileInto(frame, work.tiles);
     // One batched engine forward over the frame's tiles; identical
     // context ids to the per-tile classify calls.
-    std::vector<int> tile_contexts;
-    engine_->classifyBatch(tiles, tile_contexts);
+    engine_->classifyBatch(work.tiles, work.contexts);
+    // Sized here so the infer stage writes straight into it; entries of
+    // elided tiles stay unwritten (and unread).
+    work.keep.resize(work.tiles.size() * data::kBlocksPerTile);
+}
+
+void
+Runtime::stageTileClassifyLazy(const data::FrameSample &frame,
+                               FrameWork &work) const
+{
+    work.frame = &frame;
+    const data::Tiler tiler(logic_.tiles_per_side);
+    tiler.statsInto(frame, work.tiles);
+    engine_->classifyBatch(work.tiles, work.contexts);
+    work.keep.resize(work.tiles.size() * data::kBlocksPerTile);
+}
+
+void
+Runtime::stageInferTile(FrameWork &work, std::size_t t) const
+{
+    // Lazily-tiled frames (stageTileClassifyLazy) materialize the
+    // block grid only here, for exactly the modeled tiles.
+    if (work.tiles[t].block_features.empty()) {
+        data::Tiler::decimate(work.tiles[t]);
+    }
+    const auto &tile = work.tiles[t];
+    const Action &action = logic_.per_context[work.contexts[t]];
+    assert(action.kind == ActionKind::RunModel);
+    assert(action.model >= 0 &&
+           action.model < static_cast<int>(zoo_->entries.size()));
+    // Per-block keep decision; the model runs once over the tile's
+    // block batch.
+    auto &arena = ml::kernels::scratch();
+    ml::kernels::Scratch::Frame scratch_frame(arena);
+    double *scaled = arena.alloc(std::size_t{data::kBlocksPerTile} *
+                                 data::kBlockInputDim);
+    zoo_->tileInputs(tile, scaled);
+    double *probs = arena.alloc(data::kBlocksPerTile);
+    zoo_->predictRows(action.model, scaled, data::kBlocksPerTile, probs);
+    keepFromProbs(probs, data::kBlocksPerTile,
+                  work.keep.data() + t * data::kBlocksPerTile);
+}
+
+void
+Runtime::keepFromProbs(const double *probs, std::size_t count,
+                       std::uint8_t *keep)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        keep[i] = probs[i] < 0.5 ? 1 : 0;
+    }
+}
+
+void
+Runtime::stageElide(FrameWork &work) const
+{
+    FrameReport &report = work.report;
+    report = FrameReport{};
+    const auto &tiles = work.tiles;
+    const double frame_cells =
+        static_cast<double>(work.frame->cellCount());
+    const double engine_time = hw::CostModel::contextEngineTime(target_);
+
     for (std::size_t t = 0; t < tiles.size(); ++t) {
         const auto &tile = tiles[t];
         report.compute_time += engine_time;
-        const int ctx = tile_contexts[t];
+        const int ctx = work.contexts[t];
         const Action &action = logic_.per_context[ctx];
         const double tile_cells = static_cast<double>(tile.cellCount());
 
@@ -75,26 +149,11 @@ Runtime::processFrame(const data::FrameSample &frame) const
                 hw::CostModel::tierParamCount(
                     zoo_->entries[action.model].tier),
                 target_);
-            // Per-block keep decision, applied to the block's cells;
-            // the model runs once over the tile's block batch.
-            std::array<bool, data::kBlocksPerTile> keep{};
-            {
-                auto &arena = ml::kernels::scratch();
-                ml::kernels::Scratch::Frame scratch_frame(arena);
-                double *scaled =
-                    arena.alloc(std::size_t{data::kBlocksPerTile} *
-                                data::kBlockInputDim);
-                zoo_->tileInputs(tile, scaled);
-                double *probs = arena.alloc(data::kBlocksPerTile);
-                zoo_->predictRows(action.model, scaled,
-                                  data::kBlocksPerTile, probs);
-                for (int b = 0; b < data::kBlocksPerTile; ++b) {
-                    keep[b] = probs[b] < 0.5;
-                }
-            }
+            const std::uint8_t *keep =
+                work.keep.data() + t * data::kBlocksPerTile;
             for (int r = 0; r < tile.cell_rows; ++r) {
                 for (int c = 0; c < tile.cell_cols; ++c) {
-                    const bool kept = keep[tile.blockOfCell(r, c)];
+                    const bool kept = keep[tile.blockOfCell(r, c)] != 0;
                     const bool high = !tile.cloudyLocal(r, c);
                     report.cells.add(kept, high);
                     if (kept) {
@@ -110,12 +169,19 @@ Runtime::processFrame(const data::FrameSample &frame) const
           }
         }
     }
+}
 
+void
+Runtime::stageRecord(const FrameWork &work) const
+{
+    const FrameReport &report = work.report;
     // Accounting only — bulk adds after the hot loop, never per cell, so
     // the instrumented path stays cheap and the report is untouched.
     if (telemetry::enabled()) {
+        const double engine_time =
+            hw::CostModel::contextEngineTime(target_);
         const double engine_total =
-            engine_time * static_cast<double>(tiles.size());
+            engine_time * static_cast<double>(work.tiles.size());
         KODAN_COUNT("runtime.frames.processed");
         KODAN_COUNT_ADD("runtime.tiles.discarded",
                         report.tiles_discarded);
@@ -148,10 +214,11 @@ Runtime::processFrame(const data::FrameSample &frame) const
         // where the histogram answers "how long do frames take", these
         // answer "how did compute and value density evolve over the
         // pass".
-        KODAN_TS_RECORD("runtime.frame.compute_s", frame.time,
+        KODAN_TS_RECORD("runtime.frame.compute_s", work.frame->time,
                         report.compute_time, 60.0);
-        KODAN_TS_RECORD("runtime.frame.dvd_contribution", frame.time,
-                        report.product_high_fraction, 60.0);
+        KODAN_TS_RECORD("runtime.frame.dvd_contribution",
+                        work.frame->time, report.product_high_fraction,
+                        60.0);
     }
     if (telemetry::journalEnabled()) {
         // Flight-recorder entries: the per-frame technique decision and
@@ -174,12 +241,17 @@ Runtime::processFrame(const data::FrameSample &frame) const
             .i64("tiles_elided", elided)
             .i64("tiles_total", tiles);
     }
-    return report;
 }
 
 FrameReport
 Runtime::processFrames(const std::vector<data::FrameSample> &frames) const
 {
+    // An empty batch is a no-op: no profile scope, no counter, no
+    // journal region, no aggregate event — callers polling an idle
+    // source don't pollute the telemetry stream with zero-frame noise.
+    if (frames.empty()) {
+        return {};
+    }
     KODAN_PROFILE_SCOPE("runtime.batch.process");
     KODAN_COUNT_ADD("runtime.frames.batched", frames.size());
     // One journal region per batch; frame i records into slot i + 1, so

@@ -46,7 +46,42 @@ struct FrameReport
 };
 
 /**
+ * Reusable per-frame working state shared by the batch path
+ * (Runtime::processFrame) and the staged pipeline data plane
+ * (src/pipeline/): every buffer a frame needs on its way through the
+ * stages. Capacities persist across frames, so a recycled FrameWork
+ * re-processes a new frame without heap allocation in steady state —
+ * the arena-resident frame slots of the pipeline are FrameWork
+ * instances recycled through a freelist ring.
+ */
+struct FrameWork
+{
+    /** The frame being processed (non-owning). */
+    const data::FrameSample *frame = nullptr;
+    /** Decimated tiles (filled by stageTileClassify). */
+    std::vector<data::TileData> tiles;
+    /** Context id per tile (filled by stageTileClassify). */
+    std::vector<int> contexts;
+    /**
+     * Keep/drop decision per (tile, block): tiles.size() *
+     * data::kBlocksPerTile entries, tile-major (filled by
+     * stageInferTile / the pipeline's burst infer stage for modeled
+     * tiles; entries of elided tiles are unused).
+     */
+    std::vector<std::uint8_t> keep;
+    /** The frame's finished report (filled by stageElide). */
+    FrameReport report;
+};
+
+/**
  * Executes a selection logic on frames.
+ *
+ * The per-frame work is factored into stage entry points
+ * (stageTileClassify -> stageInferTile -> stageElide -> stageRecord)
+ * so the staged pipeline data plane (pipeline::PipelineRuntime) runs
+ * the exact same implementation — and therefore produces bit-identical
+ * FrameReport, journal, and metric output — while scheduling the
+ * stages differently (rings, bursts, cross-frame batched inference).
  */
 class Runtime
 {
@@ -62,6 +97,9 @@ class Runtime
 
     /** The deployed policy. */
     const SelectionLogic &logic() const { return logic_; }
+
+    /** The model zoo the runtime executes (not owned). */
+    const SpecializedZoo &zoo() const { return *zoo_; }
 
     /** Process one captured frame. */
     FrameReport processFrame(const data::FrameSample &frame) const;
@@ -92,6 +130,61 @@ class Runtime
                                        std::size_t frames_a,
                                        const FrameReport &b,
                                        std::size_t frames_b);
+
+    /* -- Stage entry points (shared with pipeline::PipelineRuntime) -- */
+
+    /**
+     * Stage 1, capture -> tile/classify: tile @p frame (reusing
+     * @p work's buffers) and label every tile's context with one
+     * batched engine forward pass.
+     */
+    void stageTileClassify(const data::FrameSample &frame,
+                           FrameWork &work) const;
+
+    /**
+     * Lazy variant of stageTileClassify: computes tile statistics and
+     * context ids but skips block decimation (classification reads
+     * only the tile-level mean/stddev), leaving each tile's block
+     * arrays empty. The infer stage decimates exactly the modeled
+     * tiles on demand (data::Tiler::decimate); elided tiles never pay
+     * the decimation pass. Downstream output is bit-identical: the
+     * elide and record stages read no block data, and on-demand
+     * decimation runs the same code as the eager path.
+     */
+    void stageTileClassifyLazy(const data::FrameSample &frame,
+                               FrameWork &work) const;
+
+    /**
+     * Stage 2, specialize/infer (per-tile form): run modeled tile
+     * @p t's specialized model over its block batch and write the
+     * keep/drop decisions into work.keep. Only valid for tiles whose
+     * action is RunModel. The pipeline's burst form batches the rows
+     * of many tiles (grouped by model) through one forwardBatch call
+     * instead — bit-identical, since rows are independent.
+     */
+    void stageInferTile(FrameWork &work, std::size_t t) const;
+
+    /** Keep/drop rule shared by both infer forms: keep iff the model's
+     *  cloud probability is below 0.5. */
+    static void keepFromProbs(const double *probs, std::size_t count,
+                              std::uint8_t *keep);
+
+    /**
+     * Stage 3, elide: the per-tile accounting loop — compute time,
+     * elision verdicts, product fractions, cell confusion — writing
+     * work.report. Reads work.keep for modeled tiles; accumulation
+     * order is fixed (tile order, engine then model time), so the
+     * report is bit-identical however the keep decisions were batched.
+     */
+    void stageElide(FrameWork &work) const;
+
+    /**
+     * Stage 4, downlink-queue/record: emit the frame's telemetry
+     * (counters, gauges, histogram, sim-time series) and flight
+     * recorder events. Derived purely from the finished report; no-op
+     * when recording is disabled.
+     */
+    void stageRecord(const FrameWork &work) const;
 
   private:
     SelectionLogic logic_;

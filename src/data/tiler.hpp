@@ -113,6 +113,44 @@ class Tiler
     std::vector<TileData> tile(const FrameSample &frame) const;
 
     /**
+     * Split @p frame into T^2 decimated tiles, reusing @p tiles.
+     *
+     * Identical output to tile(); the vector (and each element's heap
+     * buffers) is recycled in place, so a warmed vector is re-tiled
+     * without heap allocation — the arena-resident frame path of the
+     * pipeline data plane depends on this.
+     */
+    void tileInto(const FrameSample &frame,
+                  std::vector<TileData> &tiles) const;
+
+    /**
+     * Split @p frame into T^2 tiles carrying only what the deployed
+     * runtime reads before inference: geometry and the per-channel
+     * feature mean/stddev (bit-identical to tileInto()'s). The block
+     * arrays are left empty (`block_features.empty()` marks a tile as
+     * not yet decimated) and the truth-derived training fields
+     * (label_vector, high_value_fraction, block_cloud_fraction) are
+     * zeroed — context classification reads only the feature
+     * statistics, and the elide/record stages read the frame's truth
+     * masks directly, never these tile fields. decimate() then
+     * materializes the block grid of exactly the tiles that reach the
+     * model — the data plane's lazy tiling: elided tiles never pay
+     * the decimation pass, and the truth bookkeeping of the training
+     * path is skipped entirely.
+     */
+    void statsInto(const FrameSample &frame,
+                   std::vector<TileData> &tiles) const;
+
+    /**
+     * Fill @p tile's block arrays (box-averaged block features and
+     * per-block cloud fractions) from its frame; bit-identical to the
+     * arrays tileInto() produces. Idempotent on a decimated tile;
+     * reuses the arrays' capacity, so a recycled tile decimates
+     * without heap allocation.
+     */
+    static void decimate(TileData &tile);
+
+    /**
      * The four tile counts the paper sweeps (121, 36, 16, 9 tiles per
      * frame, i.e. T in {11, 6, 4, 3}).
      */

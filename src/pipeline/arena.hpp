@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Arena-resident frame slots and their freelist ring.
+ *
+ * Frames never move through the data plane — a FrameSlot (holding one
+ * core::FrameWork, whose buffer capacities persist across frames) is
+ * acquired from the freelist by the capture stage, flows stage to
+ * stage by pointer, and is returned by the record stage. After the
+ * first lap warms every slot's buffers, steady-state processing does
+ * no heap allocation (asserted by bench_dataplane's allocation guard).
+ *
+ * The freelist is itself an SPSC ring: within a lane the record stage
+ * is the only producer (releasing slots) and the capture stage the
+ * only consumer (acquiring them), so slot recycling needs no locks
+ * either.
+ */
+
+#ifndef KODAN_PIPELINE_ARENA_HPP
+#define KODAN_PIPELINE_ARENA_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "pipeline/ring.hpp"
+
+namespace kodan::pipeline {
+
+/** One arena slot: a frame in flight plus its reusable working state. */
+struct FrameSlot
+{
+    /** Global index of the frame currently bound to this slot. */
+    std::size_t frame_index = 0;
+    /** The frame's stage-to-stage working state (capacities persist). */
+    core::FrameWork work;
+};
+
+/**
+ * A lane's pre-allocated slot pool. All slots are heap-resident once,
+ * at construction; the freelist starts full.
+ */
+class SlotArena
+{
+  public:
+    /** @param slot_count Slots in the pool (= max frames in flight). */
+    explicit SlotArena(std::size_t slot_count)
+        : slots_(slot_count), freelist_(slot_count)
+    {
+        // Pre-worker fill: happens-before every worker via thread
+        // creation, so the SPSC contract starts clean.
+        for (auto &slot : slots_) {
+            FrameSlot *p = &slot;
+            const bool ok = freelist_.push(p);
+            (void)ok;
+            assert(ok);
+        }
+    }
+
+    /** Slots in the pool. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** The recycle ring (producer: record stage; consumer: capture). */
+    SpscRing<FrameSlot *> &freelist() { return freelist_; }
+
+  private:
+    std::vector<FrameSlot> slots_;
+    SpscRing<FrameSlot *> freelist_;
+};
+
+} // namespace kodan::pipeline
+
+#endif // KODAN_PIPELINE_ARENA_HPP

@@ -1,0 +1,35 @@
+#include "pipeline/loadgen.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace kodan::pipeline {
+
+LoadGenerator::LoadGenerator(const std::vector<data::FrameSample> &pool)
+    : pool_(&pool)
+{
+    assert(!pool.empty());
+}
+
+LoadResult
+LoadGenerator::run(PipelineRuntime &pipeline,
+                   std::size_t total_frames) const
+{
+    FrameSource source;
+    source.pool = pool_;
+    source.total = total_frames;
+
+    LoadResult result;
+    result.frames = total_frames;
+    const auto start = std::chrono::steady_clock::now();
+    result.report = pipeline.process(source);
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.fps = result.seconds > 0.0
+                     ? static_cast<double>(total_frames) / result.seconds
+                     : 0.0;
+    return result;
+}
+
+} // namespace kodan::pipeline

@@ -1,0 +1,437 @@
+#include "pipeline/pipeline_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "data/tiler.hpp"
+#include "ml/kernels.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kodan::pipeline {
+
+namespace {
+
+/**
+ * Poll-loop pressure valve. The first polls spin (the counterpart is
+ * usually one burst away); sustained emptiness yields, then naps —
+ * essential on machines with fewer cores than workers, where the
+ * counterpart cannot run until this thread gets off the CPU.
+ */
+void
+backoff(unsigned &idle)
+{
+    ++idle;
+    if (idle < 16) {
+        return;
+    }
+    if (idle < 1024) {
+        std::this_thread::yield();
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+/** Frames of @p total assigned to @p lane under @p lanes lanes
+ *  (round-robin by frame index). */
+std::size_t
+laneShare(std::size_t total, int lane, int lanes)
+{
+    const auto l = static_cast<std::size_t>(lane);
+    const auto n = static_cast<std::size_t>(lanes);
+    return (total + n - 1 - l) / n;
+}
+
+} // namespace
+
+SpscRing<FrameSlot *> &
+PipelineRuntime::Lane::ringInto(int stage)
+{
+    switch (static_cast<Stage>(stage)) {
+      case Stage::TileClassify:
+        return to_tile_classify;
+      case Stage::Infer:
+        return to_infer;
+      case Stage::Elide:
+        return to_elide;
+      case Stage::Record:
+        return to_record;
+      case Stage::Capture:
+        break;
+    }
+    assert(false && "no ring feeds the capture stage");
+    return to_tile_classify;
+}
+
+PipelineRuntime::PipelineRuntime(const core::Runtime &runtime)
+    : PipelineRuntime(runtime, Options())
+{
+}
+
+PipelineRuntime::PipelineRuntime(const core::Runtime &runtime,
+                                 const Options &options)
+    : runtime_(&runtime), opts_(options)
+{
+    if (opts_.workers <= 0) {
+        opts_.workers = util::globalThreadCount();
+    }
+    opts_.burst = std::min(std::max<std::size_t>(opts_.burst, 1),
+                           kMaxBurst);
+    opts_.slots_per_lane = std::max<std::size_t>(opts_.slots_per_lane,
+                                                 opts_.burst);
+    // Stage rings must be able to hold every in-flight slot, or a
+    // producer could stall behind a ring while the consumer stalls on
+    // another — capacity >= slots makes every push eventually succeed
+    // and the structural backpressure live only in the freelist.
+    opts_.ring_capacity =
+        std::max(opts_.ring_capacity, opts_.slots_per_lane);
+    plan_ = StagePlan::build(opts_.workers);
+    lanes_.reserve(static_cast<std::size_t>(plan_.lanes));
+    for (int lane = 0; lane < plan_.lanes; ++lane) {
+        lanes_.push_back(std::make_unique<Lane>(opts_.slots_per_lane,
+                                                opts_.ring_capacity));
+    }
+}
+
+core::FrameReport
+PipelineRuntime::processFrames(const std::vector<data::FrameSample> &frames)
+{
+    FrameSource source;
+    source.pool = &frames;
+    source.total = frames.size();
+    return process(source);
+}
+
+core::FrameReport
+PipelineRuntime::process(const FrameSource &source)
+{
+    // Match the batch path: an empty run emits nothing at all.
+    if (source.total == 0 || source.pool == nullptr ||
+        source.pool->empty()) {
+        return {};
+    }
+    KODAN_PROFILE_SCOPE("runtime.batch.process");
+    KODAN_COUNT_ADD("runtime.frames.batched", source.total);
+    // Same region discipline as Runtime::processFrames: one region per
+    // run, frame i's events in slot i + 1, so the exported journal is
+    // byte-identical to the batch path for any worker count.
+    telemetry::JournalRegion journal_region("runtime.batch");
+    reports_.resize(source.total);
+
+    RunState rs;
+    rs.source = &source;
+    rs.total = source.total;
+    rs.region_id = journal_region.id();
+    rs.reports = &reports_;
+    rs.stats = opts_.stats;
+
+    if (plan_.workers.size() == 1) {
+        // Single worker runs inline: no thread spawn, so a warmed run
+        // is allocation-free end to end (bench_dataplane asserts it).
+        workerLoop(plan_.workers[0], rs);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(plan_.workers.size());
+        for (const WorkerSpan &span : plan_.workers) {
+            threads.emplace_back(
+                [this, &span, &rs] { workerLoop(span, rs); });
+        }
+        for (auto &thread : threads) {
+            thread.join();
+        }
+    }
+
+    core::FrameReport total = core::Runtime::aggregate(reports_);
+    if (telemetry::journalEnabled()) {
+        telemetry::JournalEventBuilder("runtime.batch.aggregate")
+            .i64("frames", static_cast<std::int64_t>(source.total))
+            .f64("mean_compute_time_s", total.compute_time)
+            .f64("mean_product_fraction", total.product_fraction)
+            .i64("tiles_discarded", total.tiles_discarded)
+            .i64("tiles_downlinked", total.tiles_downlinked)
+            .i64("tiles_modeled", total.tiles_modeled);
+    }
+    return total;
+}
+
+void
+PipelineRuntime::workerLoop(const WorkerSpan &span, RunState &rs) const
+{
+    Lane &lane = *lanes_[static_cast<std::size_t>(span.lane)];
+    const std::size_t lane_total =
+        laneShare(rs.total, span.lane, plan_.lanes);
+    if (lane_total == 0) {
+        return;
+    }
+    const bool has_capture =
+        span.first_stage == static_cast<int>(Stage::Capture);
+    const bool has_record =
+        span.last_stage == static_cast<int>(Stage::Record);
+    SpscRing<FrameSlot *> *in =
+        has_capture ? nullptr : &lane.ringInto(span.first_stage);
+    SpscRing<FrameSlot *> *out =
+        has_record ? nullptr : &lane.ringInto(span.last_stage + 1);
+
+    FrameSlot *burst[kMaxBurst];
+    const std::size_t burst_max = opts_.burst;
+    std::size_t produced = 0;
+    std::size_t processed = 0;
+    unsigned idle = 0;
+
+    while (processed < lane_total) {
+        std::size_t count = 0;
+        if (has_capture) {
+            // Admission: one frame per free slot, in the lane's frame
+            // order. An exhausted freelist is backpressure — spin
+            // until the record stage recycles.
+            while (count < burst_max && produced < lane_total) {
+                FrameSlot *slot = nullptr;
+                if (!lane.arena.freelist().pop(slot)) {
+                    break;
+                }
+                slot->frame_index =
+                    static_cast<std::size_t>(span.lane) +
+                    produced * static_cast<std::size_t>(plan_.lanes);
+                ++produced;
+                burst[count++] = slot;
+            }
+            if (rs.stats && count > 0) {
+                recordRingDepth(static_cast<int>(Stage::Capture),
+                                lane.arena.freelist().size(),
+                                lane.arena.freelist().capacity(),
+                                span.lane);
+            }
+        } else {
+            count = in->popBurst(burst, burst_max);
+            if (rs.stats && count > 0) {
+                recordRingDepth(span.first_stage, in->size() + count,
+                                in->capacity(), span.lane);
+            }
+        }
+        if (count == 0) {
+            backoff(idle);
+            continue;
+        }
+        idle = 0;
+
+        // Run-to-completion: the whole burst crosses every stage of
+        // the span before the next dequeue. Capture itself has no
+        // body (binding happened at admission).
+        const int first_body = std::max(
+            span.first_stage, static_cast<int>(Stage::TileClassify));
+        for (int s = first_body; s <= span.last_stage; ++s) {
+            runStage(static_cast<Stage>(s), lane, burst, count, rs);
+        }
+
+        if (has_record) {
+            for (std::size_t i = 0; i < count; ++i) {
+                // Freelist capacity equals the slot count, so the
+                // push cannot fail.
+                const bool ok = lane.arena.freelist().push(burst[i]);
+                (void)ok;
+                assert(ok);
+            }
+        } else {
+            std::size_t pushed = 0;
+            unsigned wait = 0;
+            while (pushed < count) {
+                pushed += out->pushBurst(burst + pushed, count - pushed);
+                if (pushed < count) {
+                    backoff(wait);
+                }
+            }
+        }
+        processed += count;
+    }
+}
+
+void
+PipelineRuntime::runStage(Stage stage, Lane &lane, FrameSlot **burst,
+                          std::size_t count, RunState &rs) const
+{
+    (void)lane;
+    switch (stage) {
+      case Stage::Capture:
+        break;
+      case Stage::TileClassify: {
+        // Lazy tiling: stats + context ids only; the infer stage
+        // decimates exactly the modeled tiles (the data plane's
+        // biggest per-frame saving — elided tiles never pay the
+        // block-decimation pass).
+        if (rs.stats) {
+            KODAN_TIME_SCOPE("pipeline.stage.tile_classify_s");
+            for (std::size_t i = 0; i < count; ++i) {
+                runtime_->stageTileClassifyLazy(
+                    rs.source->frame(burst[i]->frame_index),
+                    burst[i]->work);
+            }
+            break;
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            runtime_->stageTileClassifyLazy(
+                rs.source->frame(burst[i]->frame_index),
+                burst[i]->work);
+        }
+        break;
+      }
+      case Stage::Infer: {
+        if (rs.stats) {
+            KODAN_TIME_SCOPE("pipeline.stage.infer_s");
+            burstInfer(burst, count);
+            break;
+        }
+        burstInfer(burst, count);
+        break;
+      }
+      case Stage::Elide: {
+        if (rs.stats) {
+            KODAN_TIME_SCOPE("pipeline.stage.elide_s");
+            for (std::size_t i = 0; i < count; ++i) {
+                runtime_->stageElide(burst[i]->work);
+            }
+            break;
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            runtime_->stageElide(burst[i]->work);
+        }
+        break;
+      }
+      case Stage::Record: {
+        for (std::size_t i = 0; i < count; ++i) {
+            FrameSlot *slot = burst[i];
+            // Mirror the batch path's per-frame shape: the frame
+            // timer (call count must match) and the journal lane
+            // keyed by frame index, both independent of which worker
+            // runs this.
+            KODAN_TIME_SCOPE("runtime.frame.process");
+            telemetry::JournalScope journal_scope(rs.region_id,
+                                                  slot->frame_index);
+            runtime_->stageRecord(slot->work);
+            (*rs.reports)[slot->frame_index] = slot->work.report;
+        }
+        break;
+      }
+    }
+}
+
+void
+PipelineRuntime::burstInfer(FrameSlot **burst, std::size_t count) const
+{
+    const core::SelectionLogic &logic = runtime_->logic();
+    const core::SpecializedZoo &zoo = runtime_->zoo();
+    auto &arena = ml::kernels::scratch();
+    const int models = static_cast<int>(zoo.entries.size());
+
+    // One forwardBatch per model over the rows of every tile in the
+    // burst that this model filters. Grouping rows across frames is
+    // bit-transparent: rows are standardized per tile (tileInputs),
+    // the network forward is row-independent, and the per-frame FP
+    // accumulation happens downstream in stageElide in fixed tile
+    // order. Iteration order (burst slot, then tile) is repeated for
+    // the fill and scatter passes so offsets agree.
+    for (int m = 0; m < models; ++m) {
+        std::size_t model_tiles = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const core::FrameWork &work = burst[i]->work;
+            for (std::size_t t = 0; t < work.tiles.size(); ++t) {
+                const core::Action &action =
+                    logic.per_context[work.contexts[t]];
+                if (action.kind == core::ActionKind::RunModel &&
+                    action.model == m) {
+                    ++model_tiles;
+                }
+            }
+        }
+        if (model_tiles == 0) {
+            continue;
+        }
+        const std::size_t rows = model_tiles * data::kBlocksPerTile;
+        ml::kernels::Scratch::Frame scratch_frame(arena);
+        double *scaled =
+            arena.alloc(rows * static_cast<std::size_t>(
+                                   data::kBlockInputDim));
+        std::size_t row = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            core::FrameWork &work = burst[i]->work;
+            for (std::size_t t = 0; t < work.tiles.size(); ++t) {
+                const core::Action &action =
+                    logic.per_context[work.contexts[t]];
+                if (action.kind == core::ActionKind::RunModel &&
+                    action.model == m) {
+                    // Lazily-tiled slots materialize the block grid
+                    // here, for exactly the modeled tiles.
+                    if (work.tiles[t].block_features.empty()) {
+                        data::Tiler::decimate(work.tiles[t]);
+                    }
+                    zoo.tileInputs(
+                        work.tiles[t],
+                        scaled + row * static_cast<std::size_t>(
+                                           data::kBlockInputDim));
+                    row += data::kBlocksPerTile;
+                }
+            }
+        }
+        assert(row == rows);
+        double *probs = arena.alloc(rows);
+        zoo.predictRows(m, scaled, rows, probs);
+        row = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            core::FrameWork &work = burst[i]->work;
+            for (std::size_t t = 0; t < work.tiles.size(); ++t) {
+                const core::Action &action =
+                    logic.per_context[work.contexts[t]];
+                if (action.kind == core::ActionKind::RunModel &&
+                    action.model == m) {
+                    core::Runtime::keepFromProbs(
+                        probs + row, data::kBlocksPerTile,
+                        work.keep.data() + t * data::kBlocksPerTile);
+                    row += data::kBlocksPerTile;
+                }
+            }
+        }
+    }
+}
+
+void
+PipelineRuntime::recordRingDepth(int stage_fed, std::size_t depth,
+                                 std::size_t capacity, int lane) const
+{
+    // Occupancy observed at each burst dequeue: gauge mean/max answer
+    // "how deep does the queue before each stage run"; the journal
+    // events are the kodan-top queue pane's live feed. Distinct macro
+    // sites per ring because the handle cache is per call site.
+    const char *ring_name = "free";
+    switch (static_cast<Stage>(stage_fed)) {
+      case Stage::Capture:
+        KODAN_GAUGE_ADD("pipeline.ring.free.depth", depth);
+        ring_name = "free";
+        break;
+      case Stage::TileClassify:
+        KODAN_GAUGE_ADD("pipeline.ring.tile_classify.depth", depth);
+        ring_name = "tile_classify";
+        break;
+      case Stage::Infer:
+        KODAN_GAUGE_ADD("pipeline.ring.infer.depth", depth);
+        ring_name = "infer";
+        break;
+      case Stage::Elide:
+        KODAN_GAUGE_ADD("pipeline.ring.elide.depth", depth);
+        ring_name = "elide";
+        break;
+      case Stage::Record:
+        KODAN_GAUGE_ADD("pipeline.ring.record.depth", depth);
+        ring_name = "record";
+        break;
+    }
+    if (telemetry::journalEnabled()) {
+        telemetry::JournalEventBuilder("pipeline.ring.depth")
+            .text("ring", ring_name)
+            .i64("lane", lane)
+            .i64("depth", static_cast<std::int64_t>(depth))
+            .i64("capacity", static_cast<std::int64_t>(capacity));
+    }
+}
+
+} // namespace kodan::pipeline

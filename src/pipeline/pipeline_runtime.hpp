@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The staged data plane: a drop-in alternative scheduler for
+ * core::Runtime::processFrames.
+ *
+ * Where the batch path fans whole frames across a thread pool, the
+ * data plane streams them: frames flow by pointer through
+ * arena-resident slots (arena.hpp) across lock-free SPSC rings
+ * (ring.hpp) connecting the capture -> tile/classify ->
+ * specialize/infer -> elide -> record stages (stage.hpp). Each worker
+ * runs a run-to-completion poll loop over its contiguous stage span;
+ * the infer stage dequeues bursts and feeds ml::Mlp::forwardBatch one
+ * cross-frame batch per model. Steady state does no heap allocation
+ * and takes no locks.
+ *
+ * Output contract (proved by `ctest -L dataplane`): for the same
+ * frames, PipelineRuntime::processFrames returns a bit-identical
+ * FrameReport and emits byte-identical journal output and identical
+ * deterministic metrics to Runtime::processFrames, at any worker
+ * count. The recipe:
+ *  - the stages run the *same code* (Runtime's stage entry points);
+ *  - burst-batched inference regroups rows across frames, which
+ *    cannot change bits because forwardBatch is row-independent and
+ *    the per-frame FP accumulation happens later, in stageElide, in
+ *    fixed tile order;
+ *  - journal events route to (region, frame index) lanes and
+ *    per-frame reports land at their frame index and reduce in index
+ *    order, exactly as the batch path does;
+ *  - pipeline-specific telemetry (ring gauges, stage timers, depth
+ *    events) is emitted only when Options::stats is on, so default
+ *    runs add no metric names.
+ *
+ * Backpressure is structural: the capture stage can only admit a
+ * frame when the freelist yields a slot, so a slow stage fills the
+ * rings behind it and stalls admission — the open-loop load generator
+ * (loadgen.hpp) then measures the true sustainable throughput.
+ */
+
+#ifndef KODAN_PIPELINE_PIPELINE_RUNTIME_HPP
+#define KODAN_PIPELINE_PIPELINE_RUNTIME_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "pipeline/arena.hpp"
+#include "pipeline/ring.hpp"
+#include "pipeline/stage.hpp"
+
+namespace kodan::pipeline {
+
+/** Largest burst a worker dequeues at once (bounds stack arrays). */
+inline constexpr std::size_t kMaxBurst = 64;
+
+/**
+ * Random-access frame feed for the data plane. Cycles over a pool, so
+ * an open-loop generator can offer more frames than it materializes;
+ * frame(i) must be safe to call concurrently (it is read-only).
+ */
+struct FrameSource
+{
+    /** Backing frames (non-owning; must outlive the run). */
+    const std::vector<data::FrameSample> *pool = nullptr;
+    /** Frames the run offers (index range [0, total)). */
+    std::size_t total = 0;
+
+    /** Frame for global index @p i (wraps over the pool). */
+    const data::FrameSample &frame(std::size_t i) const
+    {
+        return (*pool)[i % pool->size()];
+    }
+};
+
+/**
+ * Runs a core::Runtime's stages as a staged pipeline.
+ *
+ * Construction allocates everything (lanes, rings, slot arenas);
+ * processFrames only moves pointers. One PipelineRuntime may be
+ * reused across runs; it is not itself thread-safe (one run at a
+ * time).
+ */
+class PipelineRuntime
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 uses util::globalThreadCount()
+         *  (KODAN_THREADS), mirroring the batch path. */
+        int workers = 0;
+        /** Slots per lane = max frames in flight per lane. */
+        std::size_t slots_per_lane = 64;
+        /** Capacity of each stage-to-stage ring (rounded to pow2). */
+        std::size_t ring_capacity = 64;
+        /** Max frames a worker dequeues per poll (clamped to
+         *  kMaxBurst); the infer stage batches across the burst. */
+        std::size_t burst = 8;
+        /**
+         * Emit pipeline.* telemetry: ring-occupancy gauges, per-stage
+         * latency timers, and `pipeline.ring.depth` journal events
+         * (the kodan-top queue pane feed). Off by default so the
+         * data plane's metric/journal output stays byte-identical to
+         * the batch path.
+         */
+        bool stats = false;
+    };
+
+    /** @param runtime The runtime whose stages to schedule (not
+     *  owned; must outlive this object). */
+    explicit PipelineRuntime(const core::Runtime &runtime);
+    PipelineRuntime(const core::Runtime &runtime,
+                    const Options &options);
+
+    PipelineRuntime(const PipelineRuntime &) = delete;
+    PipelineRuntime &operator=(const PipelineRuntime &) = delete;
+
+    /** The worker/lane plan in effect. */
+    const StagePlan &plan() const { return plan_; }
+
+    /** Options in effect (after clamping). */
+    const Options &options() const { return opts_; }
+
+    /**
+     * Process @p frames through the pipeline; bit-identical output to
+     * Runtime::processFrames(frames). An empty batch is a no-op that
+     * emits nothing, matching the batch path.
+     */
+    core::FrameReport processFrames(
+        const std::vector<data::FrameSample> &frames);
+
+    /** Process @p source.total frames drawn from @p source. */
+    core::FrameReport process(const FrameSource &source);
+
+  private:
+    /** One independent ring chain with its slot pool. */
+    struct Lane
+    {
+        Lane(std::size_t slots, std::size_t ring_capacity)
+            : arena(slots), to_tile_classify(ring_capacity),
+              to_infer(ring_capacity), to_elide(ring_capacity),
+              to_record(ring_capacity)
+        {
+        }
+
+        SlotArena arena;
+        SpscRing<FrameSlot *> to_tile_classify;
+        SpscRing<FrameSlot *> to_infer;
+        SpscRing<FrameSlot *> to_elide;
+        SpscRing<FrameSlot *> to_record;
+
+        /** The ring feeding @p stage (1..4). */
+        SpscRing<FrameSlot *> &ringInto(int stage);
+    };
+
+    /** Per-run shared state handed to every worker. */
+    struct RunState
+    {
+        const FrameSource *source = nullptr;
+        std::size_t total = 0;
+        std::uint64_t region_id = 0;
+        std::vector<core::FrameReport> *reports = nullptr;
+        bool stats = false;
+    };
+
+    void workerLoop(const WorkerSpan &span, RunState &rs) const;
+    void runStage(Stage stage, Lane &lane, FrameSlot **burst,
+                  std::size_t count, RunState &rs) const;
+    void burstInfer(FrameSlot **burst, std::size_t count) const;
+    void recordRingDepth(int stage_fed, std::size_t depth,
+                         std::size_t capacity, int lane) const;
+
+    const core::Runtime *runtime_;
+    Options opts_;
+    StagePlan plan_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    /** Per-frame reports of the current run, indexed by frame index;
+     *  capacity persists across runs. */
+    std::vector<core::FrameReport> reports_;
+};
+
+} // namespace kodan::pipeline
+
+#endif // KODAN_PIPELINE_PIPELINE_RUNTIME_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fixed-capacity lock-free single-producer/single-consumer ring.
+ *
+ * The stage-to-stage conduit of the staged data plane: each ring
+ * connects exactly one upstream worker (producer) to one downstream
+ * worker (consumer), so no CAS loops or locks are needed — one
+ * release store per side, acquire loads only when the cached view of
+ * the counterpart index runs out (the DPDK/ndn-dpdk rte_ring idiom,
+ * restricted to SPSC). Capacity is a power of two so wrapping is a
+ * mask, and indices are free-running 64-bit counters so no reset is
+ * ever needed between runs.
+ *
+ * Burst transfer (pushBurst/popBurst) amortizes the per-element
+ * atomics to one publish per burst and is what lets the infer stage
+ * dequeue a full batch of frames for one cross-frame forwardBatch
+ * call.
+ */
+
+#ifndef KODAN_PIPELINE_RING_HPP
+#define KODAN_PIPELINE_RING_HPP
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace kodan::pipeline {
+
+/** Cache-line size used to pad the producer/consumer halves apart. */
+inline constexpr std::size_t kCacheLine = 64;
+
+/**
+ * Lock-free SPSC ring of trivially-copyable items (the data plane
+ * moves FrameSlot pointers, never frame payloads).
+ *
+ * Thread contract: push/pushBurst from exactly one producer thread,
+ * pop/popBurst from exactly one consumer thread. size() is safe from
+ * anywhere but only approximate while both sides are running.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity Slots (rounded up to a power of two, >= 2). */
+    explicit SpscRing(std::size_t capacity = 64)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity) {
+            cap <<= 1;
+        }
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Usable capacity in items. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Approximate occupancy (exact when one side is quiescent). */
+    std::size_t size() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    /** Producer side: enqueue one item. @return false when full. */
+    bool push(const T &item) { return pushBurst(&item, 1) == 1; }
+
+    /**
+     * Producer side: enqueue up to @p count items from @p items.
+     * @return Items actually enqueued (0 when full) — always the
+     * leading prefix, so callers retry with the remainder.
+     */
+    std::size_t pushBurst(const T *items, std::size_t count)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t free = capacity() - (tail - cached_head_);
+        if (free < count) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            free = capacity() - (tail - cached_head_);
+            if (free == 0) {
+                return 0;
+            }
+        }
+        const std::size_t n = count < free ? count : free;
+        for (std::size_t i = 0; i < n; ++i) {
+            slots_[(tail + i) & mask_] = items[i];
+        }
+        tail_.store(tail + n, std::memory_order_release);
+        return n;
+    }
+
+    /** Consumer side: dequeue one item. @return false when empty. */
+    bool pop(T &out) { return popBurst(&out, 1) == 1; }
+
+    /**
+     * Consumer side: dequeue up to @p count items into @p out.
+     * @return Items actually dequeued (0 when empty).
+     */
+    std::size_t popBurst(T *out, std::size_t count)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t avail = cached_tail_ - head;
+        if (avail < count) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            avail = cached_tail_ - head;
+            if (avail == 0) {
+                return 0;
+            }
+        }
+        const std::size_t n = count < avail ? count : avail;
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = slots_[(head + i) & mask_];
+        }
+        head_.store(head + n, std::memory_order_release);
+        return n;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    /** Consumer index; written by the consumer, read by the producer. */
+    alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+    /** Producer index; written by the producer, read by the consumer. */
+    alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+    /** Producer-private stale view of head_ (avoids acquire per push). */
+    alignas(kCacheLine) std::size_t cached_head_ = 0;
+    /** Consumer-private stale view of tail_ (avoids acquire per pop). */
+    alignas(kCacheLine) std::size_t cached_tail_ = 0;
+};
+
+} // namespace kodan::pipeline
+
+#endif // KODAN_PIPELINE_RING_HPP

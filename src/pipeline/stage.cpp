@@ -1,0 +1,66 @@
+#include "pipeline/stage.hpp"
+
+#include <cassert>
+
+namespace kodan::pipeline {
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Capture:
+        return "capture";
+      case Stage::TileClassify:
+        return "tile_classify";
+      case Stage::Infer:
+        return "infer";
+      case Stage::Elide:
+        return "elide";
+      case Stage::Record:
+        return "record";
+    }
+    return "unknown";
+}
+
+StagePlan
+StagePlan::build(int worker_count)
+{
+    if (worker_count < 1) {
+        worker_count = 1;
+    }
+    StagePlan plan;
+    plan.lanes = (worker_count + kStageCount - 1) / kStageCount;
+    plan.workers.reserve(static_cast<std::size_t>(worker_count));
+
+    // Within a lane, spans are fixed tables, not a load balancer: the
+    // split must be a pure function of the worker count so the ring
+    // topology (and the journal/report routing built on it) is
+    // reproducible. Inference and tiling are the heavy stages, so they
+    // shed neighbours first as workers are added.
+    static const int kSpans[5][5][2] = {
+        {{0, 4}},                                 // 1 worker
+        {{0, 1}, {2, 4}},                         // 2 workers
+        {{0, 1}, {2, 2}, {3, 4}},                 // 3 workers
+        {{0, 0}, {1, 1}, {2, 2}, {3, 4}},         // 4 workers
+        {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}, // 5 workers
+    };
+
+    // Deal workers to lanes as evenly as possible; earlier lanes take
+    // the remainder.
+    const int base = worker_count / plan.lanes;
+    const int extra = worker_count % plan.lanes;
+    for (int lane = 0; lane < plan.lanes; ++lane) {
+        const int lane_workers = base + (lane < extra ? 1 : 0);
+        assert(lane_workers >= 1 && lane_workers <= kStageCount);
+        for (int w = 0; w < lane_workers; ++w) {
+            WorkerSpan span;
+            span.lane = lane;
+            span.first_stage = kSpans[lane_workers - 1][w][0];
+            span.last_stage = kSpans[lane_workers - 1][w][1];
+            plan.workers.push_back(span);
+        }
+    }
+    return plan;
+}
+
+} // namespace kodan::pipeline

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stage taxonomy and the worker/lane plan of the staged data plane.
+ *
+ * The per-frame work of core::Runtime is five stages; the plan maps a
+ * worker count onto lanes (independent ring chains) and contiguous
+ * stage spans within each lane, preserving the single-producer/
+ * single-consumer contract of every ring: each stage of a lane is
+ * owned by exactly one worker, so the ring feeding it has one
+ * consumer, and the ring it feeds has one producer.
+ */
+
+#ifndef KODAN_PIPELINE_STAGE_HPP
+#define KODAN_PIPELINE_STAGE_HPP
+
+#include <vector>
+
+namespace kodan::pipeline {
+
+/** The five stages a frame flows through, in order. */
+enum class Stage : int
+{
+    /** Bind the next frame of the lane's subsequence to a free slot. */
+    Capture = 0,
+    /** Tile the frame and label every tile's context (one batched
+     *  engine forward). */
+    TileClassify = 1,
+    /** Burst-batched specialized inference: the keep/drop decisions of
+     *  all modeled tiles of a burst of frames, grouped by model, in
+     *  one forwardBatch call per model. */
+    Infer = 2,
+    /** The per-tile accounting loop producing the FrameReport. */
+    Elide = 3,
+    /** Downlink-queue/record: telemetry + journal + report delivery,
+     *  then slot release. */
+    Record = 4,
+};
+
+/** Number of stages. */
+inline constexpr int kStageCount = 5;
+
+/** Human-readable stage name ("capture", "tile_classify", ...). */
+const char *stageName(Stage stage);
+
+/** One worker's assignment: a contiguous stage span within a lane. */
+struct WorkerSpan
+{
+    /** Lane (independent ring chain) this worker serves. */
+    int lane = 0;
+    /** First stage of the span (inclusive). */
+    int first_stage = 0;
+    /** Last stage of the span (inclusive). */
+    int last_stage = 0;
+};
+
+/**
+ * The worker/lane layout for a worker count.
+ *
+ * Up to five workers share one lane, splitting the stage sequence
+ * into contiguous spans (heaviest stages get dedicated workers
+ * first). Beyond five, workers spread across ceil(W/5) lanes; frames
+ * are dealt to lanes round-robin by frame index, so lane membership —
+ * and therefore every ring's producer/consumer pairing — is a pure
+ * function of the plan, never of runtime timing.
+ */
+struct StagePlan
+{
+    /** Independent ring chains; frame i belongs to lane i % lanes. */
+    int lanes = 1;
+    /** One entry per worker thread. */
+    std::vector<WorkerSpan> workers;
+
+    /** Build the plan for @p worker_count workers (minimum 1). */
+    static StagePlan build(int worker_count);
+};
+
+} // namespace kodan::pipeline
+
+#endif // KODAN_PIPELINE_STAGE_HPP

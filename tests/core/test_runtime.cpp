@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/runtime.hpp"
 #include "fixture.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
 
 namespace kodan::core {
 namespace {
@@ -157,6 +160,127 @@ TEST(Runtime, AgreesWithAnalyticProjection)
     EXPECT_NEAR(projected.high_bits_sent, measured.product_high_fraction,
                 0.01);
     EXPECT_NEAR(projected.cell_accuracy, measured.cells.accuracy(), 0.01);
+}
+
+TEST(Runtime, EmptyBatchEmitsNoTelemetry)
+{
+    // An empty batch must be a true no-op: no `runtime.batch` journal
+    // region, no zero-frame aggregate event, no batched-frames count —
+    // idle pollers must not pollute the flight recorder.
+    const auto &pipeline = SharedPipeline::instance();
+    const auto logic = allModelLogic(pipeline);
+    const Runtime runtime(logic, pipeline.shared.engine.get(),
+                          &pipeline.app4.zoo, hw::Target::Orin15W);
+
+    telemetry::setEnabled(true);
+    telemetry::setJournalEnabled(true);
+    telemetry::resetAll();
+    const FrameReport report = runtime.processFrames({});
+    EXPECT_EQ(report.compute_time, 0.0);
+    EXPECT_EQ(report.tiles_modeled, 0);
+    EXPECT_TRUE(telemetry::collectJournal().empty());
+    const auto snapshot = telemetry::registry().snapshot();
+    if (const auto *batched = snapshot.find("runtime.frames.batched")) {
+        EXPECT_EQ(batched->count, 0);
+    }
+    if (const auto *timer = snapshot.find("runtime.batch.process")) {
+        EXPECT_EQ(timer->count, 0);
+    }
+    telemetry::resetAll();
+    telemetry::setEnabled(false);
+    telemetry::setJournalEnabled(false);
+}
+
+// ---------------------------------------------------------------------
+// Property: aggregate() then chunk-merge via mergeAggregates() equals
+// flat aggregate() for ANY split of the batch — count-weighted
+// associativity. Random splits, including empty chunks on either side,
+// probe the space the hand-picked partitions above cannot.
+
+FrameReport
+randomReport(util::Rng &rng)
+{
+    FrameReport report;
+    report.compute_time = rng.uniform(0.1, 50.0);
+    report.product_fraction = rng.uniform();
+    report.product_high_fraction =
+        report.product_fraction * rng.uniform();
+    report.tiles_discarded = rng.uniformInt(0, 121);
+    report.tiles_downlinked = rng.uniformInt(0, 121);
+    report.tiles_modeled = rng.uniformInt(0, 121);
+    report.cells.addWeighted(true, true, rng.uniformInt(0, 4000));
+    report.cells.addWeighted(true, false, rng.uniformInt(0, 4000));
+    report.cells.addWeighted(false, true, rng.uniformInt(0, 4000));
+    report.cells.addWeighted(false, false, rng.uniformInt(0, 4000));
+    return report;
+}
+
+TEST(Runtime, MergeAggregatesIsCountWeightedAssociativeUnderRandomSplits)
+{
+    util::Rng rng(20260809);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(1, 40));
+        std::vector<FrameReport> reports;
+        reports.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            reports.push_back(randomReport(rng));
+        }
+        const FrameReport flat = Runtime::aggregate(reports);
+
+        // Random partition into chunks, deliberately allowing empty
+        // chunks: a zero-frame side must pass through the other side's
+        // aggregate EXACTLY (mergeAggregates short-circuits, so not
+        // even FP rounding may change).
+        FrameReport merged;
+        std::size_t merged_frames = 0;
+        std::size_t offset = 0;
+        while (offset < reports.size() || merged_frames == 0) {
+            const std::size_t remaining = reports.size() - offset;
+            const std::size_t size = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(remaining)));
+            const std::vector<FrameReport> chunk(
+                reports.begin() + static_cast<std::ptrdiff_t>(offset),
+                reports.begin() +
+                    static_cast<std::ptrdiff_t>(offset + size));
+            const FrameReport chunk_total = Runtime::aggregate(chunk);
+            const FrameReport next = Runtime::mergeAggregates(
+                merged, merged_frames, chunk_total, size);
+            if (size == 0) {
+                // Zero-frame side: bit-exact passthrough.
+                EXPECT_EQ(next.compute_time, merged.compute_time);
+                EXPECT_EQ(next.product_fraction,
+                          merged.product_fraction);
+                EXPECT_EQ(next.tiles_modeled, merged.tiles_modeled);
+            }
+            if (merged_frames == 0) {
+                EXPECT_EQ(next.compute_time, chunk_total.compute_time);
+            }
+            merged = next;
+            merged_frames += size;
+            offset += size;
+            if (offset >= reports.size() && merged_frames > 0) {
+                break;
+            }
+        }
+        ASSERT_EQ(merged_frames, reports.size());
+
+        // Counts are integer-exact; means re-associate FP addition, so
+        // they get a tight relative tolerance.
+        EXPECT_EQ(merged.tiles_discarded, flat.tiles_discarded);
+        EXPECT_EQ(merged.tiles_downlinked, flat.tiles_downlinked);
+        EXPECT_EQ(merged.tiles_modeled, flat.tiles_modeled);
+        EXPECT_EQ(merged.cells.tp(), flat.cells.tp());
+        EXPECT_EQ(merged.cells.fp(), flat.cells.fp());
+        EXPECT_EQ(merged.cells.tn(), flat.cells.tn());
+        EXPECT_EQ(merged.cells.fn(), flat.cells.fn());
+        EXPECT_NEAR(merged.compute_time, flat.compute_time,
+                    1e-11 * std::max(1.0, flat.compute_time));
+        EXPECT_NEAR(merged.product_fraction, flat.product_fraction,
+                    1e-11);
+        EXPECT_NEAR(merged.product_high_fraction,
+                    flat.product_high_fraction, 1e-11);
+    }
 }
 
 } // namespace

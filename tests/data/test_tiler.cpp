@@ -131,6 +131,55 @@ TEST(Tiler, DecimationAveragesFeatures)
     EXPECT_NEAR(tile.block_features[3], sum / count, 1e-4);
 }
 
+TEST(Tiler, LazyStatsAndDecimateMatchEagerTilingBitExactly)
+{
+    const FrameSample frame = testFrame(44);
+    const Tiler tiler(3); // uneven tiles exercise the geometry paths
+    const auto eager = tiler.tile(frame);
+
+    // Warm the lazy vector with an eager pass first so statsInto must
+    // overwrite recycled state (populated block arrays, truth fields),
+    // as arena slots do in the pipeline.
+    std::vector<TileData> lazy;
+    tiler.tileInto(frame, lazy);
+    tiler.statsInto(frame, lazy);
+
+    ASSERT_EQ(lazy.size(), eager.size());
+    for (std::size_t i = 0; i < lazy.size(); ++i) {
+        TileData &tile = lazy[i];
+        // Stats are bit-identical; block arrays are the
+        // not-yet-decimated sentinel; truth fields are zeroed.
+        for (int ch = 0; ch < kFeatureDim; ++ch) {
+            EXPECT_EQ(tile.feature_mean[ch], eager[i].feature_mean[ch]);
+            EXPECT_EQ(tile.feature_std[ch], eager[i].feature_std[ch]);
+        }
+        EXPECT_TRUE(tile.block_features.empty());
+        EXPECT_TRUE(tile.block_cloud_fraction.empty());
+        EXPECT_EQ(tile.high_value_fraction, 0.0);
+        for (double v : tile.label_vector) {
+            EXPECT_EQ(v, 0.0);
+        }
+        // On-demand decimation reproduces the eager block arrays
+        // bit-exactly, and is idempotent.
+        for (int pass = 0; pass < 2; ++pass) {
+            Tiler::decimate(tile);
+            ASSERT_EQ(tile.block_features.size(),
+                      eager[i].block_features.size());
+            for (std::size_t b = 0; b < tile.block_features.size(); ++b) {
+                EXPECT_EQ(tile.block_features[b],
+                          eager[i].block_features[b]);
+            }
+            ASSERT_EQ(tile.block_cloud_fraction.size(),
+                      eager[i].block_cloud_fraction.size());
+            for (std::size_t b = 0; b < tile.block_cloud_fraction.size();
+                 ++b) {
+                EXPECT_EQ(tile.block_cloud_fraction[b],
+                          eager[i].block_cloud_fraction[b]);
+            }
+        }
+    }
+}
+
 TEST(Tiler, UpsamplingWhenTileSmallerThanBlockGrid)
 {
     // 16-cell frame at T=4 -> 4 cells per tile side < 8 blocks per side.
