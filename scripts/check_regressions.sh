@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Telemetry regression smoke: run bench_parallel_speedup,
 # bench_fig02_downlink_gap, the bench_fig10 mission sweep,
-# bench_ml_kernels, bench_dataplane, and the bench_constellation smoke
-# + golden long-horizon fixture (100 satellites x 30 days) with the
-# metrics snapshot + flight recorder + time series enabled, then feed
-# the outputs to `kodan-report diff` against the committed baselines in
-# bench/baselines/. Non-zero exit on regression (including any
-# ML-kernel Blocked-vs-Naive bit mismatch, a constellation-engine
-# thread-divergence under --verify, a miss of the constellation
-# throughput floor under --assert-throughput, a staged-vs-batch report
-# mismatch or steady-state heap allocation in bench_dataplane, all of
-# which fail the bench itself).
+# bench_ml_kernels, bench_dataplane, the bench_constellation smoke
+# + golden long-horizon fixture (100 satellites x 30 days), and the
+# bench_health degraded-fleet guard with the metrics snapshot + flight
+# recorder + time series enabled, then feed the outputs to
+# `kodan-report diff` (and `kodan-report health` for the alert JSONL)
+# against the committed baselines in bench/baselines/. Non-zero exit on
+# regression (including any ML-kernel Blocked-vs-Naive bit mismatch, a
+# constellation-engine thread-divergence under --verify, a miss of the
+# constellation throughput floor under --assert-throughput, a
+# staged-vs-batch report mismatch or steady-state heap allocation in
+# bench_dataplane, and any health-plane alert divergence, missed
+# detection, or overhead-budget breach, all of which fail the bench
+# itself).
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
@@ -18,8 +21,8 @@
 # --rebaseline regenerates bench/baselines/ from the current build and
 # appends an entry (labeled with the current git commit) to the
 # BENCH_parallel_speedup.json, BENCH_ml_kernels.json,
-# BENCH_dataplane.json, and BENCH_constellation.json trajectories at
-# the repo root, instead of diffing.
+# BENCH_dataplane.json, BENCH_constellation.json, and BENCH_health.json
+# trajectories at the repo root, instead of diffing.
 #
 # Baseline caveat: the committed baselines are toolchain-pinned. Counters,
 # gauges, journals, and time series are bit-deterministic for a given
@@ -61,9 +64,11 @@ FIG10_BENCH="$BUILD_DIR/bench/bench_fig10_dvd_vs_time"
 MLKERN_BENCH="$BUILD_DIR/bench/bench_ml_kernels"
 DATAPLANE_BENCH="$BUILD_DIR/bench/bench_dataplane"
 CONSTEL_BENCH="$BUILD_DIR/bench/bench_constellation"
+HEALTH_BENCH="$BUILD_DIR/bench/bench_health"
 
 for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH" \
-              "$MLKERN_BENCH" "$DATAPLANE_BENCH" "$CONSTEL_BENCH"; do
+              "$MLKERN_BENCH" "$DATAPLANE_BENCH" "$CONSTEL_BENCH" \
+              "$HEALTH_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -132,6 +137,18 @@ echo "[check_regressions] running bench_constellation golden (100 sats x 30 days
     --telemetry-out "$WORKDIR/constellation_golden.metrics.json" \
     > /dev/null)
 
+# Fleet health plane guard: --verify byte-compares the degraded
+# scenario's alert JSONL at 1/4/16 threads, checks the injected fault
+# fires exactly the expected alerts, and asserts the health fold's
+# self-timed overhead budget — any of which fails the bench itself.
+# The exported alerts are then diffed bit-exactly against the committed
+# baseline below.
+echo "[check_regressions] running bench_health ..."
+(cd "$WORKDIR" && "$HEALTH_BENCH" --verify \
+    --telemetry-out "$WORKDIR/health.metrics.json" \
+    --alerts-out "$WORKDIR/health.alerts.jsonl" \
+    > /dev/null)
+
 if [[ "$REBASELINE" -eq 1 ]]; then
     mkdir -p "$BASELINES"
     cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
@@ -146,6 +163,9 @@ if [[ "$REBASELINE" -eq 1 ]]; then
        "$WORKDIR/constellation.journal.jsonl" \
        "$WORKDIR/constellation_golden.metrics.json" \
        "$WORKDIR/constellation_golden.metrics.timeseries.json" \
+       "$WORKDIR/health.metrics.json" \
+       "$WORKDIR/health.metrics.timeseries.json" \
+       "$WORKDIR/health.alerts.jsonl" \
        "$BASELINES/"
     LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
              echo local)"
@@ -161,6 +181,9 @@ if [[ "$REBASELINE" -eq 1 ]]; then
     "$REPORT" aggregate --name constellation --label "$LABEL" \
         --out "$REPO_ROOT/BENCH_constellation.json" \
         "$WORKDIR/constellation_golden.metrics.json"
+    "$REPORT" aggregate --name health --label "$LABEL" \
+        --out "$REPO_ROOT/BENCH_health.json" \
+        "$WORKDIR/health.metrics.json"
     echo "[check_regressions] baselines rebaselined in $BASELINES"
     exit 0
 fi
@@ -233,6 +256,17 @@ echo "[check_regressions] diffing constellation golden against baseline ..."
     "$BASELINES/constellation_golden.metrics.timeseries.json" \
     "$WORKDIR/constellation_golden.metrics.timeseries.json" \
     --tol-timer 100 || STATUS=1
+
+echo "[check_regressions] diffing health metrics + alerts against baseline ..."
+"$REPORT" diff \
+    "$BASELINES/health.metrics.json" \
+    "$WORKDIR/health.metrics.json" \
+    --timeseries \
+    "$BASELINES/health.metrics.timeseries.json" \
+    "$WORKDIR/health.metrics.timeseries.json" \
+    --tol-timer 100 || STATUS=1
+"$REPORT" health "$WORKDIR/health.alerts.jsonl" \
+    --baseline "$BASELINES/health.alerts.jsonl" > /dev/null || STATUS=1
 
 if [[ "$STATUS" -ne 0 ]]; then
     echo "[check_regressions] REGRESSION detected (see report above);" \

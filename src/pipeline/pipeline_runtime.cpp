@@ -127,20 +127,75 @@ PipelineRuntime::process(const FrameSource &source)
     rs.reports = &reports_;
     rs.stats = opts_.stats;
 
+    // Worker pressure counters heap-allocate only when stats is on;
+    // stats-off runs share one stack dummy so the steady state stays
+    // allocation-free (bench_dataplane asserts it).
+    std::vector<WorkerStats> worker_stats;
+    if (opts_.stats) {
+        worker_stats.resize(plan_.workers.size());
+    }
+    WorkerStats stats_off_dummy;
     if (plan_.workers.size() == 1) {
         // Single worker runs inline: no thread spawn, so a warmed run
-        // is allocation-free end to end (bench_dataplane asserts it).
-        workerLoop(plan_.workers[0], rs);
+        // is allocation-free end to end.
+        workerLoop(plan_.workers[0], rs,
+                   opts_.stats ? worker_stats[0] : stats_off_dummy);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(plan_.workers.size());
-        for (const WorkerSpan &span : plan_.workers) {
+        for (std::size_t w = 0; w < plan_.workers.size(); ++w) {
+            const WorkerSpan &span = plan_.workers[w];
+            WorkerStats &ws =
+                opts_.stats ? worker_stats[w] : stats_off_dummy;
             threads.emplace_back(
-                [this, &span, &rs] { workerLoop(span, rs); });
+                [this, &span, &rs, &ws] { workerLoop(span, rs, ws); });
         }
         for (auto &thread : threads) {
             thread.join();
         }
+    }
+
+    // Health contribution: fold the workers' pressure counters in
+    // worker index order into per-stage stall/backpressure/saturation
+    // signals. Scheduling observations (timing-dependent), so they are
+    // gated behind stats AND the health switch and never touch the
+    // deterministic streams; bin = run ordinal, sim time is not
+    // meaningful here.
+    if (opts_.stats && telemetry::health::healthEnabled()) {
+        telemetry::health::HealthPlane &plane =
+            telemetry::health::plane();
+        using telemetry::health::EntityKind;
+        const auto bin = static_cast<std::int64_t>(run_seq_++);
+        std::uint64_t stalls[kStageCount] = {};
+        std::uint64_t backpressure[kStageCount] = {};
+        double saturation[kStageCount] = {};
+        for (std::size_t w = 0; w < plan_.workers.size(); ++w) {
+            const WorkerSpan &span = plan_.workers[w];
+            const WorkerStats &ws = worker_stats[w];
+            stalls[span.first_stage] += ws.stalls;
+            backpressure[span.last_stage] += ws.backpressure;
+            for (int s = 0; s < kStageCount; ++s) {
+                saturation[s] =
+                    std::max(saturation[s], ws.max_saturation[s]);
+            }
+        }
+        const double t = static_cast<double>(bin);
+        for (int s = 0; s < kStageCount; ++s) {
+            // The capture "ring" is the freelist; a full freelist
+            // means an idle pipeline, not pressure, so the
+            // ring-saturation signal starts at the first real ring.
+            if (s != static_cast<int>(Stage::Capture)) {
+                plane.observe(EntityKind::Stage, s, "ring.saturation",
+                              bin, t, saturation[s]);
+            }
+            plane.observe(EntityKind::Stage, s, "stage.stalls", bin, t,
+                          static_cast<double>(stalls[s]));
+            plane.observe(EntityKind::Stage, s, "stage.backpressure",
+                          bin, t,
+                          static_cast<double>(backpressure[s]));
+        }
+    } else if (opts_.stats) {
+        ++run_seq_;
     }
 
     core::FrameReport total = core::Runtime::aggregate(reports_);
@@ -157,8 +212,11 @@ PipelineRuntime::process(const FrameSource &source)
 }
 
 void
-PipelineRuntime::workerLoop(const WorkerSpan &span, RunState &rs) const
+PipelineRuntime::workerLoop(const WorkerSpan &span, RunState &rs,
+                            WorkerStats &ws) const
 {
+    // All ws writes are rs.stats-gated: on non-stats runs every worker
+    // shares one dummy entry that must stay untouched.
     Lane &lane = *lanes_[static_cast<std::size_t>(span.lane)];
     const std::size_t lane_total =
         laneShare(rs.total, span.lane, plan_.lanes);
@@ -198,19 +256,28 @@ PipelineRuntime::workerLoop(const WorkerSpan &span, RunState &rs) const
                 burst[count++] = slot;
             }
             if (rs.stats && count > 0) {
+                const std::size_t depth = lane.arena.freelist().size();
+                const std::size_t cap =
+                    lane.arena.freelist().capacity();
                 recordRingDepth(static_cast<int>(Stage::Capture),
-                                lane.arena.freelist().size(),
-                                lane.arena.freelist().capacity(),
-                                span.lane);
+                                depth, cap, span.lane);
+                trackSaturation(ws, static_cast<int>(Stage::Capture),
+                                depth, cap);
             }
         } else {
             count = in->popBurst(burst, burst_max);
             if (rs.stats && count > 0) {
-                recordRingDepth(span.first_stage, in->size() + count,
+                const std::size_t depth = in->size() + count;
+                recordRingDepth(span.first_stage, depth,
                                 in->capacity(), span.lane);
+                trackSaturation(ws, span.first_stage, depth,
+                                in->capacity());
             }
         }
         if (count == 0) {
+            if (rs.stats) {
+                ++ws.stalls;
+            }
             backoff(idle);
             continue;
         }
@@ -239,12 +306,27 @@ PipelineRuntime::workerLoop(const WorkerSpan &span, RunState &rs) const
             while (pushed < count) {
                 pushed += out->pushBurst(burst + pushed, count - pushed);
                 if (pushed < count) {
+                    if (rs.stats) {
+                        ++ws.backpressure;
+                    }
                     backoff(wait);
                 }
             }
         }
         processed += count;
     }
+}
+
+void
+PipelineRuntime::trackSaturation(WorkerStats &ws, int stage_fed,
+                                 std::size_t depth, std::size_t capacity)
+{
+    if (capacity == 0) {
+        return;
+    }
+    ws.max_saturation[stage_fed] = std::max(
+        ws.max_saturation[stage_fed],
+        static_cast<double>(depth) / static_cast<double>(capacity));
 }
 
 void

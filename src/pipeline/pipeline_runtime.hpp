@@ -163,7 +163,27 @@ class PipelineRuntime
         bool stats = false;
     };
 
-    void workerLoop(const WorkerSpan &span, RunState &rs) const;
+    /**
+     * Per-worker pressure counters for the fleet health plane (stats
+     * runs only). Unlike the frame reports these are scheduling
+     * observations — stall counts depend on timing — so they feed
+     * health rollups and the ring-saturation alert, never the
+     * deterministic metric/journal streams.
+     */
+    struct WorkerStats
+    {
+        /** Empty polls (input starvation) while frames remained. */
+        std::uint64_t stalls = 0;
+        /** Blocked pushes into a full downstream ring. */
+        std::uint64_t backpressure = 0;
+        /** Max observed depth/capacity per stage fed (index = stage). */
+        double max_saturation[kStageCount] = {};
+    };
+
+    static void trackSaturation(WorkerStats &ws, int stage_fed,
+                                std::size_t depth, std::size_t capacity);
+    void workerLoop(const WorkerSpan &span, RunState &rs,
+                    WorkerStats &ws) const;
     void runStage(Stage stage, Lane &lane, FrameSlot **burst,
                   std::size_t count, RunState &rs) const;
     void burstInfer(FrameSlot **burst, std::size_t count) const;
@@ -174,6 +194,8 @@ class PipelineRuntime
     Options opts_;
     StagePlan plan_;
     std::vector<std::unique_ptr<Lane>> lanes_;
+    /** Run ordinal: the health plane's "bin" for pipeline signals. */
+    std::uint64_t run_seq_ = 0;
     /** Per-frame reports of the current run, indexed by frame index;
      *  capacity persists across runs. */
     std::vector<core::FrameReport> reports_;

@@ -136,7 +136,8 @@ ConstellationEngine::run(const ConstellationConfig &config,
 
     const bool ts_on = telemetry::enabled();
     const bool journal_on = telemetry::journalEnabled();
-    const bool bins_on = ts_on || journal_on;
+    const bool health_on = telemetry::health::healthEnabled();
+    const bool bins_on = ts_on || journal_on || health_on;
     const double bin_s =
         mission.telemetry_bin_s > 0.0 ? mission.telemetry_bin_s : 1800.0;
     const auto binOf = [bin_s](double t) {
@@ -172,6 +173,11 @@ ConstellationEngine::run(const ConstellationConfig &config,
     const double util_capacity =
         bin_s * static_cast<double>(station_count);
     double depth_bits = 0.0; // running backlog across chunks
+    // Per-satellite running backlog for the health plane's per-entity
+    // queue signal (the global depth_bits above backs the TimeSeries).
+    std::vector<double> sat_depth(health_on ? sat_count : 0, 0.0);
+    std::vector<std::uint32_t> ord_before(
+        health_on && journal_on ? sat_count : 0, 0);
     ground::GroundSegmentScheduler::Allocation final_allocation;
     using Interval = ground::GroundSegmentScheduler::Interval;
     std::vector<std::vector<Interval>> closed(sat_count);
@@ -212,6 +218,12 @@ ConstellationEngine::run(const ConstellationConfig &config,
                                      ? a.start < b.start
                                      : a.station < b.station;
                       });
+        }
+
+        if (health_on && journal_on) {
+            for (std::size_t s = 0; s < sat_count; ++s) {
+                ord_before[s] = state[s].journal_ord;
+            }
         }
 
         // Sharded satellite pass: capture, filter, enforce storage,
@@ -319,10 +331,19 @@ ConstellationEngine::run(const ConstellationConfig &config,
                 // Drain the contact runs that closed this chunk. Pass
                 // overhead is charged once per run, as in
                 // DownlinkModel::bitsForContact.
+                const bool degraded =
+                    config.degrade.satellite >= 0 &&
+                    static_cast<std::int64_t>(s) ==
+                        config.degrade.satellite;
                 for (const auto &run : closed[s]) {
                     st.result.contact_seconds += run.seconds();
+                    // Injected degradation: the pass is granted but
+                    // transfers nothing (see ConstellationConfig).
                     const double capacity =
-                        mission.radio.bitsForContact(run.seconds(), 1);
+                        degraded && run.end >= config.degrade.after_s
+                            ? 0.0
+                            : mission.radio.bitsForContact(
+                                  run.seconds(), 1);
                     if (capacity <= 0.0) {
                         continue;
                     }
@@ -445,6 +466,104 @@ ConstellationEngine::run(const ConstellationConfig &config,
                     util_capacity > 0.0 ? seconds / util_capacity
                                         : 0.0);
             }
+        }
+
+        // Health-plane fold: per-satellite and per-station observations
+        // fed in index order on this serial thread, so detector
+        // verdicts, alert ids, and alert bytes are invariant to
+        // threads and shards just like the TimeSeries bins. The fold
+        // meters its own cost: bench_health asserts the
+        // telemetry.self.health.fold_s total stays within budget.
+        if (health_on) {
+            KODAN_TIME_SCOPE("telemetry.self.health.fold_s");
+            telemetry::health::HealthPlane &plane =
+                telemetry::health::plane();
+            using telemetry::health::EntityKind;
+            static const std::string sig_queue = "queue.depth_bits";
+            static const std::string sig_down = "downlink.bits";
+            static const std::string sig_dvd = "dvd";
+            static const std::string sig_frames = "frames.observed";
+            static const std::string sig_dropped =
+                "storage.dropped_bits";
+            static const std::string sig_granted = "contact.granted_s";
+            const std::int64_t chunk_last_bin = binOf(t1c) - 1;
+            const double chunk_t =
+                static_cast<double>(chunk_last_bin) * bin_s;
+            std::int64_t observations = 0;
+            for (std::size_t s = 0; s < sat_count; ++s) {
+                const auto sat = static_cast<std::int64_t>(s);
+                std::int64_t chunk_frames = 0;
+                double chunk_dropped = 0.0;
+                for (const auto &[bin, accum] : chunk_bins[s]) {
+                    const double t = static_cast<double>(bin) * bin_s;
+                    chunk_frames += accum.frames;
+                    chunk_dropped += accum.dropped_bits;
+                    sat_depth[s] += accum.queued_bits -
+                                    accum.drained_bits -
+                                    accum.dropped_bits;
+                    plane.observe(EntityKind::Satellite, sat,
+                                  sig_queue, bin, t, sat_depth[s]);
+                    ++observations;
+                    if (accum.bits_down > 0.0) {
+                        plane.observe(EntityKind::Satellite, sat,
+                                      sig_down, bin, t,
+                                      accum.bits_down);
+                        plane.observe(EntityKind::Satellite, sat,
+                                      sig_dvd, bin, t,
+                                      accum.high_bits_down /
+                                          accum.bits_down);
+                        observations += 2;
+                    }
+                }
+                // Chunk-grained signals: one observation per chunk so
+                // the storage threshold holds one alert across a
+                // sustained shed instead of refiring per bin.
+                plane.observe(EntityKind::Satellite, sat,
+                              sig_frames, chunk_last_bin,
+                              chunk_t,
+                              static_cast<double>(chunk_frames));
+                plane.observe(EntityKind::Satellite, sat,
+                              sig_dropped, chunk_last_bin,
+                              chunk_t, chunk_dropped);
+                observations += 2;
+                if (journal_on) {
+                    plane.observeLane(EntityKind::Satellite, sat,
+                                      journal_region.id(), s + 1,
+                                      ord_before[s],
+                                      state[s].journal_ord);
+                }
+            }
+            std::map<std::pair<std::size_t, std::int64_t>, double>
+                station_granted;
+            for (const auto &runs : closed) {
+                for (const auto &run : runs) {
+                    for (std::int64_t bin = binOf(run.start);
+                         static_cast<double>(bin) * bin_s < run.end;
+                         ++bin) {
+                        const double lo =
+                            std::max(run.start,
+                                     static_cast<double>(bin) * bin_s);
+                        const double hi = std::min(
+                            run.end,
+                            static_cast<double>(bin + 1) * bin_s);
+                        if (hi > lo) {
+                            station_granted[{run.station, bin}] +=
+                                hi - lo;
+                        }
+                    }
+                }
+            }
+            for (const auto &[key, seconds] : station_granted) {
+                plane.observe(EntityKind::Station,
+                              static_cast<std::int64_t>(key.first),
+                              sig_granted, key.second,
+                              static_cast<double>(key.second) * bin_s,
+                              seconds);
+                ++observations;
+            }
+            plane.advance(chunk_last_bin, chunk_t);
+            KODAN_COUNT_ADD("telemetry.health.observations",
+                            observations);
         }
         if (bins_on) {
             for (auto &bins : chunk_bins) {

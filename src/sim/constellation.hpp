@@ -39,6 +39,7 @@
 #define KODAN_SIM_CONSTELLATION_HPP
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/mission.hpp"
 #include "util/units.hpp"
@@ -76,6 +77,23 @@ struct ConstellationConfig
      * (Landsat-8 carries ~3.1 Tbit). Infinity disables the cap.
      */
     double storage_bits = 3.1e12;
+    /**
+     * Synthetic degradation injection for health-plane validation: from
+     * sim time `after_s` on, contact runs for satellite index
+     * `satellite` transfer zero bits (the pass is still granted and
+     * its seconds still accrue — the queue is silently dropped on the
+     * ground, as in a misconfigured station). The backlog then grows
+     * until the storage cap sheds it, so the `storage.drop` and
+     * `downlink.absence` alerts fire for exactly this satellite.
+     * Disabled at the default -1; results are bit-identical to an
+     * engine without this knob when disabled.
+     */
+    struct Degradation
+    {
+        std::int64_t satellite = -1;
+        double after_s = 0.0;
+    };
+    Degradation degrade;
 };
 
 /**

@@ -1,0 +1,150 @@
+#include "telemetry/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/exact_sum.hpp"
+
+namespace kodan::telemetry::health {
+
+double
+detectorQuantize(double value)
+{
+    return detail::fromFixed(detail::toFixed(value));
+}
+
+EwmaLevelShift::EwmaLevelShift(const EwmaConfig &config) : config_(config)
+{
+}
+
+Verdict
+EwmaLevelShift::step(double value)
+{
+    const double v = detectorQuantize(value);
+    Verdict verdict;
+    if (seen_ == 0) {
+        mean_ = v;
+        dev_ = 0.0;
+        seen_ = 1;
+        return verdict;
+    }
+    const double residual = v - mean_;
+    const double envelope = std::max(
+        dev_, config_.min_dev + config_.rel_dev * std::fabs(mean_));
+    if (seen_ >= config_.warmup && envelope > 0.0) {
+        verdict.score = std::fabs(residual) / (config_.k * envelope);
+        verdict.anomalous = verdict.score > 1.0;
+    }
+    // The envelope adapts even through breaches: a genuine level shift
+    // is flagged while the mean walks over, then becomes the new
+    // normal — exactly the firing→resolved arc the alert engine keys
+    // on. State stays quantized so the sequence of states is a pure
+    // function of the quantized input stream.
+    mean_ = detectorQuantize(mean_ + config_.alpha * residual);
+    dev_ = detectorQuantize(
+        dev_ + config_.alpha * (std::fabs(residual) - dev_));
+    ++seen_;
+    return verdict;
+}
+
+void
+EwmaLevelShift::reset()
+{
+    mean_ = 0.0;
+    dev_ = 0.0;
+    seen_ = 0;
+}
+
+RobustZScore::RobustZScore(const RobustZConfig &config) : config_(config)
+{
+    if (config_.window == 0) {
+        config_.window = 1;
+    }
+    window_.assign(config_.window, 0.0);
+}
+
+namespace {
+
+/** Median of the first @p n entries of @p values (sorts in place). */
+double
+medianOf(std::vector<double> &values, std::size_t n)
+{
+    std::sort(values.begin(), values.begin() + static_cast<long>(n));
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace
+
+Verdict
+RobustZScore::step(double value)
+{
+    const double v = detectorQuantize(value);
+    Verdict verdict;
+    if (filled_ >= std::max<std::size_t>(config_.min_points, 2)) {
+        scratch_.assign(window_.begin(),
+                        window_.begin() + static_cast<long>(filled_));
+        const double med = medianOf(scratch_, filled_);
+        for (std::size_t i = 0; i < filled_; ++i) {
+            scratch_[i] = std::fabs(scratch_[i] - med);
+        }
+        // 1.4826 rescales MAD to the stddev of a normal distribution.
+        const double mad = medianOf(scratch_, filled_);
+        const double scale = std::max(
+            1.4826 * mad,
+            config_.min_scale + config_.rel_scale * std::fabs(med));
+        if (scale > 0.0) {
+            verdict.score = std::fabs(v - med) / (config_.k * scale);
+            verdict.anomalous = verdict.score > 1.0;
+        }
+    }
+    window_[next_] = v;
+    next_ = (next_ + 1) % config_.window;
+    filled_ = std::min(filled_ + 1, config_.window);
+    return verdict;
+}
+
+void
+RobustZScore::reset()
+{
+    std::fill(window_.begin(), window_.end(), 0.0);
+    next_ = 0;
+    filled_ = 0;
+}
+
+Flatline::Flatline(const FlatlineConfig &config) : config_(config)
+{
+    if (config_.window < 2) {
+        config_.window = 2;
+    }
+}
+
+Verdict
+Flatline::step(double value)
+{
+    const detail::Fixed128 fixed = detail::toFixed(value);
+    const double v = detail::fromFixed(fixed);
+    if (run_ > 0 && fixed == detail::toFixed(last_)) {
+        ++run_;
+    } else {
+        run_ = 1;
+        last_ = v;
+    }
+    Verdict verdict;
+    if (config_.ignore_zero && fixed == detail::Fixed128{}) {
+        return verdict;
+    }
+    verdict.score = static_cast<double>(run_) /
+                    static_cast<double>(config_.window);
+    verdict.anomalous = run_ >= config_.window;
+    return verdict;
+}
+
+void
+Flatline::reset()
+{
+    last_ = 0.0;
+    run_ = 0;
+}
+
+} // namespace kodan::telemetry::health

@@ -204,6 +204,10 @@ parseJournal(const std::string &text, JournalDoc &out, std::string *error)
         const json::Value &entry = lines[i];
         JournalLine line;
         line.seq = static_cast<std::uint64_t>(entry.numberOr("seq", 0.0));
+        line.region =
+            static_cast<std::uint64_t>(entry.numberOr("region", 0.0));
+        line.slot = static_cast<std::uint64_t>(entry.numberOr("slot", 0.0));
+        line.ord = static_cast<std::uint64_t>(entry.numberOr("ord", 0.0));
         line.type = entry.stringOr("type", "");
         if (line.type.empty()) {
             fail(error,
@@ -357,6 +361,121 @@ loadLineage(const std::string &path, std::vector<LineageSpan> &out,
             return false;
         }
         out.push_back(span);
+    }
+    return true;
+}
+
+/* ------------------------------------------------------------------ */
+/* Alerts loading                                                      */
+/* ------------------------------------------------------------------ */
+
+bool
+parseAlerts(const std::string &text, AlertsDoc &out, std::string *error)
+{
+    std::vector<json::Value> lines;
+    if (!json::parseLines(text, lines, error)) {
+        return false;
+    }
+    if (lines.empty()) {
+        fail(error, "alerts file is empty (missing header line)");
+        return false;
+    }
+    const json::Value &header = lines.front();
+    if (header.find("kodan_alerts") == nullptr) {
+        fail(error, "first alerts line is not a kodan_alerts header");
+        return false;
+    }
+    out.declared_alerts =
+        static_cast<std::uint64_t>(header.numberOr("alerts", 0.0));
+    out.firing = static_cast<std::uint64_t>(header.numberOr("firing", 0.0));
+    out.alerts.clear();
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const json::Value &entry = lines[i];
+        AlertReading alert;
+        alert.id = static_cast<std::uint64_t>(entry.numberOr("id", 0.0));
+        alert.rule = entry.stringOr("rule", "");
+        alert.signal = entry.stringOr("signal", "");
+        alert.kind = entry.stringOr("kind", "");
+        alert.entity =
+            static_cast<std::int64_t>(entry.numberOr("entity", 0.0));
+        alert.state = entry.stringOr("state", "");
+        if (alert.rule.empty() || alert.state.empty()) {
+            fail(error, "alerts line " + std::to_string(i + 1) +
+                            " lacks a rule/state");
+            return false;
+        }
+        alert.first_bin =
+            static_cast<std::int64_t>(entry.numberOr("first_bin", 0.0));
+        alert.last_bin =
+            static_cast<std::int64_t>(entry.numberOr("last_bin", 0.0));
+        alert.first_t_s = entry.numberOr("first_t_s", 0.0);
+        alert.last_t_s = entry.numberOr("last_t_s", 0.0);
+        alert.peak = entry.numberOr("peak", 0.0);
+        alert.last = entry.numberOr("last", 0.0);
+        const json::Value *journal = entry.find("journal");
+        if (journal != nullptr &&
+            journal->kind() == json::Value::Kind::Object) {
+            alert.has_journal = true;
+            alert.journal_region = static_cast<std::uint64_t>(
+                journal->numberOr("region", 0.0));
+            alert.journal_slot = static_cast<std::uint64_t>(
+                journal->numberOr("slot", 0.0));
+            alert.journal_ord_lo = static_cast<std::uint64_t>(
+                journal->numberOr("ord_lo", 0.0));
+            alert.journal_ord_hi = static_cast<std::uint64_t>(
+                journal->numberOr("ord_hi", 0.0));
+        }
+        const json::Value *evidence = entry.find("evidence");
+        if (evidence != nullptr &&
+            evidence->kind() == json::Value::Kind::Array) {
+            for (const json::Value &ev : evidence->array()) {
+                alert.evidence.emplace_back(
+                    static_cast<std::int64_t>(ev.numberOr("bin", 0.0)),
+                    ev.numberOr("value", 0.0));
+            }
+        }
+        // The canonical form excludes the id (purely positional) so one
+        // inserted alert shows as one divergence, not a renumbered tail.
+        std::string canonical = alert.rule + " " + alert.kind + "/" +
+                                std::to_string(alert.entity) + " " +
+                                alert.state + " bins " +
+                                std::to_string(alert.first_bin) + ".." +
+                                std::to_string(alert.last_bin) + " peak " +
+                                num(alert.peak) + " last " +
+                                num(alert.last) + " evidence [";
+        for (std::size_t e = 0; e < alert.evidence.size(); ++e) {
+            if (e != 0) {
+                canonical += ",";
+            }
+            canonical += std::to_string(alert.evidence[e].first) + ":" +
+                         num(alert.evidence[e].second);
+        }
+        canonical += "]";
+        if (alert.has_journal) {
+            canonical += " journal " +
+                         std::to_string(alert.journal_region) + ":" +
+                         std::to_string(alert.journal_slot) + ":" +
+                         std::to_string(alert.journal_ord_lo) + ".." +
+                         std::to_string(alert.journal_ord_hi);
+        }
+        alert.canonical = std::move(canonical);
+        out.alerts.push_back(std::move(alert));
+    }
+    return true;
+}
+
+bool
+loadAlerts(const std::string &path, AlertsDoc &out, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    if (!parseAlerts(text, out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
     }
     return true;
 }
@@ -538,6 +657,44 @@ diffJournals(const JournalDoc &base, const JournalDoc &cur,
         add(diff, Severity::Regression, "journal",
             std::to_string(reported - max_reported) +
                 " further event divergence(s) not listed");
+    }
+    return diff;
+}
+
+DiffResult
+diffAlerts(const AlertsDoc &base, const AlertsDoc &cur,
+           std::size_t max_reported)
+{
+    DiffResult diff;
+    if (base.alerts.size() != cur.alerts.size()) {
+        add(diff, Severity::Regression, "alerts",
+            "alert count changed: " + std::to_string(base.alerts.size()) +
+                " -> " + std::to_string(cur.alerts.size()));
+    }
+    if (base.firing != cur.firing) {
+        add(diff, Severity::Regression, "alerts",
+            "firing count changed: " + std::to_string(base.firing) +
+                " -> " + std::to_string(cur.firing));
+    }
+    const std::size_t n = std::min(base.alerts.size(), cur.alerts.size());
+    std::size_t reported = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (base.alerts[i].canonical == cur.alerts[i].canonical) {
+            continue;
+        }
+        if (reported < max_reported) {
+            add(diff, Severity::Regression,
+                "alert #" + std::to_string(i) + " (" +
+                    base.alerts[i].rule + ")",
+                "baseline [" + base.alerts[i].canonical +
+                    "] != current [" + cur.alerts[i].canonical + "]");
+        }
+        ++reported;
+    }
+    if (reported > max_reported) {
+        add(diff, Severity::Regression, "alerts",
+            std::to_string(reported - max_reported) +
+                " further alert divergence(s) not listed");
     }
     return diff;
 }

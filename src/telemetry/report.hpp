@@ -53,6 +53,9 @@ bool loadSnapshot(const std::string &path, Snapshot &out,
 struct JournalLine
 {
     std::uint64_t seq = 0;
+    std::uint64_t region = 0;
+    std::uint64_t slot = 0;
+    std::uint64_t ord = 0;
     std::string type;
     std::string canonical; ///< re-serialized key+fields (diff unit)
 };
@@ -112,6 +115,49 @@ bool loadTimeSeries(const std::string &path, TimeSeriesDoc &out,
 /** Read + parse a writeLineageJsonl file. */
 bool loadLineage(const std::string &path, std::vector<LineageSpan> &out,
                  std::string *error = nullptr);
+
+/** One alert parsed back from the health plane's JSONL export. */
+struct AlertReading
+{
+    std::uint64_t id = 0;
+    std::string rule;
+    std::string signal;
+    std::string kind; ///< satellite | station | stage
+    std::int64_t entity = 0;
+    std::string state; ///< firing | resolved
+    std::int64_t first_bin = 0;
+    std::int64_t last_bin = 0;
+    double first_t_s = 0.0;
+    double last_t_s = 0.0;
+    double peak = 0.0;
+    double last = 0.0;
+    bool has_journal = false;
+    std::uint64_t journal_region = 0;
+    std::uint64_t journal_slot = 0;
+    std::uint64_t journal_ord_lo = 0;
+    std::uint64_t journal_ord_hi = 0;
+    /** (bin, value) evidence pairs. */
+    std::vector<std::pair<std::int64_t, double>> evidence;
+    /** Id-free re-serialization — the diff unit, so one new alert shows
+     *  as one divergence instead of a tail of renumbered ids. */
+    std::string canonical;
+};
+
+/** A parsed writeAlertsJsonl document. */
+struct AlertsDoc
+{
+    std::uint64_t declared_alerts = 0;
+    std::uint64_t firing = 0;
+    std::vector<AlertReading> alerts;
+};
+
+/** Parse a writeAlertsJsonl document in @p text. */
+bool parseAlerts(const std::string &text, AlertsDoc &out,
+                 std::string *error = nullptr);
+
+/** Read + parse an alerts file. */
+bool loadAlerts(const std::string &path, AlertsDoc &out,
+                std::string *error = nullptr);
 
 /**
  * Diff tolerances. Relative tolerances compare
@@ -180,6 +226,15 @@ DiffResult diffTimeSeries(const TimeSeriesDoc &base,
                           const TimeSeriesDoc &cur,
                           double bin_rel_tol = 0.0,
                           std::size_t max_reported = 5);
+
+/**
+ * Compare two alert exports. The alert stream is deterministic, so any
+ * divergence — count mismatch, or a changed/missing/new alert by
+ * canonical form — is a Regression; at most @p max_reported divergences
+ * are listed.
+ */
+DiffResult diffAlerts(const AlertsDoc &base, const AlertsDoc &cur,
+                      std::size_t max_reported = 5);
 
 /** Merge b's findings after a's. */
 DiffResult mergeDiffs(DiffResult a, const DiffResult &b);

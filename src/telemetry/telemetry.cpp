@@ -17,6 +17,7 @@ std::mutex g_output_mutex;
 std::string g_output_path;         // guarded by g_output_mutex
 std::string g_journal_output_path; // guarded by g_output_mutex
 std::string g_lineage_output_path; // guarded by g_output_mutex
+std::string g_alerts_output_path;  // guarded by g_output_mutex
 std::atomic<bool> g_exit_hook_armed{false};
 
 /** foo.json -> foo<suffix>; anything else gets <suffix> appended. */
@@ -94,13 +95,21 @@ configureFromArgs(int &argc, char **argv)
         } else if (std::strncmp(arg, "--lineage-out=", 14) == 0) {
             setLineageOutputPath(arg + 14);
             setLineageEnabled(true);
+        } else if (std::strcmp(arg, "--alerts-out") == 0 &&
+                   i + 1 < argc) {
+            setAlertsOutputPath(argv[++i]);
+            health::setHealthEnabled(true);
+        } else if (std::strncmp(arg, "--alerts-out=", 13) == 0) {
+            setAlertsOutputPath(arg + 13);
+            health::setHealthEnabled(true);
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
-    if (enabled() || journalEnabled() || lineageEnabled()) {
+    if (enabled() || journalEnabled() || lineageEnabled() ||
+        health::healthEnabled()) {
         armExitHook();
         return true;
     }
@@ -154,6 +163,40 @@ setLineageOutputPath(const std::string &path)
     {
         std::lock_guard<std::mutex> lock(g_output_mutex);
         g_lineage_output_path = path;
+    }
+    armExitHook();
+}
+
+std::string
+alertsOutputPath()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        if (!g_alerts_output_path.empty()) {
+            return g_alerts_output_path;
+        }
+    }
+    // KODAN_ALERTS doubles as the output path when its value is not a
+    // bare on/off toggle.
+    if (const char *env = std::getenv("KODAN_ALERTS")) {
+        if (*env != '\0' && std::strcmp(env, "0") != 0 &&
+            std::strcmp(env, "1") != 0 &&
+            std::strcmp(env, "true") != 0 &&
+            std::strcmp(env, "false") != 0 &&
+            std::strcmp(env, "on") != 0 &&
+            std::strcmp(env, "off") != 0) {
+            return env;
+        }
+    }
+    return std::string();
+}
+
+void
+setAlertsOutputPath(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        g_alerts_output_path = path;
     }
     armExitHook();
 }
@@ -243,6 +286,27 @@ writeLineageOutputs(const std::string &path)
 }
 
 void
+writeAlertsOutputs(const std::string &path)
+{
+    const health::HealthSnapshot snapshot = health::plane().snapshot();
+    if (path.empty()) {
+        std::cerr << "[kodan-health] " << snapshot.alerts.size()
+                  << " alert(s), " << snapshot.alerts_firing
+                  << " firing (set --alerts-out <path> for the "
+                     "JSONL)\n";
+        return;
+    }
+    std::ofstream alerts_file(path);
+    if (!alerts_file) {
+        std::cerr << "[kodan-health] cannot write " << path << "\n";
+        return;
+    }
+    health::writeAlertsJsonl(snapshot.alerts, alerts_file);
+    std::cerr << "[kodan-health] wrote " << snapshot.alerts.size()
+              << " alert(s) to " << path << "\n";
+}
+
+void
 writeJournalOutputs(const std::string &path)
 {
     const std::vector<JournalEvent> events = collectJournal();
@@ -268,6 +332,9 @@ writeJournalOutputs(const std::string &path)
 void
 writeOutputs()
 {
+    // Account for any rate-limited log sites before the run's outputs
+    // are finalized, so suppression never goes unreported.
+    util::flushLogSuppressed();
     std::string metrics_path;
     std::string journal_path;
     std::string lineage_path;
@@ -286,6 +353,9 @@ writeOutputs()
     if (lineageEnabled()) {
         writeLineageOutputs(lineage_path);
     }
+    if (health::healthEnabled()) {
+        writeAlertsOutputs(alertsOutputPath());
+    }
 }
 
 void
@@ -296,6 +366,7 @@ resetAll()
     clearJournal();
     clearTimeSeries();
     clearLineage();
+    health::plane().reset();
 }
 
 } // namespace kodan::telemetry

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "telemetry/export.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/lineage.hpp"
 #include "telemetry/metrics.hpp"
@@ -42,13 +43,16 @@ namespace kodan::telemetry {
  *  - `--journal-out <path>` (or `=<path>`): enables the flight
  *    recorder and writes the journal JSONL to <path> at exit;
  *  - `--lineage-out <path>` (or `=<path>`): enables per-frame lineage
- *    spans and writes their JSONL to <path> at exit.
+ *    spans and writes their JSONL to <path> at exit;
+ *  - `--alerts-out <path>` (or `=<path>`): enables the fleet health
+ *    plane and writes the alert JSONL to <path> at exit.
  * With `--telemetry-out foo.json`, the exit hook also writes the
  * sim-time series beside it (foo.timeseries.json + foo.timeseries.csv)
  * and the Prometheus text exposition of the final metrics (foo.prom).
- * Honors the KODAN_TELEMETRY / KODAN_JOURNAL / KODAN_LINEAGE env
- * toggles either way (enabled without a path, the exit hook prints a
- * summary to stderr instead).
+ * Honors the KODAN_TELEMETRY / KODAN_JOURNAL / KODAN_LINEAGE /
+ * KODAN_ALERTS env toggles either way (enabled without a path, the
+ * exit hook prints a summary to stderr instead; a path-like
+ * KODAN_ALERTS value is used as the alert output path).
  *
  * @return true if any recording is enabled after parsing.
  */
@@ -72,6 +76,13 @@ std::string lineageOutputPath();
 /** Set/replace the lineage JSONL path and arm the exit hook. */
 void setLineageOutputPath(const std::string &path);
 
+/** Alert output path set by configureFromArgs/setAlertsOutputPath
+ *  (falls back to a path-like KODAN_ALERTS value; "" = none). */
+std::string alertsOutputPath();
+
+/** Set/replace the alert JSONL path and arm the exit hook. */
+void setAlertsOutputPath(const std::string &path);
+
 /**
  * Write outputs now: metrics JSON + Chrome trace to outputPath() and
  * the journal JSONL to journalOutputPath() (or summaries to stderr when
@@ -81,7 +92,7 @@ void setLineageOutputPath(const std::string &path);
 void writeOutputs();
 
 /** Zero all metrics, drop all trace events, clear the journal, the
- *  time series, and the lineage spans. */
+ *  time series, the lineage spans, and the health plane. */
 void resetAll();
 
 } // namespace kodan::telemetry

@@ -1,10 +1,13 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace kodan::util {
 
@@ -15,6 +18,47 @@ LogLevel global_level = LogLevel::Warn;
 std::mutex sink_mutex;
 LogSink global_sink; // null = default stderr sink (guarded by sink_mutex)
 std::atomic<LogTap> global_tap{nullptr};
+
+std::mutex rate_mutex;
+LogRateLimit rate_limit;              // guarded by rate_mutex
+bool rate_resolved = false;           // guarded by rate_mutex
+std::vector<detail::LogRateSite *> rate_sites; // guarded by rate_mutex
+/** Bumped on every setLogRateLimit so buckets re-prime (starts at 1 so
+ *  a fresh site, whose epoch is 0, primes on first use). */
+std::atomic<std::uint64_t> rate_epoch{1};
+
+/** Resolve the limit once: explicit setLogRateLimit wins, then the
+ *  KODAN_LOG_RATE env var, then the defaults. */
+LogRateLimit
+resolveRateLimit()
+{
+    std::lock_guard<std::mutex> lock(rate_mutex);
+    if (!rate_resolved) {
+        rate_resolved = true;
+        if (const char *env = std::getenv("KODAN_LOG_RATE")) {
+            if (std::strcmp(env, "off") == 0 ||
+                std::strcmp(env, "0") == 0) {
+                rate_limit.tokens_per_s = 0.0;
+                rate_limit.burst = 0.0; // burst <= 0 disables
+            } else {
+                char *end = nullptr;
+                const double rate = std::strtod(env, &end);
+                if (end != env) {
+                    rate_limit.tokens_per_s = rate;
+                    rate_limit.burst = 4.0 * rate;
+                    if (*end == ':' || *end == ',') {
+                        const double burst = std::strtod(end + 1,
+                                                         nullptr);
+                        if (burst > 0.0) {
+                            rate_limit.burst = burst;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return rate_limit;
+}
 
 const char *
 levelName(LogLevel level)
@@ -100,6 +144,100 @@ logMessage(LogLevel level, const std::string &message)
         defaultSink(level, message);
     }
 }
+
+void
+setLogRateLimit(double tokens_per_s, double burst)
+{
+    {
+        std::lock_guard<std::mutex> lock(rate_mutex);
+        rate_resolved = true;
+        rate_limit.tokens_per_s = tokens_per_s;
+        rate_limit.burst = burst;
+    }
+    // Re-prime every bucket to the new burst on its next admit().
+    rate_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+LogRateLimit
+logRateLimit()
+{
+    return resolveRateLimit();
+}
+
+std::uint64_t
+logSuppressedCount()
+{
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(rate_mutex);
+    for (const detail::LogRateSite *site : rate_sites) {
+        total += site->dropped();
+    }
+    return total;
+}
+
+void
+flushLogSuppressed()
+{
+    std::vector<detail::LogRateSite *> sites;
+    {
+        std::lock_guard<std::mutex> lock(rate_mutex);
+        sites = rate_sites;
+    }
+    for (detail::LogRateSite *site : sites) {
+        const std::uint64_t dropped = site->takeDropped();
+        if (dropped == 0) {
+            continue;
+        }
+        std::ostringstream oss;
+        oss << "[rate-limited] suppressed " << dropped << " message(s) from "
+            << site->file() << ':' << site->line();
+        // Straight to logMessage: the report itself is never limited.
+        logMessage(LogLevel::Warn, oss.str());
+    }
+}
+
+namespace detail {
+
+LogRateSite::LogRateSite(const char *file, int line)
+    : file_(file), line_(line)
+{
+    std::lock_guard<std::mutex> lock(rate_mutex);
+    rate_sites.push_back(this);
+}
+
+bool
+LogRateSite::admit()
+{
+    const LogRateLimit limit = resolveRateLimit();
+    if (limit.burst <= 0.0) {
+        return true; // limiting disabled
+    }
+    const std::uint64_t epoch = rate_epoch.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch_ != epoch) {
+        // First use, or the limit changed: start with a full bucket.
+        epoch_ = epoch;
+        tokens_ = limit.burst;
+        last_ = now;
+    } else if (limit.tokens_per_s > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(now - last_).count();
+        if (elapsed > 0.0) {
+            tokens_ = std::min(limit.burst,
+                               tokens_ + elapsed * limit.tokens_per_s);
+            last_ = now;
+        }
+    }
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+} // namespace detail
 
 void
 fatal(const std::string &message)

@@ -9,7 +9,11 @@
 #ifndef KODAN_UTIL_LOG_HPP
 #define KODAN_UTIL_LOG_HPP
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -77,6 +81,83 @@ bool setLogTap(LogTap tap);
 void logMessage(LogLevel level, const std::string &message);
 
 /**
+ * Per-callsite token-bucket rate limit applied by KODAN_LOG: each
+ * macro site owns a bucket of `burst` tokens refilled at
+ * `tokens_per_s`; a site that exhausts its bucket drops messages
+ * (counted per site, reported by flushLogSuppressed) instead of
+ * swamping the run — a thousand-satellite sim can emit the same Warn
+ * from one site every chunk without drowning stderr or the telemetry
+ * log tap. `burst <= 0` disables limiting. `tokens_per_s = 0` with a
+ * positive burst admits exactly `burst` messages per site, which is
+ * the deterministic configuration the unit tests use.
+ */
+struct LogRateLimit
+{
+    double tokens_per_s = 128.0;
+    double burst = 512.0;
+};
+
+/** Replace the global rate limit; buckets re-prime to the new burst.
+ *  The default (or the KODAN_LOG_RATE env var: "off"/"0" to disable,
+ *  "R" or "R:B" to set refill/burst) applies otherwise. */
+void setLogRateLimit(double tokens_per_s, double burst);
+
+/** The rate limit in effect (env-resolved on first use). */
+LogRateLimit logRateLimit();
+
+/** Messages currently suppressed and not yet reported, all sites. */
+std::uint64_t logSuppressedCount();
+
+/**
+ * Report and reset the per-site drop counts: one Warn line per site
+ * that suppressed messages since the last flush (emitted through the
+ * normal sink/tap path, never rate-limited). Telemetry's exit-time
+ * writeOutputs() calls this, so runs end with an honest accounting.
+ */
+void flushLogSuppressed();
+
+namespace detail {
+
+/**
+ * One KODAN_LOG call site's token bucket. Function-local static in the
+ * macro expansion (never destroyed); registers itself in a global list
+ * on first use so flushLogSuppressed can walk every site.
+ */
+class LogRateSite
+{
+  public:
+    LogRateSite(const char *file, int line);
+
+    /** Take one token; false = drop (counted). */
+    bool admit();
+
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+
+    /** Return and clear the drop count. */
+    std::uint64_t takeDropped()
+    {
+        return dropped_.exchange(0, std::memory_order_relaxed);
+    }
+
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const char *file_;
+    int line_;
+    std::mutex mutex_;
+    double tokens_ = 0.0; // guarded by mutex_
+    std::uint64_t epoch_ = 0;
+    std::chrono::steady_clock::time_point last_;
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace detail
+
+/**
  * Terminate due to a user-facing configuration error (exit(1)).
  * @param message Explanation printed to stderr.
  */
@@ -90,14 +171,19 @@ void logMessage(LogLevel level, const std::string &message);
 
 } // namespace kodan::util
 
-/** Stream-style logging convenience macro. */
+/** Stream-style logging convenience macro. Each expansion owns a
+ *  token-bucket rate-limit site (see util::LogRateLimit). */
 #define KODAN_LOG(level, expr)                                               \
     do {                                                                     \
         if (static_cast<int>(level) >=                                       \
             static_cast<int>(::kodan::util::logLevel())) {                   \
-            std::ostringstream kodan_log_oss;                                \
-            kodan_log_oss << expr;                                           \
-            ::kodan::util::logMessage(level, kodan_log_oss.str());           \
+            static ::kodan::util::detail::LogRateSite kodan_log_site(        \
+                __FILE__, __LINE__);                                         \
+            if (kodan_log_site.admit()) {                                    \
+                std::ostringstream kodan_log_oss;                            \
+                kodan_log_oss << expr;                                       \
+                ::kodan::util::logMessage(level, kodan_log_oss.str());       \
+            }                                                                \
         }                                                                    \
     } while (0)
 

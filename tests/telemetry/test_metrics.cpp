@@ -222,5 +222,62 @@ TEST(Metrics, ResetZeroesValuesButKeepsRegistrations)
     EXPECT_EQ(registry().counter("test.reset.counter").value(), 1);
 }
 
+/* ------------------------------------------------------------------ */
+/* histogramQuantile edge cases                                        */
+/* ------------------------------------------------------------------ */
+
+TEST(HistogramQuantile, EmptyInputsReturnZero)
+{
+    EXPECT_EQ(histogramQuantile({}, {}, 0.5), 0.0);
+    // Edges without any counted observations.
+    EXPECT_EQ(histogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+    // Counts without edges.
+    EXPECT_EQ(histogramQuantile({}, {5}, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesWithinEdge)
+{
+    // All 10 observations in [0, 4): p50 interpolates to the middle,
+    // p0 to the lower bound, p100 to the upper edge.
+    const std::vector<double> edges = {4.0};
+    const std::vector<std::int64_t> buckets = {10, 0};
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 1.0), 4.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastEdge)
+{
+    // Every observation beyond the last edge: no upper bound is known,
+    // so the estimate clamps to the last edge rather than extrapolate.
+    const std::vector<double> edges = {1.0, 2.0};
+    const std::vector<std::int64_t> buckets = {0, 0, 7};
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, OutOfRangeQuantilesClampToValidRange)
+{
+    const std::vector<double> edges = {10.0};
+    const std::vector<std::int64_t> buckets = {4, 0};
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, -0.5),
+                     histogramQuantile(edges, buckets, 0.0));
+    EXPECT_DOUBLE_EQ(histogramQuantile(edges, buckets, 2.0),
+                     histogramQuantile(edges, buckets, 1.0));
+}
+
+TEST(HistogramQuantile, MonotoneInProbability)
+{
+    const std::vector<double> edges = {1.0, 2.0, 4.0, 8.0};
+    const std::vector<std::int64_t> buckets = {5, 3, 9, 2, 1};
+    double previous = histogramQuantile(edges, buckets, 0.0);
+    for (int step = 1; step <= 100; ++step) {
+        const double q = static_cast<double>(step) / 100.0;
+        const double value = histogramQuantile(edges, buckets, q);
+        EXPECT_GE(value, previous) << "q=" << q;
+        previous = value;
+    }
+}
+
 } // namespace
 } // namespace kodan::telemetry

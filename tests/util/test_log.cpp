@@ -167,6 +167,93 @@ TEST_F(LogTest, TapReinstallIsIdempotentButReplacementIsRejected)
     EXPECT_TRUE(setLogTap(nullptr));
 }
 
+/** Restores the default rate limit and drains drop counters. */
+class RateLimitGuard
+{
+  public:
+    RateLimitGuard() { flushLogSuppressed(); }
+
+    ~RateLimitGuard()
+    {
+        setLogSink(nullptr);
+        // Drain this test's drops so later flushes stay silent, then
+        // restore the stock limit.
+        setLogSink([](LogLevel, const std::string &) {});
+        flushLogSuppressed();
+        setLogSink(nullptr);
+        const LogRateLimit defaults;
+        setLogRateLimit(defaults.tokens_per_s, defaults.burst);
+    }
+};
+
+TEST_F(LogTest, RateLimitAdmitsExactlyBurstMessagesPerSite)
+{
+    setLogLevel(LogLevel::Info);
+    RateLimitGuard guard;
+    // Zero refill + burst 5: deterministically exactly 5 admits from
+    // this one call site, however fast the loop runs.
+    setLogRateLimit(0.0, 5.0);
+    std::vector<std::string> lines;
+    setLogSink([&](LogLevel, const std::string &message) {
+        lines.push_back(message);
+    });
+    for (int i = 0; i < 12; ++i) {
+        KODAN_LOG(LogLevel::Warn, "burst " << i);
+    }
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines.front(), "burst 0");
+    EXPECT_EQ(lines.back(), "burst 4");
+    EXPECT_EQ(logSuppressedCount(), 7u);
+}
+
+TEST_F(LogTest, FlushReportsAndResetsSuppressedCounts)
+{
+    setLogLevel(LogLevel::Info);
+    RateLimitGuard guard;
+    setLogRateLimit(0.0, 2.0);
+    std::vector<std::string> lines;
+    setLogSink([&](LogLevel, const std::string &message) {
+        lines.push_back(message);
+    });
+    for (int i = 0; i < 6; ++i) {
+        KODAN_LOG(LogLevel::Warn, "drop " << i);
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    flushLogSuppressed();
+    // One extra Warn naming this site and the 4 suppressed messages.
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines.back().find("suppressed 4 message(s)"),
+              std::string::npos);
+    EXPECT_NE(lines.back().find("test_log.cpp"), std::string::npos);
+    EXPECT_EQ(logSuppressedCount(), 0u);
+    // A second flush with nothing new suppressed emits nothing.
+    flushLogSuppressed();
+    EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST_F(LogTest, ZeroBurstDisablesRateLimiting)
+{
+    setLogLevel(LogLevel::Info);
+    RateLimitGuard guard;
+    setLogRateLimit(0.0, 0.0); // burst <= 0: limiter off
+    int emitted = 0;
+    setLogSink([&](LogLevel, const std::string &) { ++emitted; });
+    for (int i = 0; i < 100; ++i) {
+        KODAN_LOG(LogLevel::Warn, "unlimited " << i);
+    }
+    EXPECT_EQ(emitted, 100);
+    EXPECT_EQ(logSuppressedCount(), 0u);
+}
+
+TEST_F(LogTest, RateLimitRoundTrips)
+{
+    RateLimitGuard guard;
+    setLogRateLimit(17.0, 42.0);
+    const LogRateLimit limit = logRateLimit();
+    EXPECT_EQ(limit.tokens_per_s, 17.0);
+    EXPECT_EQ(limit.burst, 42.0);
+}
+
 TEST_F(LogTest, FatalExitsWithCodeOne)
 {
     EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),

@@ -37,6 +37,16 @@
  *     stage chains and prints end-to-end latency and per-stage
  *     attribution (compute / contact-wait / queue-wait). Exit status: 0
  *     on success, 2 on usage/parse errors.
+ *
+ *   kodan-report health <alerts.jsonl> [--baseline <base.jsonl>]
+ *       [--journal <journal.jsonl>] [--top K]
+ *     Summarizes a health-plane alert export (writeAlertsJsonl output):
+ *     per-rule/entity rollup table plus the top K alerts (default 20).
+ *     With --journal, each alert's flight-recorder evidence window is
+ *     resolved to the matching journal events. With --baseline, diffs
+ *     the alert stream against the committed baseline — the stream is
+ *     deterministic, so any divergence is a regression. Exit status: 0
+ *     when no regression, 1 on divergence, 2 on usage/parse errors.
  */
 
 #include <algorithm>
@@ -69,7 +79,10 @@ usage()
            "      [--out PATH] <snapshot.json>...\n"
            "  kodan-report trajectory <BENCH_name.json>\n"
            "      [--format json|csv] [--out PATH]\n"
-           "  kodan-report lineage <spans.jsonl>\n";
+           "  kodan-report lineage <spans.jsonl>\n"
+           "  kodan-report health <alerts.jsonl>\n"
+           "      [--baseline <base.jsonl>] [--journal <journal.jsonl>]\n"
+           "      [--top K]\n";
     return 2;
 }
 
@@ -318,6 +331,130 @@ runTrajectory(const std::vector<std::string> &args)
 }
 
 int
+runHealth(const std::vector<std::string> &args)
+{
+    std::vector<std::string> positional;
+    std::string baseline_path;
+    std::string journal_path;
+    std::size_t top = 20;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--baseline" && i + 1 < args.size()) {
+            baseline_path = args[++i];
+        } else if (arg == "--journal" && i + 1 < args.size()) {
+            journal_path = args[++i];
+        } else if (arg == "--top" && i + 1 < args.size()) {
+            top = static_cast<std::size_t>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown health option: " + arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 1) {
+        return usage();
+    }
+
+    std::string error;
+    report::AlertsDoc doc;
+    if (!report::loadAlerts(positional[0], doc, &error)) {
+        return fail(error);
+    }
+
+    std::cout << "# kodan-report: health `" << positional[0] << "`\n\n"
+              << "- alerts: " << doc.alerts.size() << " (" << doc.firing
+              << " firing)\n";
+
+    // Per-rule rollup: fired / still-firing / entities touched.
+    struct RuleRollup
+    {
+        std::string rule;
+        std::size_t fired = 0;
+        std::size_t firing = 0;
+        std::vector<std::int64_t> entities;
+    };
+    std::vector<RuleRollup> rollups;
+    for (const report::AlertReading &alert : doc.alerts) {
+        RuleRollup *rollup = nullptr;
+        for (RuleRollup &existing : rollups) {
+            if (existing.rule == alert.rule) {
+                rollup = &existing;
+                break;
+            }
+        }
+        if (rollup == nullptr) {
+            rollups.push_back({alert.rule, 0, 0, {}});
+            rollup = &rollups.back();
+        }
+        ++rollup->fired;
+        if (alert.state == "firing") {
+            ++rollup->firing;
+        }
+        if (std::find(rollup->entities.begin(), rollup->entities.end(),
+                      alert.entity) == rollup->entities.end()) {
+            rollup->entities.push_back(alert.entity);
+        }
+    }
+    if (!rollups.empty()) {
+        std::cout << "\n| rule | fired | firing | entities |\n"
+                  << "| --- | --- | --- | --- |\n";
+        for (const RuleRollup &rollup : rollups) {
+            std::cout << "| " << rollup.rule << " | " << rollup.fired
+                      << " | " << rollup.firing << " | "
+                      << rollup.entities.size() << " |\n";
+        }
+    }
+
+    report::JournalDoc journal;
+    const bool have_journal =
+        !journal_path.empty() &&
+        report::loadJournal(journal_path, journal, &error);
+    if (!journal_path.empty() && !have_journal) {
+        return fail(error);
+    }
+
+    std::cout << "\n";
+    std::size_t shown = 0;
+    for (const report::AlertReading &alert : doc.alerts) {
+        if (shown++ >= top) {
+            std::cout << "... " << (doc.alerts.size() - top)
+                      << " more alert(s) not shown (--top)\n";
+            break;
+        }
+        std::cout << "[" << alert.state << "] " << alert.rule << " "
+                  << alert.kind << "/" << alert.entity << " bins "
+                  << alert.first_bin << ".." << alert.last_bin
+                  << " peak " << alert.peak << " last " << alert.last
+                  << "\n";
+        if (have_journal && alert.has_journal) {
+            for (const report::JournalLine &event : journal.events) {
+                if (event.region == alert.journal_region &&
+                    event.slot == alert.journal_slot &&
+                    event.ord >= alert.journal_ord_lo &&
+                    event.ord <= alert.journal_ord_hi) {
+                    std::cout << "    evidence: " << event.canonical
+                              << "\n";
+                }
+            }
+        }
+    }
+
+    if (!baseline_path.empty()) {
+        report::AlertsDoc base;
+        if (!report::loadAlerts(baseline_path, base, &error)) {
+            return fail(error);
+        }
+        const report::DiffResult diff = report::diffAlerts(base, doc);
+        std::cout << "\n";
+        report::writeMarkdown(diff, baseline_path, positional[0],
+                              std::cout);
+        return diff.hasRegression() ? 1 : 0;
+    }
+    return 0;
+}
+
+int
 runLineage(const std::vector<std::string> &args)
 {
     std::vector<std::string> positional;
@@ -378,6 +515,9 @@ main(int argc, char **argv)
     }
     if (command == "lineage") {
         return runLineage(args);
+    }
+    if (command == "health") {
+        return runHealth(args);
     }
     return usage();
 }

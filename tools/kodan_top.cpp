@@ -26,6 +26,13 @@
  * ring lane, bars scaled to that ring's capacity. Feed it with e.g.
  *   bench_dataplane --stats --journal-out dp.journal.jsonl
  *   kodan-top dp.journal.jsonl
+ *
+ * When it carries `health.alert.fire` / `health.alert.resolve` events
+ * (the fleet health plane's rule transitions), an alerts pane renders
+ * last: firing alerts first, one line per (rule, entity) with its bin
+ * span and latest offending value. Feed it with e.g.
+ *   bench_health --journal-out health.journal.jsonl
+ *   kodan-top health.journal.jsonl
  */
 
 #include <algorithm>
@@ -39,6 +46,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -213,6 +221,105 @@ ingestRing(QueueView &view, const json::Value &event)
     ++view.events_seen;
 }
 
+/** Latest state of one (rule, entity) alert from the health plane. */
+struct AlertRow
+{
+    bool firing = false;
+    std::int64_t first_bin = 0;
+    std::int64_t last_bin = 0;
+    double value = 0.0;
+    std::uint64_t fired = 0; ///< fire transitions seen
+};
+
+/** Aggregated view of health.alert.* journal events seen so far. */
+struct AlertView
+{
+    /** (rule, entity_kind, entity) -> latest alert state. */
+    std::map<std::tuple<std::string, std::string, std::int64_t>, AlertRow>
+        rows;
+    std::uint64_t events_seen = 0;
+
+    std::size_t firingCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[key, row] : rows) {
+            n += row.firing ? 1 : 0;
+        }
+        return n;
+    }
+};
+
+/** Feed one parsed journal line into the alert view. */
+void
+ingestAlert(AlertView &view, const json::Value &event)
+{
+    const std::string type = event.stringOr("type", "");
+    const bool fire = type == "health.alert.fire";
+    if (!fire && type != "health.alert.resolve") {
+        return;
+    }
+    const json::Value *fields = event.find("fields");
+    if (fields == nullptr) {
+        return;
+    }
+    const std::string rule = fields->stringOr("rule", "");
+    if (rule.empty()) {
+        return;
+    }
+    const auto entity =
+        static_cast<std::int64_t>(fields->numberOr("entity", -1.0));
+    const auto bin =
+        static_cast<std::int64_t>(fields->numberOr("bin", 0.0));
+    AlertRow &row =
+        view.rows[{rule, fields->stringOr("entity_kind", "?"), entity}];
+    if (fire) {
+        row.first_bin = row.fired == 0 ? bin : row.first_bin;
+        ++row.fired;
+    }
+    row.firing = fire;
+    row.last_bin = bin;
+    row.value = fields->numberOr("value", 0.0);
+    ++view.events_seen;
+}
+
+/** Alerts pane: firing alerts first, then resolved, each naming the
+ *  rule, the entity, the bin span, and the latest observed value. */
+void
+renderAlerts(const AlertView &view, std::ostream &os)
+{
+    if (view.rows.empty()) {
+        return;
+    }
+    os << "health alerts — " << view.firingCount() << " firing, "
+       << view.rows.size() << " total (" << view.events_seen
+       << " event(s))\n";
+    std::vector<const std::pair<
+        const std::tuple<std::string, std::string, std::int64_t>,
+        AlertRow> *>
+        rows;
+    for (const auto &entry : view.rows) {
+        rows.push_back(&entry);
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto *a, const auto *b) {
+        if (a->second.firing != b->second.firing) {
+            return a->second.firing; // firing above resolved
+        }
+        return a->first < b->first;
+    });
+    for (const auto *row : rows) {
+        const auto &[rule, kind, entity] = row->first;
+        const AlertRow &alert = row->second;
+        os << "  " << (alert.firing ? "[firing  ]" : "[resolved]") << " "
+           << rule << " " << kind << "/" << entity << " bins "
+           << alert.first_bin << ".." << alert.last_bin << " value "
+           << alert.value;
+        if (alert.fired > 1) {
+            os << " (fired " << alert.fired << "x)";
+        }
+        os << "\n";
+    }
+}
+
 /** One sparkline row over [lo, hi] bins, at most @p width cells. */
 std::string
 sparkline(const std::map<std::int64_t, double> &bins, std::int64_t lo,
@@ -296,8 +403,8 @@ renderQueues(const QueueView &view, int width, std::ostream &os)
 
 void
 render(const MissionView &view, const QueueView &queues,
-       const std::string &metric, int width, bool follow,
-       std::ostream &os)
+       const AlertView &alerts, const std::string &metric, int width,
+       bool follow, std::ostream &os)
 {
     if (follow) {
         os << "\033[H\033[2J"; // home + clear
@@ -308,11 +415,12 @@ render(const MissionView &view, const QueueView &queues,
     }
     os << "\n";
     if (view.per_satellite.empty()) {
-        if (queues.lanes.empty()) {
+        if (queues.lanes.empty() && alerts.rows.empty()) {
             os << "  (no satellite.bin events yet — run a mission with "
                   "--journal-out or KODAN_JOURNAL_STREAM)\n";
         }
         renderQueues(queues, width, os);
+        renderAlerts(alerts, os);
         os.flush();
         return;
     }
@@ -343,6 +451,7 @@ render(const MissionView &view, const QueueView &queues,
         os << "\n";
     }
     renderQueues(queues, width, os);
+    renderAlerts(alerts, os);
     os.flush();
 }
 
@@ -435,6 +544,7 @@ main(int argc, char **argv)
 
     MissionView view;
     QueueView queues;
+    AlertView alerts;
     Tail tail{path, 0, ""};
 
     const auto ingestLines = [&](const std::vector<std::string> &lines) {
@@ -447,6 +557,7 @@ main(int argc, char **argv)
             if (json::parse(line, event, nullptr)) {
                 ingest(view, event, metric, suffix);
                 ingestRing(queues, event);
+                ingestAlert(alerts, event);
             }
         }
     };
@@ -457,13 +568,13 @@ main(int argc, char **argv)
             return fail("cannot open " + path);
         }
         ingestLines(tail.poll());
-        render(view, queues, metric, width, false, std::cout);
+        render(view, queues, alerts, metric, width, false, std::cout);
         return 0;
     }
 
     for (;;) {
         ingestLines(tail.poll());
-        render(view, queues, metric, width, true, std::cout);
+        render(view, queues, alerts, metric, width, true, std::cout);
         std::this_thread::sleep_for(
             std::chrono::milliseconds(interval_ms));
     }
