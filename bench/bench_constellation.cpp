@@ -8,7 +8,7 @@
  * wall-clock second) and its determinism contract.
  *
  * Results go to stdout and BENCH_constellation.run.json (in
- * KODAN_BENCH_CSV_DIR when set, else the working directory); the
+ * KODAN_BENCH_CSV_DIR when set, else the bench cache directory); the
  * committed BENCH_constellation.json at the repo root is the cross-PR
  * trajectory maintained by `kodan-report aggregate` (see
  * scripts/check_regressions.sh).
@@ -246,10 +246,7 @@ main(int argc, char **argv)
               << std::thread::hardware_concurrency() << "\n";
     bench::emitCsv("bench_constellation", table);
 
-    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_constellation.run.json";
+    const std::string path = bench::runRecordPath("constellation");
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"satellites\": " << sats

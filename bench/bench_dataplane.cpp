@@ -28,7 +28,7 @@
  * at all — the zero-copy claim, enforced.
  *
  * Results go to stdout and BENCH_dataplane.run.json (in
- * KODAN_BENCH_CSV_DIR when set, else the working directory). The
+ * KODAN_BENCH_CSV_DIR when set, else the bench cache directory). The
  * committed BENCH_dataplane.json at the repo root is the cross-PR
  * trajectory maintained by `kodan-report aggregate` (see
  * scripts/check_regressions.sh).
@@ -419,10 +419,7 @@ main(int argc, char **argv)
     bench::emitCsv("bench_dataplane", table);
 
     // JSON record for the perf trajectory.
-    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_dataplane.run.json";
+    const std::string path = bench::runRecordPath("dataplane");
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"steady_state_allocs\": " << steady_allocs

@@ -20,7 +20,7 @@
  * The measured (health-on) run executes last so the harness's
  * --alerts-out / --telemetry-out exit snapshots capture it; results go
  * to stdout and BENCH_health.run.json (in KODAN_BENCH_CSV_DIR when
- * set, else the working directory).
+ * set, else the bench cache directory).
  *
  * Flags (after the harness's --telemetry-out/--journal-out/--alerts-out):
  *   --sats N             total satellites                 (default 12)
@@ -358,10 +358,7 @@ main(int argc, char **argv)
     table.print(std::cout);
     bench::emitCsv("bench_health", table);
 
-    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_health.run.json";
+    const std::string path = bench::runRecordPath("health");
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"satellites\": " << s.sats

@@ -15,7 +15,7 @@
  * speedup that changed the numbers would be a bug, not a win.
  *
  * Results go to stdout and to BENCH_ml_kernels.run.json (in
- * KODAN_BENCH_CSV_DIR when set, else the working directory). The
+ * KODAN_BENCH_CSV_DIR when set, else the bench cache directory). The
  * committed BENCH_ml_kernels.json at the repo root is the cross-PR
  * trajectory maintained by `kodan-report aggregate` (see
  * scripts/check_regressions.sh).
@@ -302,10 +302,7 @@ main(int argc, char **argv)
     bench::emitCsv("bench_ml_kernels", table);
 
     // JSON record for the perf trajectory.
-    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_ml_kernels.run.json";
+    const std::string path = bench::runRecordPath("ml_kernels");
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"measurements\": [\n";

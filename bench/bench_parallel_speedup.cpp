@@ -4,7 +4,7 @@
  * the three hot paths (transformer sweep, batch runtime, mission sim),
  * swept over thread counts. Results go to stdout and to
  * BENCH_parallel_speedup.run.json (in KODAN_BENCH_CSV_DIR when set, else
- * the working directory). The committed BENCH_parallel_speedup.json at
+ * the bench cache directory). The committed BENCH_parallel_speedup.json at
  * the repo root is the cross-PR trajectory maintained by `kodan-report
  * aggregate` (see scripts/check_regressions.sh) — the raw run file uses
  * a different name so running the bench from the repo root can never
@@ -187,10 +187,7 @@ main(int argc, char **argv)
     bench::emitCsv("bench_parallel_speedup", table);
 
     // JSON record for the perf trajectory.
-    const char *dir = std::getenv("KODAN_BENCH_CSV_DIR");
-    const std::string path =
-        (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-        "BENCH_parallel_speedup.run.json";
+    const std::string path = bench::runRecordPath("parallel_speedup");
     std::ofstream json(path);
     if (json) {
         json << "{\n  \"hardware_concurrency\": "

@@ -177,6 +177,23 @@ emitCsv(const std::string &name, const util::TablePrinter &table)
     std::cerr << "[kodan-bench] wrote " << path << "\n";
 }
 
+std::string
+runRecordPath(const std::string &name)
+{
+    const std::string file = "BENCH_" + name + ".run.json";
+    if (const char *dir = std::getenv("KODAN_BENCH_CSV_DIR")) {
+        return std::string(dir) + "/" + file;
+    }
+    if (const char *dir = std::getenv("KODAN_BENCH_CACHE_DIR")) {
+        return std::string(dir) + "/" + file;
+    }
+#ifdef KODAN_BENCH_CACHE_DEFAULT_DIR
+    return std::string(KODAN_BENCH_CACHE_DEFAULT_DIR) + "/" + file;
+#else
+    return file;
+#endif
+}
+
 void
 banner(const std::string &title, const std::string &paper_ref)
 {

@@ -28,7 +28,10 @@ namespace kodan::bench {
  *   --telemetry-out <path>  enable metrics/tracing, write the snapshot
  *                           JSON (+ Chrome trace) at exit;
  *   --journal-out <path>    enable the flight recorder, write the
- *                           journal JSONL at exit.
+ *                           journal JSONL at exit;
+ *   --profile-out <path>    enable the CPU profiling plane (sampling
+ *                           profiler + per-span counters), write the
+ *                           profile JSON (+ folded stacks) at exit.
  * Call as the first statement of main.
  */
 void initHarness(int &argc, char **argv);
@@ -65,6 +68,15 @@ void banner(const std::string &title, const std::string &paper_ref);
  * plotting; no-op when the environment variable is unset.
  */
 void emitCsv(const std::string &name, const util::TablePrinter &table);
+
+/**
+ * Where a bench writes its BENCH_<name>.run.json record:
+ * KODAN_BENCH_CSV_DIR when set, else the bench cache directory
+ * (KODAN_BENCH_CACHE_DIR or the build tree) — never the directory the
+ * bench happens to run in, so raw run records cannot litter a source
+ * checkout.
+ */
+std::string runRecordPath(const std::string &name);
 
 } // namespace kodan::bench
 

@@ -13,7 +13,13 @@
 # staged-vs-batch report mismatch or steady-state heap allocation in
 # bench_dataplane, and any health-plane alert divergence, missed
 # detection, or overhead-budget breach, all of which fail the bench
-# itself).
+# itself). bench_prof --verify guards the CPU profiling plane's
+# determinism contract (byte-identical journal/series/metrics with
+# profiling on vs off at 1/4/16 threads) and its overhead ceiling, and
+# the bench_dataplane run also captures a profile whose span table —
+# exact call counts per instrumented span — is diffed against
+# bench/baselines/prof.spans.json (span costs get a huge tolerance;
+# they measure this machine).
 #
 # Usage:
 #   scripts/check_regressions.sh [--build-dir DIR] [--rebaseline]
@@ -65,10 +71,11 @@ MLKERN_BENCH="$BUILD_DIR/bench/bench_ml_kernels"
 DATAPLANE_BENCH="$BUILD_DIR/bench/bench_dataplane"
 CONSTEL_BENCH="$BUILD_DIR/bench/bench_constellation"
 HEALTH_BENCH="$BUILD_DIR/bench/bench_health"
+PROF_BENCH="$BUILD_DIR/bench/bench_prof"
 
 for binary in "$REPORT" "$SPEEDUP_BENCH" "$FIG02_BENCH" "$FIG10_BENCH" \
               "$MLKERN_BENCH" "$DATAPLANE_BENCH" "$CONSTEL_BENCH" \
-              "$HEALTH_BENCH"; do
+              "$HEALTH_BENCH" "$PROF_BENCH"; do
     if [[ ! -x "$binary" ]]; then
         echo "missing binary: $binary (build the repo first)" >&2
         exit 2
@@ -108,9 +115,15 @@ echo "[check_regressions] running bench_ml_kernels ..."
 # allocation guard counts a heap allocation, so this run is the data
 # plane's correctness smoke as well as the perf probe; no
 # --assert-speedup here for the same reason as ml_kernels above.
+# --profile-out arms the CPU profiling plane for this run; its span
+# table (exact per-span call counts) is diffed against the committed
+# prof.spans.json below. Safe inside the bench's steady-state
+# allocation guard: span sites register (and allocate) on first hit,
+# during warmup.
 echo "[check_regressions] running bench_dataplane ..."
 (cd "$WORKDIR" && "$DATAPLANE_BENCH" \
     --telemetry-out "$WORKDIR/dataplane.metrics.json" \
+    --profile-out "$WORKDIR/dataplane.prof.json" \
     > /dev/null)
 
 # Constellation engine smoke: small scenario with the full recording
@@ -149,6 +162,12 @@ echo "[check_regressions] running bench_health ..."
     --alerts-out "$WORKDIR/health.alerts.jsonl" \
     > /dev/null)
 
+# CPU profiling plane guard: byte-identical journal/series/metrics with
+# profiling on vs off at 1/4/16 threads, plus the sampling overhead
+# ceiling — bench_prof exits non-zero on any violation.
+echo "[check_regressions] running bench_prof --verify ..."
+(cd "$WORKDIR" && "$PROF_BENCH" --verify > /dev/null)
+
 if [[ "$REBASELINE" -eq 1 ]]; then
     mkdir -p "$BASELINES"
     cp "$WORKDIR/fig02_downlink_gap.metrics.json" \
@@ -167,6 +186,9 @@ if [[ "$REBASELINE" -eq 1 ]]; then
        "$WORKDIR/health.metrics.timeseries.json" \
        "$WORKDIR/health.alerts.jsonl" \
        "$BASELINES/"
+    # Despite the name, this is a full profile document; only its span
+    # table is asserted by the diff below (frames are machine-shaped).
+    cp "$WORKDIR/dataplane.prof.json" "$BASELINES/prof.spans.json"
     LABEL="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null ||
              echo local)"
     "$REPORT" aggregate --name parallel_speedup --label "$LABEL" \
@@ -256,6 +278,15 @@ echo "[check_regressions] diffing constellation golden against baseline ..."
     "$BASELINES/constellation_golden.metrics.timeseries.json" \
     "$WORKDIR/constellation_golden.metrics.timeseries.json" \
     --tol-timer 100 || STATUS=1
+
+# Span call counts are deterministic and diff exactly (--tol-calls 0
+# default); span costs measure this machine, so like the timers above
+# they tolerate 100x. --assert turns any finding into a non-zero exit.
+echo "[check_regressions] diffing dataplane profile spans against baseline ..."
+"$REPORT" profile diff \
+    "$BASELINES/prof.spans.json" \
+    "$WORKDIR/dataplane.prof.json" \
+    --assert --tol-cost 100 > /dev/null || STATUS=1
 
 echo "[check_regressions] diffing health metrics + alerts against baseline ..."
 "$REPORT" diff \

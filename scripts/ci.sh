@@ -41,7 +41,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 # ctest ANDs repeated -L flags, so the label filter must be one regex.
-LABELS='parallel|telemetry|journal|report|timeseries|mlkernels|constellation|dataplane|health'
+LABELS='parallel|telemetry|journal|report|timeseries|mlkernels|constellation|dataplane|health|prof'
 
 echo "[ci] tier-1: configure + build + full ctest (jobs=$JOBS)"
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT"

@@ -104,7 +104,7 @@ ContextActionTable
 DeploymentEvaluator::measureTable(
     const std::vector<data::FrameSample> &frames, int tiles_per_side) const
 {
-    KODAN_PROFILE_SCOPE("evaluate.table.measure");
+    KODAN_TRACE_SCOPE("evaluate.table.measure");
     assert(engine_ != nullptr);
     const int context_count = engine_->contextCount();
 
@@ -249,7 +249,7 @@ ContextActionTable
 DeploymentEvaluator::measureDirectTable(
     const std::vector<data::FrameSample> &frames, int tiles_per_side) const
 {
-    KODAN_PROFILE_SCOPE("evaluate.direct.measure");
+    KODAN_TRACE_SCOPE("evaluate.direct.measure");
     ContextActionTable table;
     table.tiles_per_side = tiles_per_side;
     table.contexts.resize(1);

@@ -22,7 +22,7 @@ Runtime::Runtime(const SelectionLogic &logic, const ContextEngine *engine,
 FrameReport
 Runtime::processFrame(const data::FrameSample &frame) const
 {
-    KODAN_PROFILE_SCOPE("runtime.frame.process");
+    KODAN_TRACE_SCOPE("runtime.frame.process");
     FrameWork work;
     stageTileClassify(frame, work);
     for (std::size_t t = 0; t < work.tiles.size(); ++t) {
@@ -252,7 +252,7 @@ Runtime::processFrames(const std::vector<data::FrameSample> &frames) const
     if (frames.empty()) {
         return {};
     }
-    KODAN_PROFILE_SCOPE("runtime.batch.process");
+    KODAN_TRACE_SCOPE("runtime.batch.process");
     KODAN_COUNT_ADD("runtime.frames.batched", frames.size());
     // One journal region per batch; frame i records into slot i + 1, so
     // the exported journal is byte-identical for any KODAN_THREADS.

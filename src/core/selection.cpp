@@ -163,7 +163,7 @@ SelectionOptimizer::optimize(
     const std::vector<ContextActionTable> &tables) const
 {
     assert(!tables.empty());
-    KODAN_PROFILE_SCOPE("selection.sweep.optimize");
+    KODAN_TRACE_SCOPE("selection.sweep.optimize");
     KODAN_COUNT_ADD("selection.tilings.swept", tables.size());
     // Flight recorder: the sweep is one journal region; tiling i records
     // its candidate outcome into slot i + 1 and the winner lands on the

@@ -51,7 +51,7 @@ Transformer::prepareData(std::vector<data::FrameSample> train,
                          std::vector<data::FrameSample> val) const
 {
     assert(!train.empty() && !val.empty());
-    KODAN_PROFILE_SCOPE("transformer.data.prepare");
+    KODAN_TRACE_SCOPE("transformer.data.prepare");
     DataArtifacts shared;
     shared.train = std::move(train);
     shared.val = std::move(val);
@@ -149,7 +149,7 @@ Transformer::transformApp(const Application &app,
                           const DataArtifacts &shared) const
 {
     assert(shared.engine != nullptr);
-    KODAN_PROFILE_SCOPE("transformer.app.transform");
+    KODAN_TRACE_SCOPE("transformer.app.transform");
     AppArtifacts artifacts;
     artifacts.app = app;
 

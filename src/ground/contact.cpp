@@ -187,7 +187,7 @@ ContactFinder::findAll(const std::vector<orbit::J2Propagator> &sats,
                        const std::vector<GroundStation> &stations, double t0,
                        double t1) const
 {
-    KODAN_PROFILE_SCOPE("ground.contact.scan");
+    KODAN_TRACE_SCOPE("ground.contact.scan");
     std::vector<ContactWindow> all;
     for (std::size_t s = 0; s < sats.size(); ++s) {
         for (std::size_t g = 0; g < stations.size(); ++g) {
@@ -227,7 +227,7 @@ ContactFinder::findAllParallel(
     const std::vector<orbit::J2Propagator> &sats,
     const std::vector<GroundStation> &stations, double t0, double t1) const
 {
-    KODAN_PROFILE_SCOPE("ground.contact.scan");
+    KODAN_TRACE_SCOPE("ground.contact.scan");
     const std::size_t pair_count = sats.size() * stations.size();
     std::vector<std::vector<ContactWindow>> per_pair(pair_count);
     util::parallelFor(pair_count, [&](std::size_t p) {

@@ -188,7 +188,7 @@ GroundSegmentScheduler::allocate(const std::vector<ContactWindow> &windows,
                                  double t1) const
 {
     assert(t1 >= t0);
-    KODAN_PROFILE_SCOPE("ground.segment.allocate");
+    KODAN_TRACE_SCOPE("ground.segment.allocate");
     State state = beginAllocation(satellite_count, station_count, t0);
     allocateSpan(windows, t1, state);
     Allocation result = finishAllocation(std::move(state));

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <string_view>
 
+#include "telemetry/telemetry.hpp"
+
 namespace kodan::ml::kernels {
 
 namespace {
@@ -171,6 +173,10 @@ void
 gemm(std::size_t m, std::size_t k, std::size_t n, const double *a,
      const double *b, double *c, const double *bias, Epilogue epilogue)
 {
+    // Stage-attribution row shared with the naive matmul path
+    // (matrix.cpp), so a backend regression shows up as one span in
+    // `kodan-report profile diff`.
+    KODAN_TRACE_SCOPE("ml.kernels.gemm");
     if (m == 0 || n == 0) {
         return; // no output elements; also keeps memset/memcpy off
                 // the null data pointer of an empty Matrix

@@ -403,7 +403,7 @@ KMeans::lloydBlocked(const Matrix &x, util::Rng &rng,
 KMeansResult
 KMeans::fit(const Matrix &x, util::Rng &rng) const
 {
-    KODAN_TIME_SCOPE("ml.kmeans.fit");
+    KODAN_TRACE_SCOPE("ml.kmeans.fit");
     KODAN_COUNT_ADD("ml.kmeans.fit.points", x.rows());
     KMeansResult best;
     double best_inertia = std::numeric_limits<double>::infinity();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kodan::ml {
 
@@ -48,6 +49,9 @@ Matrix::multiply(const Matrix &a, const Matrix &b)
                       b.data_.data(), c.data_.data(), nullptr);
         return c;
     }
+    // Same attribution row as kernels::gemm: both backends of the one
+    // logical kernel, so profile diffs rank the backend swap directly.
+    KODAN_TRACE_SCOPE("ml.kernels.gemm");
     for (std::size_t i = 0; i < a.rows_; ++i) {
         for (std::size_t k = 0; k < a.cols_; ++k) {
             const double aik = a.at(i, k);

@@ -216,7 +216,7 @@ Mlp::forwardBatch(const double *x, std::size_t count, double *out) const
     if (count == 0) {
         return;
     }
-    KODAN_TIME_SCOPE("ml.mlp.forward_batch");
+    KODAN_TRACE_SCOPE("ml.mlp.forward_batch");
     KODAN_COUNT_ADD("ml.mlp.forward_batch.rows", count);
     if (kernels::backend() == kernels::Backend::Naive) {
         for (std::size_t r = 0; r < count; ++r) {

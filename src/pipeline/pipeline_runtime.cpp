@@ -112,7 +112,7 @@ PipelineRuntime::process(const FrameSource &source)
         source.pool->empty()) {
         return {};
     }
-    KODAN_PROFILE_SCOPE("runtime.batch.process");
+    KODAN_TRACE_SCOPE("runtime.batch.process");
     KODAN_COUNT_ADD("runtime.frames.batched", source.total);
     // Same region discipline as Runtime::processFrames: one region per
     // run, frame i's events in slot i + 1, so the exported journal is
@@ -147,8 +147,10 @@ PipelineRuntime::process(const FrameSource &source)
             const WorkerSpan &span = plan_.workers[w];
             WorkerStats &ws =
                 opts_.stats ? worker_stats[w] : stats_off_dummy;
-            threads.emplace_back(
-                [this, &span, &rs, &ws] { workerLoop(span, rs, ws); });
+            threads.emplace_back([this, &span, &rs, &ws] {
+                util::detail::runWorkerStartHook();
+                workerLoop(span, rs, ws);
+            });
         }
         for (auto &thread : threads) {
             thread.join();
@@ -343,7 +345,7 @@ PipelineRuntime::runStage(Stage stage, Lane &lane, FrameSlot **burst,
         // biggest per-frame saving — elided tiles never pay the
         // block-decimation pass).
         if (rs.stats) {
-            KODAN_TIME_SCOPE("pipeline.stage.tile_classify_s");
+            KODAN_TRACE_SCOPE("pipeline.stage.tile_classify_s");
             for (std::size_t i = 0; i < count; ++i) {
                 runtime_->stageTileClassifyLazy(
                     rs.source->frame(burst[i]->frame_index),
@@ -360,7 +362,7 @@ PipelineRuntime::runStage(Stage stage, Lane &lane, FrameSlot **burst,
       }
       case Stage::Infer: {
         if (rs.stats) {
-            KODAN_TIME_SCOPE("pipeline.stage.infer_s");
+            KODAN_TRACE_SCOPE("pipeline.stage.infer_s");
             burstInfer(burst, count);
             break;
         }
@@ -369,7 +371,7 @@ PipelineRuntime::runStage(Stage stage, Lane &lane, FrameSlot **burst,
       }
       case Stage::Elide: {
         if (rs.stats) {
-            KODAN_TIME_SCOPE("pipeline.stage.elide_s");
+            KODAN_TRACE_SCOPE("pipeline.stage.elide_s");
             for (std::size_t i = 0; i < count; ++i) {
                 runtime_->stageElide(burst[i]->work);
             }

@@ -90,7 +90,7 @@ ConstellationEngine::run(const ConstellationConfig &config,
     // stepping (see GroundSegmentScheduler::State).
     assert(std::fmod(config.chunk_s, mission.scheduler_step) == 0.0);
     assert(std::fmod(config.chunk_s, mission.telemetry_bin_s) == 0.0);
-    KODAN_PROFILE_SCOPE("constellation.engine.run");
+    KODAN_TRACE_SCOPE("constellation.engine.run");
     telemetry::JournalRegion journal_region("constellation.mission");
 
     const std::size_t sat_count = mission.satellites.size();
@@ -187,7 +187,7 @@ ConstellationEngine::run(const ConstellationConfig &config,
     const std::size_t chunk_count = static_cast<std::size_t>(
         std::ceil(mission.duration / config.chunk_s));
     for (std::size_t c = 0; c < chunk_count; ++c) {
-        KODAN_PROFILE_SCOPE("constellation.engine.chunk");
+        KODAN_TRACE_SCOPE("constellation.engine.chunk");
         const double t0c = static_cast<double>(c) * config.chunk_s;
         const double t1c =
             std::min(mission.duration, t0c + config.chunk_s);

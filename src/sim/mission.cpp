@@ -205,7 +205,7 @@ MissionSim::run(const MissionConfig &config,
 {
     assert(!config.satellites.empty());
     assert(!config.stations.empty());
-    KODAN_PROFILE_SCOPE("sim.mission.run");
+    KODAN_TRACE_SCOPE("sim.mission.run");
     // Flight recorder: the whole mission is one journal region. The
     // serial prelude (contact search, ground allocation) records on the
     // region's own lane; satellite s records into slot s + 1.

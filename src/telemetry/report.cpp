@@ -834,6 +834,419 @@ writeMarkdown(const DiffResult &diff, const std::string &base_label,
 }
 
 /* ------------------------------------------------------------------ */
+/* Profiles                                                            */
+/* ------------------------------------------------------------------ */
+
+double
+ProfileDoc::frameSeconds(std::uint64_t sample_count) const
+{
+    return static_cast<double>(sample_count) *
+           static_cast<double>(period_us) * 1e-6;
+}
+
+const ProfileFrame *
+ProfileDoc::findFrame(const std::string &name) const
+{
+    for (const ProfileFrame &frame : frames) {
+        if (frame.name == name) {
+            return &frame;
+        }
+    }
+    return nullptr;
+}
+
+const ProfileSpanRow *
+ProfileDoc::findSpan(const std::string &name) const
+{
+    const auto it = std::lower_bound(
+        spans.begin(), spans.end(), name,
+        [](const ProfileSpanRow &row, const std::string &n) {
+            return row.name < n;
+        });
+    if (it != spans.end() && it->name == name) {
+        return &*it;
+    }
+    return nullptr;
+}
+
+namespace {
+
+std::uint64_t
+u64Or(const json::Value &object, const char *key)
+{
+    return static_cast<std::uint64_t>(object.numberOr(key, 0.0));
+}
+
+} // namespace
+
+bool
+parseProfile(const std::string &text, ProfileDoc &out, std::string *error)
+{
+    json::Value doc;
+    if (!json::parse(text, doc, error)) {
+        return false;
+    }
+    if (doc.find("kodan_profile") == nullptr) {
+        fail(error, "not a kodan profile (no \"kodan_profile\" key)");
+        return false;
+    }
+    out.period_us = u64Or(doc, "period_us");
+    out.samples = u64Or(doc, "samples");
+    out.dropped = u64Or(doc, "dropped");
+    out.unregistered_hits = u64Or(doc, "unregistered_hits");
+    out.threads = u64Or(doc, "threads");
+    out.frames.clear();
+    const json::Value *frames = doc.find("frames");
+    if (frames == nullptr || !frames->isArray()) {
+        fail(error, "profile has no \"frames\" array");
+        return false;
+    }
+    for (const json::Value &entry : frames->array()) {
+        if (!entry.isObject()) {
+            fail(error, "profile frame entry is not an object");
+            return false;
+        }
+        ProfileFrame frame;
+        frame.name = entry.stringOr("name", "");
+        frame.self = u64Or(entry, "self");
+        frame.total = u64Or(entry, "total");
+        if (frame.name.empty()) {
+            fail(error, "profile frame entry lacks a name");
+            return false;
+        }
+        out.frames.push_back(std::move(frame));
+    }
+    out.spans.clear();
+    out.span_source.clear();
+    const json::Value *spans = doc.find("spans");
+    if (spans == nullptr || !spans->isObject()) {
+        fail(error, "profile has no \"spans\" object");
+        return false;
+    }
+    out.span_source = spans->stringOr("source", "unresolved");
+    const json::Value *rows = spans->find("rows");
+    if (rows == nullptr || !rows->isArray()) {
+        fail(error, "profile \"spans\" has no \"rows\" array");
+        return false;
+    }
+    for (const json::Value &entry : rows->array()) {
+        if (!entry.isObject()) {
+            fail(error, "profile span row is not an object");
+            return false;
+        }
+        ProfileSpanRow row;
+        row.name = entry.stringOr("name", "");
+        row.calls = u64Or(entry, "calls");
+        row.cycles = u64Or(entry, "cycles");
+        row.instructions = u64Or(entry, "instructions");
+        row.llc_misses = u64Or(entry, "llc_misses");
+        row.branch_misses = u64Or(entry, "branch_misses");
+        row.task_clock_ns = u64Or(entry, "task_clock_ns");
+        if (row.name.empty()) {
+            fail(error, "profile span row lacks a name");
+            return false;
+        }
+        out.spans.push_back(std::move(row));
+    }
+    std::sort(out.spans.begin(), out.spans.end(),
+              [](const ProfileSpanRow &a, const ProfileSpanRow &b) {
+                  return a.name < b.name;
+              });
+    return true;
+}
+
+bool
+loadProfile(const std::string &path, ProfileDoc &out, std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text, error)) {
+        return false;
+    }
+    if (!parseProfile(text, out, error)) {
+        if (error != nullptr) {
+            *error = path + ": " + *error;
+        }
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Human-scale number for the profile tables (num() is for exact
+ *  round-trips; these columns are approximate by nature). */
+std::string
+shortNum(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    return buffer;
+}
+
+/** Sort rows by descending delta, ties by name for determinism. */
+void
+rankDeltas(std::vector<ProfileDeltaRow> &rows,
+           double (*key)(const ProfileDeltaRow &))
+{
+    std::sort(rows.begin(), rows.end(),
+              [key](const ProfileDeltaRow &a, const ProfileDeltaRow &b) {
+                  const double ka = key(a);
+                  const double kb = key(b);
+                  if (ka != kb) {
+                      return ka > kb;
+                  }
+                  return a.name < b.name;
+              });
+}
+
+} // namespace
+
+ProfileDiffResult
+diffProfiles(const ProfileDoc &base, const ProfileDoc &cur,
+             const ProfileTolerances &tol)
+{
+    ProfileDiffResult out;
+
+    // Sampled frames: union of both top-frame tables, cost =
+    // self-samples converted to seconds via each run's own period.
+    for (const ProfileFrame &frame : base.frames) {
+        ProfileDeltaRow row;
+        row.name = frame.name;
+        row.base_s = base.frameSeconds(frame.self);
+        const ProfileFrame *other = cur.findFrame(frame.name);
+        if (other != nullptr) {
+            row.cur_s = cur.frameSeconds(other->self);
+        }
+        row.delta_s = row.cur_s - row.base_s;
+        out.frames.push_back(std::move(row));
+    }
+    for (const ProfileFrame &frame : cur.frames) {
+        if (base.findFrame(frame.name) != nullptr) {
+            continue;
+        }
+        ProfileDeltaRow row;
+        row.name = frame.name;
+        row.cur_s = cur.frameSeconds(frame.self);
+        row.delta_s = row.cur_s;
+        out.frames.push_back(std::move(row));
+    }
+    rankDeltas(out.frames,
+               [](const ProfileDeltaRow &r) { return r.delta_s; });
+
+    // Span rows: costs stay in task-clock seconds (portable across
+    // counter sources); the ranking key upgrades to cycle deltas when
+    // both runs actually read perf_event.
+    out.spans_use_cycles = base.span_source == "perf_event" &&
+                           cur.span_source == "perf_event";
+    for (const ProfileSpanRow &span : base.spans) {
+        ProfileDeltaRow row;
+        row.name = span.name;
+        row.base_s = static_cast<double>(span.task_clock_ns) * 1e-9;
+        row.base_calls = span.calls;
+        const ProfileSpanRow *other = cur.findSpan(span.name);
+        if (other != nullptr) {
+            row.cur_s = static_cast<double>(other->task_clock_ns) * 1e-9;
+            row.cur_calls = other->calls;
+            row.delta_cycles =
+                static_cast<std::int64_t>(other->cycles) -
+                static_cast<std::int64_t>(span.cycles);
+        } else {
+            row.delta_cycles = -static_cast<std::int64_t>(span.cycles);
+            add(out.findings, Severity::Regression, span.name,
+                "span row missing from current run (instrumentation "
+                "lost?)");
+        }
+        row.delta_s = row.cur_s - row.base_s;
+        if (other != nullptr) {
+            if (!withinRel(static_cast<double>(span.calls),
+                           static_cast<double>(other->calls),
+                           tol.calls_rel, 1.0)) {
+                add(out.findings, Severity::Regression, span.name,
+                    "span calls changed: " + std::to_string(span.calls) +
+                        " -> " + std::to_string(other->calls) + " (" +
+                        percentDelta(static_cast<double>(span.calls),
+                                     static_cast<double>(other->calls)) +
+                        ")");
+            }
+            const bool above_floor = row.base_s >= tol.cost_floor_s ||
+                                     row.cur_s >= tol.cost_floor_s;
+            const double allowed =
+                std::max(row.base_s * (1.0 + tol.cost_rel),
+                         tol.cost_floor_s);
+            if (above_floor && row.cur_s > allowed) {
+                add(out.findings, Severity::Regression, span.name,
+                    "span cost grew: " + num(row.base_s) + " s -> " +
+                        num(row.cur_s) + " s (" +
+                        percentDelta(row.base_s, row.cur_s) +
+                        ", tolerance " +
+                        percentDelta(1.0, 1.0 + tol.cost_rel) + ")");
+            } else if (above_floor &&
+                       row.cur_s * (1.0 + tol.cost_rel) < row.base_s) {
+                add(out.findings, Severity::Info, span.name,
+                    "span cost improved: " + num(row.base_s) + " s -> " +
+                        num(row.cur_s) + " s (" +
+                        percentDelta(row.base_s, row.cur_s) + ")");
+            }
+        }
+        out.spans.push_back(std::move(row));
+    }
+    for (const ProfileSpanRow &span : cur.spans) {
+        if (base.findSpan(span.name) != nullptr) {
+            continue;
+        }
+        ProfileDeltaRow row;
+        row.name = span.name;
+        row.cur_s = static_cast<double>(span.task_clock_ns) * 1e-9;
+        row.cur_calls = span.calls;
+        row.delta_s = row.cur_s;
+        row.delta_cycles = static_cast<std::int64_t>(span.cycles);
+        add(out.findings, Severity::Info, span.name,
+            "new span row (not in baseline)");
+        out.spans.push_back(std::move(row));
+    }
+    if (out.spans_use_cycles) {
+        rankDeltas(out.spans, [](const ProfileDeltaRow &r) {
+            return static_cast<double>(r.delta_cycles);
+        });
+    } else {
+        rankDeltas(out.spans,
+                   [](const ProfileDeltaRow &r) { return r.delta_s; });
+    }
+    if (base.span_source != cur.span_source) {
+        add(out.findings, Severity::Info, "spans.source",
+            "counter source changed: " + base.span_source + " -> " +
+                cur.span_source +
+                " (cycle columns are not comparable)");
+    }
+    return out;
+}
+
+void
+writeProfileMarkdown(const ProfileDoc &doc, const std::string &label,
+                     std::size_t top, std::ostream &os)
+{
+    os << "# kodan-report: profile `" << label << "`\n\n"
+       << "- samples: " << doc.samples << " (period " << doc.period_us
+       << " us, " << doc.threads << " thread(s), " << doc.dropped
+       << " dropped, " << doc.unregistered_hits
+       << " on unregistered threads)\n"
+       << "- counter source: " << doc.span_source << "\n";
+    if (!doc.frames.empty()) {
+        os << "\n## Top frames by self time\n\n"
+           << "| frame | self | total | self % | self s |\n"
+           << "| --- | --- | --- | --- | --- |\n";
+        const double total =
+            doc.samples > 0 ? static_cast<double>(doc.samples) : 1.0;
+        std::size_t shown = 0;
+        for (const ProfileFrame &frame : doc.frames) {
+            if (shown++ >= top) {
+                break;
+            }
+            os << "| `" << frame.name << "` | " << frame.self << " | "
+               << frame.total << " | "
+               << shortNum(100.0 * static_cast<double>(frame.self) /
+                           total)
+               << "% | " << shortNum(doc.frameSeconds(frame.self))
+               << " |\n";
+        }
+    }
+    if (!doc.spans.empty()) {
+        std::vector<ProfileSpanRow> rows = doc.spans;
+        std::sort(rows.begin(), rows.end(),
+                  [](const ProfileSpanRow &a, const ProfileSpanRow &b) {
+                      if (a.task_clock_ns != b.task_clock_ns) {
+                          return a.task_clock_ns > b.task_clock_ns;
+                      }
+                      return a.name < b.name;
+                  });
+        os << "\n## Span counters (" << doc.span_source << ")\n\n"
+           << "| span | calls | task-clock s | cycles | instructions "
+              "| IPC | LLC miss | branch miss |\n"
+           << "| --- | --- | --- | --- | --- | --- | --- | --- |\n";
+        std::size_t shown = 0;
+        for (const ProfileSpanRow &row : rows) {
+            if (shown++ >= top) {
+                break;
+            }
+            os << "| `" << row.name << "` | " << row.calls << " | "
+               << shortNum(static_cast<double>(row.task_clock_ns) * 1e-9)
+               << " | " << row.cycles << " | " << row.instructions
+               << " | ";
+            if (row.cycles > 0) {
+                os << shortNum(static_cast<double>(row.instructions) /
+                               static_cast<double>(row.cycles));
+            } else {
+                os << "-";
+            }
+            os << " | " << row.llc_misses << " | " << row.branch_misses
+               << " |\n";
+        }
+    }
+}
+
+void
+writeProfileDiffMarkdown(const ProfileDiffResult &diff,
+                         const std::string &base_label,
+                         const std::string &cur_label, std::size_t top,
+                         std::ostream &os)
+{
+    os << "# kodan-report: profile `" << base_label << "` vs `"
+       << cur_label << "`\n\n";
+    const std::size_t regressions = diff.findings.regressionCount();
+    if (regressions > 0) {
+        os << "**Verdict: REGRESSION** — " << regressions
+           << " regression finding(s).\n";
+    } else {
+        os << "**Verdict: OK** — no findings beyond tolerance.\n";
+    }
+    if (!diff.frames.empty()) {
+        os << "\n## Frames by self-time regression\n\n"
+           << "| frame | base s | cur s | delta s |\n"
+           << "| --- | --- | --- | --- |\n";
+        std::size_t shown = 0;
+        for (const ProfileDeltaRow &row : diff.frames) {
+            if (shown++ >= top) {
+                break;
+            }
+            os << "| `" << row.name << "` | " << shortNum(row.base_s)
+               << " | " << shortNum(row.cur_s) << " | "
+               << shortNum(row.delta_s) << " |\n";
+        }
+    }
+    if (!diff.spans.empty()) {
+        os << "\n## Spans by "
+           << (diff.spans_use_cycles ? "cycle" : "task-clock")
+           << " regression\n\n"
+           << "| span | base s | cur s | delta s | base calls "
+              "| cur calls | delta cycles |\n"
+           << "| --- | --- | --- | --- | --- | --- | --- |\n";
+        std::size_t shown = 0;
+        for (const ProfileDeltaRow &row : diff.spans) {
+            if (shown++ >= top) {
+                break;
+            }
+            os << "| `" << row.name << "` | " << shortNum(row.base_s)
+               << " | " << shortNum(row.cur_s) << " | "
+               << shortNum(row.delta_s) << " | " << row.base_calls
+               << " | " << row.cur_calls << " | " << row.delta_cycles
+               << " |\n";
+        }
+    }
+    if (!diff.findings.findings.empty()) {
+        os << "\n| severity | subject | detail |\n"
+           << "| --- | --- | --- |\n";
+        for (const Finding &finding : diff.findings.findings) {
+            os << "| "
+               << (finding.severity == Severity::Regression
+                       ? "REGRESSION"
+                       : "info")
+               << " | `" << finding.subject << "` | " << finding.message
+               << " |\n";
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
 /* Trajectories                                                        */
 /* ------------------------------------------------------------------ */
 

@@ -159,6 +159,56 @@ bool parseAlerts(const std::string &text, AlertsDoc &out,
 bool loadAlerts(const std::string &path, AlertsDoc &out,
                 std::string *error = nullptr);
 
+/** One sampled frame parsed back from a profile JSON. */
+struct ProfileFrame
+{
+    std::string name;
+    std::uint64_t self = 0;  ///< samples with this frame on top
+    std::uint64_t total = 0; ///< samples with this frame anywhere
+};
+
+/** One span-counter row parsed back from a profile JSON. */
+struct ProfileSpanRow
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t branch_misses = 0;
+    std::uint64_t task_clock_ns = 0;
+};
+
+/** A parsed writeProfileJson document (prof.hpp). */
+struct ProfileDoc
+{
+    std::uint64_t period_us = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t unregistered_hits = 0;
+    std::uint64_t threads = 0;
+    std::string span_source; ///< "perf_event" | "rusage" | "unresolved"
+    /** Top frames in emitted (self-descending) order. */
+    std::vector<ProfileFrame> frames;
+    /** Span-counter rows sorted by name. */
+    std::vector<ProfileSpanRow> spans;
+
+    /** Seconds of CPU one sampled frame accounts for. */
+    double frameSeconds(std::uint64_t sample_count) const;
+    /** Pointer to the named frame or nullptr. */
+    const ProfileFrame *findFrame(const std::string &name) const;
+    /** Pointer to the named span row or nullptr. */
+    const ProfileSpanRow *findSpan(const std::string &name) const;
+};
+
+/** Parse the writeProfileJson document in @p text. */
+bool parseProfile(const std::string &text, ProfileDoc &out,
+                  std::string *error = nullptr);
+
+/** Read + parse a profile file. */
+bool loadProfile(const std::string &path, ProfileDoc &out,
+                 std::string *error = nullptr);
+
 /**
  * Diff tolerances. Relative tolerances compare
  * |cur - base| <= tol * max(|base|, floor-ish epsilon); a timer only
@@ -238,6 +288,68 @@ DiffResult diffAlerts(const AlertsDoc &base, const AlertsDoc &cur,
 
 /** Merge b's findings after a's. */
 DiffResult mergeDiffs(DiffResult a, const DiffResult &b);
+
+/* ------------------------------------------------------------------ */
+/* Profile diff                                                        */
+/* ------------------------------------------------------------------ */
+
+/**
+ * Profile-diff tolerances. Span call counts are deterministic
+ * (calls_rel defaults to exact); span costs are wall/cycle noise-prone,
+ * so cost_rel is wide by default and spans whose cost stays under
+ * cost_floor_s on both sides never regress.
+ */
+struct ProfileTolerances
+{
+    double calls_rel = 0.0;    ///< span calls: allowed relative delta
+    double cost_rel = 0.5;     ///< span cost: allowed relative slowdown
+    double cost_floor_s = 1e-3; ///< ignore spans cheaper than this
+};
+
+/** One ranked row of a profile diff. */
+struct ProfileDeltaRow
+{
+    std::string name;
+    double base_s = 0.0;  ///< base cost in seconds
+    double cur_s = 0.0;   ///< current cost in seconds
+    double delta_s = 0.0; ///< cur_s - base_s (the ranking key)
+    std::uint64_t base_calls = 0; ///< spans only
+    std::uint64_t cur_calls = 0;  ///< spans only
+    std::int64_t delta_cycles = 0; ///< spans only; 0 without perf_event
+};
+
+/**
+ * A profile diff: sampled frames ranked by self-time regression and
+ * span rows ranked by cost regression (cycles when both runs read
+ * perf_event, task-clock otherwise), plus tolerance findings for the
+ * regression gate (span calls drift, span cost slowdown, span rows
+ * missing from the current run).
+ */
+struct ProfileDiffResult
+{
+    std::vector<ProfileDeltaRow> frames; ///< delta_s descending
+    std::vector<ProfileDeltaRow> spans;  ///< delta_s descending
+    bool spans_use_cycles = false; ///< span ranking used cycle counts
+    DiffResult findings;
+};
+
+/** Compare two profiles under @p tol. */
+ProfileDiffResult diffProfiles(const ProfileDoc &base,
+                               const ProfileDoc &cur,
+                               const ProfileTolerances &tol);
+
+/** Markdown profile summary: header counts, top-K self-time frames,
+ *  span-counter table (top K rows by task-clock). */
+void writeProfileMarkdown(const ProfileDoc &doc,
+                          const std::string &label, std::size_t top,
+                          std::ostream &os);
+
+/** Markdown profile-diff summary: top-K regressed frames and spans
+ *  plus the findings table. */
+void writeProfileDiffMarkdown(const ProfileDiffResult &diff,
+                              const std::string &base_label,
+                              const std::string &cur_label,
+                              std::size_t top, std::ostream &os);
 
 /**
  * Markdown summary: verdict headline then a findings table naming each

@@ -102,14 +102,24 @@ configureFromArgs(int &argc, char **argv)
         } else if (std::strncmp(arg, "--alerts-out=", 13) == 0) {
             setAlertsOutputPath(arg + 13);
             health::setHealthEnabled(true);
+        } else if (std::strcmp(arg, "--profile-out") == 0 &&
+                   i + 1 < argc) {
+            prof::setProfileOutputPath(argv[++i]);
+            prof::setProfilingEnabled(true);
+        } else if (std::strncmp(arg, "--profile-out=", 14) == 0) {
+            prof::setProfileOutputPath(arg + 14);
+            prof::setProfilingEnabled(true);
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    // KODAN_PROF can also enable the profiling plane (possibly with a
+    // path-like value as the output path).
+    prof::configureFromEnv();
     if (enabled() || journalEnabled() || lineageEnabled() ||
-        health::healthEnabled()) {
+        health::healthEnabled() || prof::profilingEnabled()) {
         armExitHook();
         return true;
     }
@@ -356,6 +366,9 @@ writeOutputs()
     if (health::healthEnabled()) {
         writeAlertsOutputs(alertsOutputPath());
     }
+    if (prof::profilingEnabled()) {
+        prof::writeProfileOutputs();
+    }
 }
 
 void
@@ -367,6 +380,8 @@ resetAll()
     clearTimeSeries();
     clearLineage();
     health::plane().reset();
+    prof::resetProfile();
+    prof::resetSpanTable();
 }
 
 } // namespace kodan::telemetry

@@ -29,6 +29,8 @@
 #include "telemetry/journal.hpp"
 #include "telemetry/lineage.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf_counters.hpp"
+#include "telemetry/prof.hpp"
 #include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
@@ -45,14 +47,18 @@ namespace kodan::telemetry {
  *  - `--lineage-out <path>` (or `=<path>`): enables per-frame lineage
  *    spans and writes their JSONL to <path> at exit;
  *  - `--alerts-out <path>` (or `=<path>`): enables the fleet health
- *    plane and writes the alert JSONL to <path> at exit.
+ *    plane and writes the alert JSONL to <path> at exit;
+ *  - `--profile-out <path>` (or `=<path>`): enables the CPU profiling
+ *    plane (sampling profiler + per-span hardware counters; see
+ *    prof.hpp) and writes the profile JSON to <path> and the folded
+ *    stacks beside it (foo.json -> foo.folded) at exit.
  * With `--telemetry-out foo.json`, the exit hook also writes the
  * sim-time series beside it (foo.timeseries.json + foo.timeseries.csv)
  * and the Prometheus text exposition of the final metrics (foo.prom).
  * Honors the KODAN_TELEMETRY / KODAN_JOURNAL / KODAN_LINEAGE /
- * KODAN_ALERTS env toggles either way (enabled without a path, the
- * exit hook prints a summary to stderr instead; a path-like
- * KODAN_ALERTS value is used as the alert output path).
+ * KODAN_ALERTS / KODAN_PROF env toggles either way (enabled without a
+ * path, the exit hook prints a summary to stderr instead; path-like
+ * KODAN_ALERTS / KODAN_PROF values are used as output paths).
  *
  * @return true if any recording is enabled after parsing.
  */
@@ -115,6 +121,8 @@ void resetAll();
 #define KODAN_TS_RECORD(name_, t_, v_, bin_s_) ((void)0)
 #define KODAN_TIME_SCOPE(name_) ((void)0)
 #define KODAN_TRACE_SPAN(name_) ((void)0)
+#define KODAN_PROF_COUNTERS_SCOPE(name_) ((void)0)
+#define KODAN_TRACE_SCOPE(name_) ((void)0)
 #define KODAN_PROFILE_SCOPE(name_) ((void)0)
 
 #else
@@ -208,10 +216,38 @@ void resetAll();
     ::kodan::telemetry::ScopedSpan KODAN_TM_CAT(kodan_tm_span_,            \
                                                 __LINE__)(name_)
 
-/** Both: trace span + scope timer under one name. */
-#define KODAN_PROFILE_SCOPE(name_)                                         \
+/**
+ * Charge this scope's hardware counter deltas (cycles, instructions,
+ * LLC/branch misses, task-clock — or the rusage fallback) to the span
+ * counter row @p name_. Gated on prof::countersEnabled(), one relaxed
+ * load while profiling is off; the site handle is cached like the
+ * metric macros above.
+ */
+#define KODAN_PROF_COUNTERS_SCOPE(name_)                                   \
+    ::kodan::telemetry::prof::ScopedSpanCounters KODAN_TM_CAT(            \
+        kodan_tm_prof_, __LINE__)(                                         \
+        ::kodan::telemetry::prof::countersEnabled()                        \
+            ? &[]() -> ::kodan::telemetry::prof::SpanSite & {              \
+                  static ::kodan::telemetry::prof::SpanSite               \
+                      &kodan_tm_handle =                                   \
+                          ::kodan::telemetry::prof::spanSite(name_);       \
+                  return kodan_tm_handle;                                  \
+              }()                                                          \
+            : nullptr)
+
+/**
+ * The full stage-attribution scope: wall-clock timer + trace span +
+ * per-span hardware counters under one name. This is the macro for
+ * stage/phase boundaries (engines, pipeline stages, ML kernels).
+ */
+#define KODAN_TRACE_SCOPE(name_)                                           \
     KODAN_TIME_SCOPE(name_);                                               \
-    KODAN_TRACE_SPAN(name_)
+    KODAN_TRACE_SPAN(name_);                                               \
+    KODAN_PROF_COUNTERS_SCOPE(name_)
+
+/** Deprecated alias for KODAN_TRACE_SCOPE (one release): the name now
+ *  belongs to the profiler namespace (KODAN_PROF, prof.hpp). */
+#define KODAN_PROFILE_SCOPE(name_) KODAN_TRACE_SCOPE(name_)
 
 #endif // KODAN_TELEMETRY_DISABLED
 

@@ -8,12 +8,40 @@
 
 namespace kodan::util {
 
+namespace {
+
+std::atomic<void (*)()> g_worker_start_hook{nullptr};
+
+} // namespace
+
+void
+setWorkerStartHook(void (*hook)())
+{
+    g_worker_start_hook.store(hook, std::memory_order_release);
+}
+
+namespace detail {
+
+void
+runWorkerStartHook()
+{
+    if (void (*hook)() =
+            g_worker_start_hook.load(std::memory_order_acquire)) {
+        hook();
+    }
+}
+
+} // namespace detail
+
 ThreadPool::ThreadPool(int threads)
 {
     const int count = std::max(1, threads);
     workers_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this] {
+            detail::runWorkerStartHook();
+            workerLoop();
+        });
     }
 }
 

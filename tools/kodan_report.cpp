@@ -38,6 +38,23 @@
  *     attribution (compute / contact-wait / queue-wait). Exit status: 0
  *     on success, 2 on usage/parse errors.
  *
+ *   kodan-report profile <profile.json> [--top K]
+ *     Summarizes a CPU profile (--profile-out output): sample header,
+ *     top K frames by self time, and the per-span counter table
+ *     (IPC / cache-miss attribution; default K 20). Exit status: 0 on
+ *     success, 2 on usage/parse errors.
+ *
+ *   kodan-report profile diff <base.json> <current.json> [--top K]
+ *       [--assert] [--tol-calls F] [--tol-cost F] [--cost-floor S]
+ *     Ranks regressed frames by delta self-time and regressed spans by
+ *     delta cycles (delta task-clock when either run used the rusage
+ *     fallback). Span call counts are deterministic and compared
+ *     exactly by default (--tol-calls); span costs compare within
+ *     --tol-cost relative slowdown (default 0.5) above --cost-floor
+ *     seconds (default 1e-3). Exit status: without --assert always 0
+ *     unless files fail to parse (2); with --assert, 1 when any
+ *     tolerance finding is a regression.
+ *
  *   kodan-report health <alerts.jsonl> [--baseline <base.jsonl>]
  *       [--journal <journal.jsonl>] [--top K]
  *     Summarizes a health-plane alert export (writeAlertsJsonl output):
@@ -80,6 +97,10 @@ usage()
            "  kodan-report trajectory <BENCH_name.json>\n"
            "      [--format json|csv] [--out PATH]\n"
            "  kodan-report lineage <spans.jsonl>\n"
+           "  kodan-report profile <profile.json> [--top K]\n"
+           "  kodan-report profile diff <base.json> <current.json>\n"
+           "      [--top K] [--assert] [--tol-calls F] [--tol-cost F]\n"
+           "      [--cost-floor S]\n"
            "  kodan-report health <alerts.jsonl>\n"
            "      [--baseline <base.jsonl>] [--journal <journal.jsonl>]\n"
            "      [--top K]\n";
@@ -455,6 +476,75 @@ runHealth(const std::vector<std::string> &args)
 }
 
 int
+runProfile(const std::vector<std::string> &args)
+{
+    const bool is_diff = !args.empty() && args[0] == "diff";
+    std::vector<std::string> positional;
+    std::size_t top = 20;
+    bool assert_clean = false;
+    report::ProfileTolerances tol;
+    for (std::size_t i = is_diff ? 1 : 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--top" && i + 1 < args.size()) {
+            top = static_cast<std::size_t>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (is_diff && arg == "--assert") {
+            assert_clean = true;
+        } else if (is_diff && arg == "--tol-calls" &&
+                   i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.calls_rel)) {
+                return fail("bad --tol-calls value");
+            }
+        } else if (is_diff && arg == "--tol-cost" &&
+                   i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.cost_rel)) {
+                return fail("bad --tol-cost value");
+            }
+        } else if (is_diff && arg == "--cost-floor" &&
+                   i + 1 < args.size()) {
+            if (!parseDouble(args[++i], tol.cost_floor_s)) {
+                return fail("bad --cost-floor value");
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown profile option: " + arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    std::string error;
+    if (!is_diff) {
+        if (positional.size() != 1) {
+            return usage();
+        }
+        report::ProfileDoc doc;
+        if (!report::loadProfile(positional[0], doc, &error)) {
+            return fail(error);
+        }
+        report::writeProfileMarkdown(doc, positional[0], top, std::cout);
+        return 0;
+    }
+
+    if (positional.size() != 2) {
+        return usage();
+    }
+    report::ProfileDoc base;
+    report::ProfileDoc cur;
+    if (!report::loadProfile(positional[0], base, &error) ||
+        !report::loadProfile(positional[1], cur, &error)) {
+        return fail(error);
+    }
+    const report::ProfileDiffResult diff =
+        report::diffProfiles(base, cur, tol);
+    report::writeProfileDiffMarkdown(diff, positional[0], positional[1],
+                                     top, std::cout);
+    if (assert_clean && diff.findings.hasRegression()) {
+        return 1;
+    }
+    return 0;
+}
+
+int
 runLineage(const std::vector<std::string> &args)
 {
     std::vector<std::string> positional;
@@ -515,6 +605,9 @@ main(int argc, char **argv)
     }
     if (command == "lineage") {
         return runLineage(args);
+    }
+    if (command == "profile") {
+        return runProfile(args);
     }
     if (command == "health") {
         return runHealth(args);

@@ -4,6 +4,7 @@
  *
  *   kodan-top <journal.jsonl> [--follow] [--interval-ms N]
  *       [--metric NAME] [--width N] [--prefix P]
+ *       [--profile <profile.json>]
  *
  * Tails a journal file — either a finished `--journal-out` export or
  * the live stream tap written by KODAN_JOURNAL_STREAM /
@@ -33,6 +34,15 @@
  * span and latest offending value. Feed it with e.g.
  *   bench_health --journal-out health.journal.jsonl
  *   kodan-top health.journal.jsonl
+ *
+ * With --profile, a hot-spans pane renders last: the CPU profile
+ * written by --profile-out / KODAN_PROF (top spans by task-clock with
+ * relative-cost bars, plus the hottest sampled frames). The file is
+ * re-read on every repaint under --follow, so pointing it at the
+ * profile path of a run that restarts (or a wrapper that re-captures)
+ * keeps the pane current. Feed it with e.g.
+ *   bench_dataplane --journal-out dp.jsonl --profile-out dp.prof.json
+ *   kodan-top dp.jsonl --profile dp.prof.json
  */
 
 #include <algorithm>
@@ -50,9 +60,11 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/report.hpp"
 #include "util/json.hpp"
 
 namespace json = kodan::util::json;
+namespace report = kodan::telemetry::report;
 
 namespace {
 
@@ -67,7 +79,7 @@ usage()
     std::cerr << "usage:\n"
                  "  kodan-top <journal.jsonl> [--follow]\n"
                  "      [--interval-ms N] [--metric NAME] [--width N]\n"
-                 "      [--prefix P]\n"
+                 "      [--prefix P] [--profile <profile.json>]\n"
                  "metrics: frames processed queued_bits bits high_bits "
                  "dvd\n";
     return 2;
@@ -320,6 +332,74 @@ renderAlerts(const AlertView &view, std::ostream &os)
     }
 }
 
+/** Hot-spans pane: top spans by task-clock with relative-cost bars,
+ *  then the hottest sampled frames by self time. */
+void
+renderProfile(const report::ProfileDoc &doc, const std::string &path,
+              int width, std::ostream &os)
+{
+    os << "hot spans — " << path << " (" << doc.samples
+       << " sample(s) @ " << doc.period_us << " us, counters: "
+       << doc.span_source << ")\n";
+    std::vector<report::ProfileSpanRow> rows = doc.spans;
+    std::sort(rows.begin(), rows.end(),
+              [](const report::ProfileSpanRow &a,
+                 const report::ProfileSpanRow &b) {
+                  if (a.task_clock_ns != b.task_clock_ns) {
+                      return a.task_clock_ns > b.task_clock_ns;
+                  }
+                  return a.name < b.name;
+              });
+    const double peak_ns =
+        rows.empty() ? 0.0 : static_cast<double>(rows[0].task_clock_ns);
+    const int bar_width = std::min(24, std::max(4, width / 3));
+    std::size_t shown = 0;
+    for (const report::ProfileSpanRow &row : rows) {
+        if (shown++ >= 8) {
+            os << "  ... " << rows.size() - 8 << " more span(s)\n";
+            break;
+        }
+        const int cells =
+            peak_ns <= 0.0
+                ? 0
+                : static_cast<int>(std::lround(
+                      static_cast<double>(row.task_clock_ns) / peak_ns *
+                      bar_width));
+        std::string bar;
+        for (int c = 0; c < bar_width; ++c) {
+            bar += c < cells ? kSparkLevels[kSparkLevelCount - 1] : "·";
+        }
+        std::ostringstream label;
+        label << row.name;
+        os << "  " << label.str()
+           << std::string(label.str().size() < 28
+                              ? 28 - label.str().size()
+                              : 1,
+                          ' ')
+           << "|" << bar << "| "
+           << static_cast<double>(row.task_clock_ns) * 1e-9 << " s, "
+           << row.calls << " call(s)";
+        if (row.cycles > 0) {
+            os << ", IPC "
+               << static_cast<double>(row.instructions) /
+                      static_cast<double>(row.cycles);
+        }
+        os << "\n";
+    }
+    if (!doc.frames.empty()) {
+        os << "  hot frames:";
+        std::size_t frames_shown = 0;
+        for (const report::ProfileFrame &frame : doc.frames) {
+            if (frames_shown++ >= 5) {
+                break;
+            }
+            os << (frames_shown == 1 ? " " : "; ") << frame.name << " ("
+               << frame.self << ")";
+        }
+        os << "\n";
+    }
+}
+
 /** One sparkline row over [lo, hi] bins, at most @p width cells. */
 std::string
 sparkline(const std::map<std::int64_t, double> &bins, std::int64_t lo,
@@ -401,10 +481,28 @@ renderQueues(const QueueView &view, int width, std::ostream &os)
     }
 }
 
+/** Re-read + render the --profile pane (ignored when path is empty). */
+void
+renderProfilePane(const std::string &profile_path, int width,
+                  std::ostream &os)
+{
+    if (profile_path.empty()) {
+        return;
+    }
+    report::ProfileDoc doc;
+    std::string error;
+    if (report::loadProfile(profile_path, doc, &error)) {
+        renderProfile(doc, profile_path, width, os);
+    } else {
+        os << "hot spans — waiting for profile (" << error << ")\n";
+    }
+}
+
 void
 render(const MissionView &view, const QueueView &queues,
-       const AlertView &alerts, const std::string &metric, int width,
-       bool follow, std::ostream &os)
+       const AlertView &alerts, const std::string &metric,
+       const std::string &profile_path, int width, bool follow,
+       std::ostream &os)
 {
     if (follow) {
         os << "\033[H\033[2J"; // home + clear
@@ -421,6 +519,7 @@ render(const MissionView &view, const QueueView &queues,
         }
         renderQueues(queues, width, os);
         renderAlerts(alerts, os);
+        renderProfilePane(profile_path, width, os);
         os.flush();
         return;
     }
@@ -452,6 +551,7 @@ render(const MissionView &view, const QueueView &queues,
     }
     renderQueues(queues, width, os);
     renderAlerts(alerts, os);
+    renderProfilePane(profile_path, width, os);
     os.flush();
 }
 
@@ -502,6 +602,7 @@ main(int argc, char **argv)
     std::string path;
     std::string metric = "dvd";
     std::string prefix;
+    std::string profile_path;
     bool follow = false;
     int interval_ms = 500;
     int width = 64;
@@ -523,6 +624,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--prefix" && i + 1 < argc) {
             prefix = argv[++i];
+        } else if (arg == "--profile" && i + 1 < argc) {
+            profile_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             return usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -568,13 +671,15 @@ main(int argc, char **argv)
             return fail("cannot open " + path);
         }
         ingestLines(tail.poll());
-        render(view, queues, alerts, metric, width, false, std::cout);
+        render(view, queues, alerts, metric, profile_path, width, false,
+               std::cout);
         return 0;
     }
 
     for (;;) {
         ingestLines(tail.poll());
-        render(view, queues, alerts, metric, width, true, std::cout);
+        render(view, queues, alerts, metric, profile_path, width, true,
+               std::cout);
         std::this_thread::sleep_for(
             std::chrono::milliseconds(interval_ms));
     }
