@@ -119,9 +119,14 @@ echo "[check_regressions] running bench_ml_kernels ..."
 # table (exact per-span call counts) is diffed against the committed
 # prof.spans.json below. Safe inside the bench's steady-state
 # allocation guard: span sites register (and allocate) on first hit,
-# during warmup.
-echo "[check_regressions] running bench_dataplane ..."
-(cd "$WORKDIR" && "$DATAPLANE_BENCH" \
+# during warmup. The run goes through the int8 inference path
+# (KODAN_QUANT=int8) so the committed span table covers
+# ml.kernels.gemm_i8 and the staged-vs-batch bit-identity check
+# exercises the quantized kernels; the int8 path is likewise
+# allocation-free at steady state (scratch-arena workspaces, weights
+# packed at construction).
+echo "[check_regressions] running bench_dataplane (KODAN_QUANT=int8) ..."
+(cd "$WORKDIR" && KODAN_QUANT=int8 "$DATAPLANE_BENCH" \
     --telemetry-out "$WORKDIR/dataplane.metrics.json" \
     --profile-out "$WORKDIR/dataplane.prof.json" \
     > /dev/null)

@@ -54,6 +54,14 @@ if [[ "$SKIP_SANITIZERS" -eq 1 ]]; then
     exit 0
 fi
 
+# Suites whose dispatch changes under the int8 precision knob: the
+# kernel equivalence grid itself plus the runtime/data-plane paths that
+# route inference through the quantized siblings. Rerun under
+# KODAN_QUANT=int8 so the integer kernels' concurrency (scratch arenas,
+# packed-weight sharing, staged rings) gets the same sanitizer coverage
+# as the fp64 path.
+QUANT_LABELS='mlkernels|dataplane|parallel'
+
 sanitized_pass() {
     local kind="$1" dir="$2"
     echo "[ci] ${kind}-sanitizer: configure + build + labeled ctest"
@@ -63,6 +71,9 @@ sanitized_pass() {
         -DKODAN_BUILD_EXAMPLES=OFF
     cmake --build "$dir" -j "$JOBS"
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L "$LABELS")
+    echo "[ci] ${kind}-sanitizer: quant grid (KODAN_QUANT=int8)"
+    (cd "$dir" && KODAN_QUANT=int8 ctest --output-on-failure -j "$JOBS" \
+        -L "$QUANT_LABELS")
 }
 
 sanitized_pass thread "$REPO_ROOT/build-tsan"
@@ -78,5 +89,16 @@ cmake -B "$REPO_ROOT/build-native" -S "$REPO_ROOT" \
 cmake --build "$REPO_ROOT/build-native" -j "$JOBS"
 (cd "$REPO_ROOT/build-native" && ctest --output-on-failure -j "$JOBS" \
     -L mlkernels)
+(cd "$REPO_ROOT/build-native" && KODAN_QUANT=int8 ctest \
+    --output-on-failure -j "$JOBS" -L mlkernels)
+
+# The int8 speedup floors are pinned to this native config (see
+# EXPERIMENTS.md "Int8 quantized inference"): assert them here, where
+# the SIMD requantizing epilogue is compiled at the host's full vector
+# width. The bench also byte-compares every Blocked result against the
+# Naive oracle, so this run doubles as the native bit-identity smoke.
+echo "[ci] KODAN_NATIVE: bench_ml_kernels --assert-speedup"
+(cd "$REPO_ROOT/build-native" && ./bench/bench_ml_kernels \
+    --assert-speedup > /dev/null)
 
 echo "[ci] OK — tier-1, TSan, ASan, and native-kernel passes all green"

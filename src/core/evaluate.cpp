@@ -239,7 +239,11 @@ DeploymentEvaluator::measureTable(
                     ? hw::CostModel::tierParamCount(
                           zoo_->entries[action.model].tier)
                     : 0;
-            table.stats[c].push_back(accums[c][a].finish(params));
+            ActionStats stats = accums[c][a].finish(params);
+            stats.quantized =
+                action.kind == ActionKind::RunModel &&
+                zoo_->entries[action.model].runsQuantized();
+            table.stats[c].push_back(stats);
         }
     }
     return table;
@@ -305,8 +309,11 @@ DeploymentEvaluator::measureDirectTable(
     table.contexts[0].tile_share = 1.0;
     table.contexts[0].prevalence = cells > 0.0 ? high / cells : 0.0;
     table.contexts[0].description = "all";
-    table.stats[0].push_back(accum.finish(
-        hw::CostModel::tierParamCount(zoo_->entries[zoo_->reference].tier)));
+    ActionStats direct_stats = accum.finish(
+        hw::CostModel::tierParamCount(zoo_->entries[zoo_->reference].tier));
+    direct_stats.quantized =
+        zoo_->entries[zoo_->reference].runsQuantized();
+    table.stats[0].push_back(direct_stats);
     return table;
 }
 
@@ -347,14 +354,17 @@ DeploymentEvaluator::measureModelOnTiles(
             }
         }
     }
-    return accum.finish(
+    ActionStats stats = accum.finish(
         hw::CostModel::tierParamCount(zoo_->entries[entry].tier));
+    stats.quantized = zoo_->entries[entry].runsQuantized();
+    return stats;
 }
 
 DeploymentOutcome
 evaluateLogic(const SystemProfile &profile, const ContextActionTable &table,
               const std::vector<Action> &per_context,
-              bool use_context_engine, bool send_unprocessed_raw)
+              bool use_context_engine, bool send_unprocessed_raw,
+              bool force_quant_time)
 {
     assert(static_cast<int>(per_context.size()) == table.contextCount());
 
@@ -382,10 +392,14 @@ evaluateLogic(const SystemProfile &profile, const ContextActionTable &table,
         const int idx = table.findAction(c, per_context[c]);
         assert(idx >= 0 && "action not in candidate table");
         const ActionStats &stats = table.stats[c][idx];
+        const bool quant_time = stats.quantized || force_quant_time;
         const double action_time =
             per_context[c].kind == ActionKind::RunModel
-                ? hw::CostModel::modelTime(stats.model_params,
-                                           profile.target)
+                ? (quant_time
+                       ? hw::CostModel::modelTimeQuant(stats.model_params,
+                                                       profile.target)
+                       : hw::CostModel::modelTime(stats.model_params,
+                                                  profile.target))
                 : 0.0;
         outcome.frame_time +=
             share * tiles_per_frame * (engine_time + action_time);

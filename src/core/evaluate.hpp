@@ -116,12 +116,18 @@ struct DeploymentOutcome
  *        (false for the direct-deploy baseline).
  * @param send_unprocessed_raw Queue raw unprocessed frames after the
  *        products.
+ * @param force_quant_time Charge every RunModel action the int8
+ *        quantized per-tile time (CostModel::modelTimeQuant) even when
+ *        its stats were measured at fp64 — the what-if column of the
+ *        frame-time figures. Stats rows whose @c quantized flag is set
+ *        are charged the quantized time regardless of this parameter.
  */
 DeploymentOutcome evaluateLogic(const SystemProfile &profile,
                                 const ContextActionTable &table,
                                 const std::vector<Action> &per_context,
                                 bool use_context_engine = true,
-                                bool send_unprocessed_raw = true);
+                                bool send_unprocessed_raw = true,
+                                bool force_quant_time = false);
 
 /**
  * The bent-pipe baseline outcome on a profile: raw frames fill the

@@ -10,7 +10,12 @@ namespace kodan::core {
 
 namespace {
 
-constexpr int kBundleVersion = 1;
+/**
+ * Version 2 adds the per-row quantized flag to tables (the int8
+ * inference path) and per-entry activation scales to zoos. Stale
+ * version-1 caches are regenerated via tryLoadBundle().
+ */
+constexpr int kBundleVersion = 2;
 
 void
 expectTag(std::istream &is, const std::string &expected)
@@ -43,7 +48,7 @@ saveTable(std::ostream &os, const ContextActionTable &table)
             os << static_cast<int>(action.kind) << ' ' << action.model
                << ' ' << stats.bits_fraction << ' ' << stats.high_fraction
                << ' ' << stats.cell_accuracy << ' ' << stats.model_params
-               << '\n';
+               << ' ' << (stats.quantized ? 1 : 0) << '\n';
         }
     }
 }
@@ -74,10 +79,12 @@ loadTable(std::istream &is)
             int kind = 0;
             Action action;
             ActionStats stats;
+            int quantized = 0;
             is >> kind >> action.model >> stats.bits_fraction >>
                 stats.high_fraction >> stats.cell_accuracy >>
-                stats.model_params;
+                stats.model_params >> quantized;
             action.kind = static_cast<ActionKind>(kind);
+            stats.quantized = quantized != 0;
             table.actions[c].push_back(action);
             table.stats[c].push_back(stats);
         }
@@ -178,6 +185,21 @@ saveZoo(std::ostream &os, const SpecializedZoo &zoo)
     for (const auto &entry : zoo.entries) {
         os << "entry " << entry.tier << ' ' << entry.context << '\n';
         entry.net.save(os);
+        // The int8 sibling round-trips as its calibrated activation
+        // scales alone: the quantized weights are a pure function of
+        // the fp64 net and those scales, so reconstruction is exact
+        // and the on-disk format stays small.
+        if (entry.quant != nullptr) {
+            const auto &scales = entry.quant->actScales();
+            os << "quant " << scales.size();
+            os.precision(17);
+            for (const double s : scales) {
+                os << ' ' << s;
+            }
+            os << '\n';
+        } else {
+            os << "noquant\n";
+        }
     }
 }
 
@@ -196,6 +218,23 @@ loadZoo(std::istream &is)
         is >> tier >> context;
         ml::Mlp net = ml::Mlp::load(is);
         zoo.entries.push_back(ZooEntry{std::move(net), tier, context});
+        std::string quant_tag;
+        is >> quant_tag;
+        if (quant_tag == "quant") {
+            std::size_t scale_count = 0;
+            is >> scale_count;
+            std::vector<double> scales(scale_count);
+            for (auto &s : scales) {
+                is >> s;
+            }
+            zoo.entries.back().quant =
+                std::make_shared<ml::QuantizedMlp>(
+                    zoo.entries.back().net, scales);
+        } else if (quant_tag != "noquant") {
+            util::fatal("kodan::core::io: expected 'quant' or "
+                        "'noquant', got '" +
+                        quant_tag + "'");
+        }
     }
     if (!is) {
         util::fatal("kodan::core::io: truncated zoo");
@@ -206,7 +245,7 @@ loadZoo(std::istream &is)
 void
 DeploymentPackage::save(std::ostream &os) const
 {
-    os << "kodan-deployment 1 " << static_cast<int>(target) << '\n';
+    os << "kodan-deployment 2 " << static_cast<int>(target) << '\n';
     saveLogic(os, logic);
     engine.save(os);
     saveZoo(os, zoo);
@@ -219,7 +258,7 @@ DeploymentPackage::load(std::istream &is)
     int version = 0;
     int target = 0;
     is >> version >> target;
-    if (version != 1) {
+    if (version != 2) {
         util::fatal("kodan::core::io: deployment version mismatch");
     }
     SelectionLogic logic = loadLogic(is);
@@ -237,6 +276,19 @@ tryLoadBundle(const std::string &path, MeasuredBundle &bundle)
     if (!file) {
         return false;
     }
+    // A stale cache from an older format is not an error — report it
+    // missing so the caller regenerates (loadBundle would fatal).
+    std::string tag;
+    int version = 0;
+    file >> tag >> version;
+    if (tag != "kodan-bundle" || version != kBundleVersion) {
+        KODAN_LOG(util::LogLevel::Info,
+                  "ignoring incompatible bundle cache at " << path
+                  << " (version " << version << ", want "
+                  << kBundleVersion << ")");
+        return false;
+    }
+    file.seekg(0);
     bundle = loadBundle(file);
     return true;
 }

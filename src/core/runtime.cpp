@@ -145,10 +145,13 @@ Runtime::stageElide(FrameWork &work) const
             assert(action.model >= 0 &&
                    action.model <
                        static_cast<int>(zoo_->entries.size()));
-            report.compute_time += hw::CostModel::modelTime(
-                hw::CostModel::tierParamCount(
-                    zoo_->entries[action.model].tier),
-                target_);
+            const ZooEntry &entry = zoo_->entries[action.model];
+            const std::size_t params =
+                hw::CostModel::tierParamCount(entry.tier);
+            report.compute_time +=
+                entry.runsQuantized()
+                    ? hw::CostModel::modelTimeQuant(params, target_)
+                    : hw::CostModel::modelTime(params, target_);
             const std::uint8_t *keep =
                 work.keep.data() + t * data::kBlocksPerTile;
             for (int r = 0; r < tile.cell_rows; ++r) {
@@ -188,6 +191,18 @@ Runtime::stageRecord(const FrameWork &work) const
         KODAN_COUNT_ADD("runtime.tiles.downlinked",
                         report.tiles_downlinked);
         KODAN_COUNT_ADD("runtime.tiles.modeled", report.tiles_modeled);
+        // Split the modeled count by numeric path so a flipped
+        // KODAN_QUANT knob is visible in the metrics dump.
+        std::int64_t quant_tiles = 0;
+        for (std::size_t t = 0; t < work.tiles.size(); ++t) {
+            const Action &action =
+                logic_.per_context[work.contexts[t]];
+            if (action.kind == ActionKind::RunModel &&
+                zoo_->entries[action.model].runsQuantized()) {
+                ++quant_tiles;
+            }
+        }
+        KODAN_COUNT_ADD("runtime.tiles.modeled_quant", quant_tiles);
         // Per-technique modeled compute split: tiling/classification is
         // the context-engine pass; specialization is the model time on
         // non-elided tiles; elision's effect is the modeled time the
@@ -199,10 +214,13 @@ Runtime::stageRecord(const FrameWork &work) const
         const std::int64_t elided =
             report.tiles_discarded + report.tiles_downlinked;
         if (elided > 0 && !zoo_->entries.empty()) {
-            const double reference_tile_time = hw::CostModel::modelTime(
-                hw::CostModel::tierParamCount(
-                    zoo_->entries[zoo_->reference].tier),
-                target_);
+            const ZooEntry &ref = zoo_->entries[zoo_->reference];
+            const std::size_t ref_params =
+                hw::CostModel::tierParamCount(ref.tier);
+            const double reference_tile_time =
+                ref.runsQuantized()
+                    ? hw::CostModel::modelTimeQuant(ref_params, target_)
+                    : hw::CostModel::modelTime(ref_params, target_);
             KODAN_GAUGE_ADD("runtime.time.elision_saved_s",
                             reference_tile_time *
                                 static_cast<double>(elided));

@@ -91,7 +91,9 @@ SpecializedZoo::predictBlock(int entry, const data::TileData &tile,
     std::array<double, data::kBlockInputDim> input{};
     tile.blockInput(block, input.data());
     scaler.transformRow(input.data());
-    return entries[entry].net.predictProb(input.data());
+    const ZooEntry &e = entries[entry];
+    return e.runsQuantized() ? e.quant->predictProb(input.data())
+                             : e.net.predictProb(input.data());
 }
 
 void
@@ -110,7 +112,16 @@ SpecializedZoo::predictRows(int entry, const double *scaled,
                             std::size_t rows, double *out) const
 {
     assert(entry >= 0 && entry < static_cast<int>(entries.size()));
-    entries[entry].net.forwardBatch(scaled, rows, out);
+    // The precision dispatch choke point: the batch runtime
+    // (Runtime::stageInferTile), the pipeline's burst infer stage, and
+    // the sweep's table measurement all funnel through here, so the
+    // KODAN_QUANT knob redirects every consumer at once.
+    const ZooEntry &e = entries[entry];
+    if (e.runsQuantized()) {
+        e.quant->forwardBatch(scaled, rows, out);
+        return;
+    }
+    e.net.forwardBatch(scaled, rows, out);
 }
 
 std::vector<int>
@@ -173,6 +184,16 @@ ModelSpecializer::trainZoo(
         ml::Mlp net(tierConfig(app_.tier), rng);
         net.train(x_scaled, y, options_.train, rng);
         zoo.entries.push_back(ZooEntry{std::move(net), app_.tier, -1});
+        if (options_.quantize) {
+            // Calibrated offline on the sweep's own training batch —
+            // the rows the deployed model will see are drawn from the
+            // same standardized distribution.
+            zoo.entries.back().quant =
+                std::make_shared<ml::QuantizedMlp>(
+                    ml::QuantizedMlp::fromCalibration(
+                        zoo.entries.back().net, x_scaled.data().data(),
+                        x_scaled.rows()));
+        }
     }
     zoo.reference = 0;
 
@@ -219,6 +240,13 @@ ModelSpecializer::trainZoo(
             ml::Mlp net(tierConfig(tier), rng);
             net.train(cx_scaled, cy, options_.train, rng);
             zoo.entries.push_back(ZooEntry{std::move(net), tier, c});
+            if (options_.quantize) {
+                zoo.entries.back().quant =
+                    std::make_shared<ml::QuantizedMlp>(
+                        ml::QuantizedMlp::fromCalibration(
+                            zoo.entries.back().net,
+                            cx_scaled.data().data(), cx_scaled.rows()));
+            }
         }
     }
     return zoo;

@@ -92,6 +92,33 @@ struct SpecializeOptions
     double augment_noise = 0.03;
     /** Optimizer settings shared by all trainings. */
     ml::TrainOptions train{};
+    /**
+     * Build a calibrated int8 sibling for every trained entry
+     * (calibration batch = the entry's own training rows). The siblings
+     * are dormant until the process-wide precision knob (KODAN_QUANT /
+     * ml::setPrecision) selects Int8; see ZooEntry::runsQuantized.
+     */
+    bool quantize = true;
+    /**
+     * Tolerance gate on quantized candidates (applied by the sweep,
+     * Transformer::transformApp): a sibling whose validation cell
+     * accuracy drops by more than this absolute amount versus the fp64
+     * model is rejected (entry falls back to fp64 even under Int8).
+     */
+    double quant_max_accuracy_drop = 0.01;
+    /**
+     * Companion gate on the DVD inputs: max absolute drop in the
+     * measured high-value product fraction (high_fraction) of the
+     * entry's validation stats.
+     */
+    double quant_max_value_drop = 0.01;
+    /**
+     * Cap on the validation tiles each sibling's A/B gate measurement
+     * runs over (a deterministic stride subsample when the validation
+     * set is larger). Keeps the gate a small fraction of transformApp;
+     * 0 means measure every tile.
+     */
+    std::size_t quant_gate_max_tiles = 512;
 };
 
 /**

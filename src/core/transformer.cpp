@@ -169,11 +169,75 @@ Transformer::transformApp(const Application &app,
     KODAN_COUNT_ADD("transformer.models.trained",
                     artifacts.zoo.entries.size());
 
+    const DeploymentEvaluator evaluator(&artifacts.zoo,
+                                        shared.engine.get());
+
+    // Tolerance gate on the int8 siblings: every quantized candidate is
+    // A/B-measured against its fp64 twin on the validation tiles at the
+    // reference tiling; siblings whose cell accuracy or high-value
+    // fraction degrade beyond the configured tolerances are rejected
+    // (the entry then runs fp64 even under KODAN_QUANT=int8), so the
+    // sweep never selects a quantized model that trades away value.
+    if (options_.specialize.quantize) {
+        KODAN_TRACE_SPAN("transformer.quant.validate");
+        const data::Tiler tiler(options_.reference_tiling);
+        std::vector<data::TileData> val_tiles;
+        for (const auto &frame : shared.val) {
+            auto tiles = tiler.tile(frame);
+            val_tiles.insert(val_tiles.end(),
+                             std::make_move_iterator(tiles.begin()),
+                             std::make_move_iterator(tiles.end()));
+        }
+        // Deterministic stride subsample: the gate needs a stable
+        // accuracy estimate, not the full sweep-grade measurement.
+        const std::size_t cap = options_.specialize.quant_gate_max_tiles;
+        const std::size_t stride =
+            (cap > 0 && val_tiles.size() > cap)
+                ? (val_tiles.size() + cap - 1) / cap
+                : 1;
+        std::vector<const data::TileData *> tile_ptrs;
+        tile_ptrs.reserve(val_tiles.size() / stride + 1);
+        for (std::size_t t = 0; t < val_tiles.size(); t += stride) {
+            tile_ptrs.push_back(&val_tiles[t]);
+        }
+        std::int64_t rejected = 0;
+        for (std::size_t e = 0; e < artifacts.zoo.entries.size(); ++e) {
+            if (artifacts.zoo.entries[e].quant == nullptr) {
+                continue;
+            }
+            ActionStats fp_stats;
+            ActionStats q_stats;
+            {
+                const ml::PrecisionGuard guard(ml::Precision::Fp64);
+                fp_stats = evaluator.measureModelOnTiles(
+                    static_cast<int>(e), tile_ptrs);
+            }
+            {
+                const ml::PrecisionGuard guard(ml::Precision::Int8);
+                q_stats = evaluator.measureModelOnTiles(
+                    static_cast<int>(e), tile_ptrs);
+            }
+            const double accuracy_drop =
+                fp_stats.cell_accuracy - q_stats.cell_accuracy;
+            const double value_drop =
+                fp_stats.high_fraction - q_stats.high_fraction;
+            if (accuracy_drop >
+                    options_.specialize.quant_max_accuracy_drop ||
+                value_drop > options_.specialize.quant_max_value_drop) {
+                artifacts.zoo.entries[e].quant.reset();
+                ++rejected;
+            }
+        }
+        KODAN_COUNT_ADD("transformer.quant.rejected", rejected);
+        KODAN_COUNT_ADD(
+            "transformer.quant.accepted",
+            static_cast<std::int64_t>(artifacts.zoo.entries.size()) -
+                rejected);
+    }
+
     // Candidate sweep: each tiling's validation pass is independent, so
     // the tilings run in parallel; results land at their sweep index, so
     // table order (and everything downstream) is thread-count invariant.
-    const DeploymentEvaluator evaluator(&artifacts.zoo,
-                                        shared.engine.get());
     const auto &tile_counts = options_.sweep.tile_counts;
     artifacts.tables.resize(tile_counts.size());
     artifacts.direct_tables.resize(tile_counts.size());

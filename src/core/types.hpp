@@ -7,12 +7,14 @@
 #ifndef KODAN_CORE_TYPES_HPP
 #define KODAN_CORE_TYPES_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/tiler.hpp"
 #include "hw/target.hpp"
 #include "ml/mlp.hpp"
+#include "ml/quant.hpp"
 
 namespace kodan::core {
 
@@ -90,6 +92,12 @@ struct ActionStats
     double cell_accuracy = 0.0;
     /** Parameter count of the model run (0 for Discard/Downlink). */
     std::size_t model_params = 0;
+    /**
+     * The stats were measured through the int8 quantized sibling; the
+     * projection then charges the quantized per-tile time instead of
+     * the fp64 one.
+     */
+    bool quantized = false;
 
     /** Value density of the emitted product (1 when nothing emitted). */
     double density() const
@@ -107,6 +115,20 @@ struct ZooEntry
     int tier = 1;
     /** Context this model is specialized for; -1 = global (reference). */
     int context = -1;
+    /**
+     * Calibrated int8 sibling of @c net; null when quantization is
+     * disabled for the zoo or the sibling was rejected by the sweep's
+     * accuracy/value tolerance gate. Shared so copied zoos (deployment
+     * packages, evaluator snapshots) reuse the packed weights.
+     */
+    std::shared_ptr<const ml::QuantizedMlp> quant;
+
+    /** True when predict calls take the int8 path right now: a sibling
+     *  exists and the process-wide precision knob selects Int8. */
+    bool runsQuantized() const
+    {
+        return quant != nullptr && ml::precision() == ml::Precision::Int8;
+    }
 };
 
 } // namespace kodan::core

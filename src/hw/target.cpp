@@ -147,4 +147,36 @@ CostModel::contextEngineTime(Target target)
     return 0.0;
 }
 
+double
+CostModel::quantSpeedup(Target target)
+{
+    switch (target) {
+      case Target::Gtx1070Ti:
+        return 2.5;
+      case Target::I7_7800:
+        return 3.0;
+      case Target::Orin15W:
+        return 3.2;
+    }
+    return 1.0;
+}
+
+double
+CostModel::modelTimeQuant(std::size_t param_count, Target target)
+{
+    // Quantization cuts the inference kernels, not the fixed per-tile
+    // dispatch; the context-engine floor therefore still applies.
+    const double t = modelTime(param_count, target) / quantSpeedup(target);
+    const double floor = contextEngineTime(target);
+    return t < floor ? floor : t;
+}
+
+double
+CostModel::tileTimeQuant(int tier, Target target)
+{
+    const double t = tileTime(tier, target) / quantSpeedup(target);
+    const double floor = contextEngineTime(target);
+    return t < floor ? floor : t;
+}
+
 } // namespace kodan::hw

@@ -90,6 +90,20 @@ class CostModel
      * every tile before the selection logic acts).
      */
     static double contextEngineTime(Target target);
+
+    /**
+     * Throughput gain of int8 quantized inference over the default
+     * numeric path on @p target. GPUs gain least (the fp32 path is
+     * already tensor-core bound), CPUs and the Orin's DLA-class cores
+     * most — mirroring the int8 GEMM speedups the kernel bench asserts.
+     */
+    static double quantSpeedup(Target target);
+
+    /** modelTime() under int8 quantized inference. */
+    static double modelTimeQuant(std::size_t param_count, Target target);
+
+    /** tileTime() under int8 quantized inference. */
+    static double tileTimeQuant(int tier, Target target);
 };
 
 } // namespace kodan::hw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
@@ -83,11 +85,69 @@ Scratch::allocZeroed(std::size_t count)
     return out;
 }
 
+void *
+Scratch::allocBytes(std::size_t bytes, std::size_t align)
+{
+    // The chunk store is double[], so byte regions are carved out of
+    // chunks at aligned absolute addresses and consumed in whole
+    // doubles; alloc() and allocBytes() interleave freely within one
+    // Frame. align must be a power of two (any chunk base is at least
+    // 8-byte aligned, larger alignments pad within the chunk).
+    const std::uintptr_t mask = static_cast<std::uintptr_t>(align) - 1;
+    while (chunk_ < chunks_.size()) {
+        Chunk &ch = chunks_[chunk_];
+        const auto base = reinterpret_cast<std::uintptr_t>(ch.data.get());
+        const std::uintptr_t cursor = base + used_ * sizeof(double);
+        const std::uintptr_t aligned = (cursor + mask) & ~mask;
+        const std::uintptr_t end = aligned + bytes;
+        if (end <= base + ch.capacity * sizeof(double)) {
+            used_ = (end - base + sizeof(double) - 1) / sizeof(double);
+            return reinterpret_cast<void *>(aligned);
+        }
+        ++chunk_;
+        used_ = 0;
+    }
+    // No existing chunk fits: size the new one for worst-case padding
+    // (alignment slack plus the round-up to whole doubles).
+    const std::size_t need =
+        (bytes + align + sizeof(double) - 1) / sizeof(double) + 1;
+    Chunk chunk;
+    chunk.capacity = std::max(need, kMinChunk);
+    chunk.data = std::make_unique<double[]>(chunk.capacity);
+    chunks_.push_back(std::move(chunk));
+    used_ = 0;
+    Chunk &ch = chunks_[chunk_];
+    const auto base = reinterpret_cast<std::uintptr_t>(ch.data.get());
+    const std::uintptr_t aligned = (base + mask) & ~mask;
+    used_ = (aligned + bytes - base + sizeof(double) - 1) / sizeof(double);
+    return reinterpret_cast<void *>(aligned);
+}
+
 Scratch &
 scratch()
 {
     thread_local Scratch arena;
     return arena;
+}
+
+Requant
+requantScale(double scale)
+{
+    Requant rq;
+    if (!(scale > 0.0) || !std::isfinite(scale)) {
+        return rq; // multiplier 0: requantize collapses to 0
+    }
+    int exp = 0;
+    const double mant = std::frexp(scale, &exp); // mant in [0.5, 1)
+    std::int64_t m = std::llround(mant * static_cast<double>(
+                                             std::int64_t{1} << 31));
+    if (m == (std::int64_t{1} << 31)) {
+        m >>= 1; // rounding pushed the mantissa to 1.0: renormalize
+        ++exp;
+    }
+    rq.multiplier = static_cast<std::int32_t>(m);
+    rq.shift = 31 - exp;
+    return rq;
 }
 
 namespace detail {

@@ -20,6 +20,8 @@
 #define KODAN_ML_KERNELS_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -87,6 +89,24 @@ class Scratch
 
     /** Zero-initialized workspace of @p count doubles. */
     double *allocZeroed(std::size_t count);
+
+    /**
+     * Uninitialized raw workspace of @p bytes bytes whose address is a
+     * multiple of @p align (a power of two). Shares the double-chunk
+     * arena with alloc(): the byte region is carved out of the active
+     * chunk and consumed in whole doubles, so frames, reuse, and the
+     * O(1)-after-warmup guarantee all behave identically. This is the
+     * allocator the int8 inference path uses for its int8 activation
+     * and int32 accumulator workspaces.
+     */
+    void *allocBytes(std::size_t bytes, std::size_t align);
+
+    /** Typed convenience over allocBytes: @p count elements of T. */
+    template <typename T>
+    T *allocArray(std::size_t count, std::size_t align = alignof(T))
+    {
+        return static_cast<T *>(allocBytes(count * sizeof(T), align));
+    }
 
     /** Number of chunks ever allocated (diagnostics). */
     std::size_t chunkCount() const { return chunks_.size(); }
@@ -162,6 +182,182 @@ void rowSquaredNorms(std::size_t rows, std::size_t dim, const double *x,
  */
 void standardizeRows(std::size_t rows, std::size_t dim, const double *x,
                      const double *mean, const double *stddev, double *out);
+
+// ---------------------------------------------------------------------------
+// Int8 quantized kernels — the QuantizedMlp substrate (kernels_i8.cpp).
+//
+// Products are int8 x int8 (each fits int16); accumulation is 32-bit.
+// Integer addition is exactly associative, so ANY blocking, unrolling,
+// split of the reduction, or zero-padding of it yields the same bits
+// by construction — unlike the double kernels above, no fixed
+// summation order is needed to keep the determinism contract. The
+// blocked path exploits exactly that freedom: it packs the weight
+// operand into int16 rows zero-padded to a vector multiple so the
+// reduction compiles to widening multiply-accumulate idioms (pmaddwd
+// and friends), which plain int8 loads would not.
+//
+// Precondition (asserted): 127*127*k + 2^30 must stay below 2^31,
+// i.e. k <= ~66000 — the int32 accumulators must never overflow.
+// Every shape in this codebase has k <= 64; the clamped bias seeds
+// QuantizedMlp produces respect the 2^30 headroom.
+
+/**
+ * Fixed-point requantization parameters for one output channel.
+ * Encodes a positive real scale f as multiplier * 2^-shift with
+ * multiplier a Q31 mantissa: f = multiplier / 2^shift.
+ */
+struct Requant
+{
+    /** Q31 mantissa in [2^30, 2^31) (0 encodes "scale collapses to 0"). */
+    std::int32_t multiplier = 0;
+    /** Total right shift; 31 - exp2(scale). Negative means left shift. */
+    std::int32_t shift = 0;
+};
+
+/** Encode a positive, finite real scale into Requant via frexp. */
+Requant requantScale(double scale);
+
+/**
+ * Apply @p rq to an int32 accumulator: round-half-away-from-zero
+ * fixed-point multiply, i.e. round(acc * multiplier * 2^-shift) with
+ * ties breaking away from zero, saturated to int32. Inline so the
+ * epilogue loops in kernels_i8.cpp flatten it.
+ */
+inline std::int32_t
+requantize(std::int32_t acc, Requant rq)
+{
+    const std::int64_t prod =
+        static_cast<std::int64_t>(acc) * rq.multiplier;
+    const std::int32_t t = rq.shift;
+    if (t > 62) {
+        return 0; // |prod| < 2^62 always rounds to zero at this shift
+    }
+    std::int64_t v;
+    if (t <= 0) {
+        // Pathological scale >= 2^31: plain left shift, then saturate.
+        const std::uint64_t mag =
+            static_cast<std::uint64_t>(prod < 0 ? -prod : prod);
+        if (-t >= 63 || (mag >> (62 + t)) != 0) {
+            return prod < 0 ? std::numeric_limits<std::int32_t>::min()
+                            : std::numeric_limits<std::int32_t>::max();
+        }
+        v = prod << -t;
+    } else {
+        // Branch-free round-half-away-from-zero: shift the magnitude,
+        // restore the sign arithmetically. The sign of prod is data-
+        // dependent (a coin flip on real activations), so a branch
+        // here would mispredict half the time and dominate the whole
+        // epilogue.
+        const std::int64_t half = std::int64_t{1} << (t - 1);
+        const std::int64_t sign = prod >> 63; // 0 or -1
+        const std::int64_t mag = (prod ^ sign) - sign;
+        v = (((mag + half) >> t) ^ sign) - sign;
+    }
+    if (v > std::numeric_limits<std::int32_t>::max()) {
+        return std::numeric_limits<std::int32_t>::max();
+    }
+    if (v < std::numeric_limits<std::int32_t>::min()) {
+        return std::numeric_limits<std::int32_t>::min();
+    }
+    return static_cast<std::int32_t>(v);
+}
+
+/**
+ * Saturate an int32 to the symmetric int8 range [lo, 127]; @p lo is
+ * -127 normally and 0 under the fused ReLU epilogue (the clamp IS the
+ * activation in the quantized domain). -128 is never produced, keeping
+ * the representable range symmetric about zero.
+ */
+inline std::int8_t
+saturateI8(std::int32_t v, std::int32_t lo)
+{
+    const std::int32_t clamped = v < lo ? lo : (v > 127 ? 127 : v);
+    return static_cast<std::int8_t>(clamped);
+}
+
+/**
+ * Weight operand of the blocked int8 kernels, packed once and reused
+ * across calls — the int8 analogue of Mlp's eagerly-refreshed
+ * transposes. Rows are indexed by PAIRS of reduction indices with
+ * each output channel contributing an adjacent int16 (W[j][2h],
+ * W[j][2h+1]) pair, zero-padded to even k and a vector multiple of
+ * channels, which is exactly the shape one pmaddwd consumes. Padding
+ * cannot change bits (zero products) and packing per construction
+ * instead of per call removes the dominant overhead on small layers.
+ */
+struct PackedI8
+{
+    PackedI8() = default;
+
+    /**
+     * Pack @p w (row-major n x k, output-channel major) and @p bias
+     * (n int32 seeds, may be null).
+     */
+    PackedI8(std::size_t n, std::size_t k, const std::int8_t *w,
+             const std::int32_t *bias);
+
+    std::size_t k = 0;
+    std::size_t n = 0;
+    /** ceil(k / 2): reduction pairs per packed row. */
+    std::size_t k_half = 0;
+    /** n rounded up to the kernel's channel-tile width. */
+    std::size_t n_pad = 0;
+    /** k_half rows of 2 * n_pad int16 interleaved channel pairs. */
+    std::vector<std::int16_t> wpack;
+    /** n_pad int32 accumulator seeds (zeros beyond n / null bias). */
+    std::vector<std::int32_t> bias_pad;
+};
+
+/**
+ * C(int32) = A(int8) * W^T(int8) + bias.
+ *
+ * A is m x k row-major; @p w is the weight matrix in its natural
+ * row-major n x k layout (output channel major — the SAME operand
+ * gemvI8 takes, no transpose needed), so C[i,j] = bias[j] + dot of
+ * A row i with W row j. C is m x n; @p bias (n int32 values) may be
+ * null. Used for the final MLP layer, whose accumulators are
+ * dequantized to double by the caller.
+ */
+void gemmI8(std::size_t m, std::size_t k, std::size_t n,
+            const std::int8_t *a, const std::int8_t *w,
+            const std::int32_t *bias, std::int32_t *c);
+
+/**
+ * Pre-packed variant of gemmI8: always the blocked path (no backend
+ * dispatch — callers wanting the naive oracle hold the raw operands),
+ * bit-identical to it and to the naive loops.
+ */
+void gemmI8(std::size_t m, const PackedI8 &w, const std::int8_t *a,
+            std::int32_t *c);
+
+/**
+ * Fused hidden-layer step:
+ * C(int8) = saturate(requantize(A*W^T + bias, rq[j]), relu ? 0 : -127).
+ * The bias seeds the int32 accumulators (no separate bias pass) and the
+ * ReLU rides the requantizing store as a clamp. Operand layout matches
+ * gemmI8; @p rq holds n per-output-channel entries.
+ */
+void gemmI8Requant(std::size_t m, std::size_t k, std::size_t n,
+                   const std::int8_t *a, const std::int8_t *w,
+                   const std::int32_t *bias, const Requant *rq, bool relu,
+                   std::int8_t *c);
+
+/** Pre-packed variant of gemmI8Requant (always the blocked path). */
+void gemmI8Requant(std::size_t m, const PackedI8 &w,
+                   const std::int8_t *a, const Requant *rq, bool relu,
+                   std::int8_t *c);
+
+/**
+ * y(int32) = W(int8) * x(int8) + bias for one sample: W is rows x cols
+ * row-major, x has cols values, y gets rows values. Bit-identical to a
+ * one-row gemmI8 by integer associativity.
+ */
+void gemvI8(std::size_t rows, std::size_t cols, const std::int8_t *w,
+            const std::int8_t *x, const std::int32_t *bias,
+            std::int32_t *y);
+
+/** Pre-packed variant of gemvI8 (always the blocked path). */
+void gemvI8(const PackedI8 &w, const std::int8_t *x, std::int32_t *y);
 
 } // namespace kodan::ml::kernels
 

@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Int8 x int8 -> int32 GEMM/GEMV kernels with a fused requantizing
+ * bias+ReLU epilogue — the integer substrate under QuantizedMlp.
+ *
+ * This TU gets the same compile-option treatment as kernels.cpp
+ * (-O3 -funroll-loops, plus -march=native under -DKODAN_NATIVE=ON).
+ *
+ * Layout strategy (x86-64): the classic pair-interleaved int16
+ * multiply-add microkernel. Weights are packed (once, via PackedI8,
+ * or per call from raw operands) into rows indexed by PAIRS of
+ * reduction indices, with each output channel contributing an
+ * adjacent (W[j][2h], W[j][2h+1]) int16 pair; each A row is packed
+ * into broadcastable int32 pair lanes. One pmaddwd then advances four
+ * (SSE2) or eight (AVX2) output channels by two reduction steps —
+ * accumulators stay vertical in vector registers for the whole
+ * reduction, so there are NO horizontal reductions and no padding
+ * waste beyond rounding k up to even (autovectorized dot-product
+ * forms lost half their throughput to exactly those two costs). A is
+ * walked two rows at a time so every packed weight row feeds two
+ * accumulator sets per load. Non-x86 targets fall back to a portable
+ * form of the same layout that the autovectorizer handles adequately.
+ *
+ * Nothing here depends on evaluation order, padding, tiling, or ISA
+ * for the bits: pmaddwd on int8-range values is exact (no saturation
+ * below |32767|), integer addition is exactly associative, and pads
+ * contribute zero products — so SSE2, AVX2, portable, and naive paths
+ * are bit-identical BY CONSTRUCTION at any KODAN_THREADS, any batch
+ * split, and any blocking; the property tests pin it anyway. The
+ * int32 accumulators must not overflow (see kernels.hpp; asserted
+ * here).
+ */
+
+#include "ml/kernels.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "telemetry/telemetry.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define KODAN_I8_SIMD 1
+#include <emmintrin.h>
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define KODAN_RESTRICT __restrict__
+#else
+#define KODAN_RESTRICT
+#endif
+
+namespace kodan::ml::kernels {
+
+namespace {
+
+/** Largest reduction length whose accumulator cannot overflow int32
+ *  given the 2^30 bias headroom (see kernels.hpp). */
+constexpr std::size_t kMaxK =
+    ((std::size_t{1} << 31) - (std::size_t{1} << 30)) / (127 * 127);
+
+/** Output channels advance in vector tiles of this width; the packed
+ *  weight rows and the accumulator rows are zero-padded to it. */
+constexpr std::size_t kTileN = 16;
+
+/** Pack one A row into broadcastable int16-pair lanes. */
+inline void
+packARow(const std::int8_t *a_row, std::size_t k, std::size_t k_half,
+         std::int32_t *a_pairs)
+{
+    for (std::size_t h = 0; h + 1 < k_half; ++h) {
+        const std::uint16_t lo = static_cast<std::uint16_t>(
+            static_cast<std::int16_t>(a_row[2 * h]));
+        const std::uint16_t hi = static_cast<std::uint16_t>(
+            static_cast<std::int16_t>(a_row[2 * h + 1]));
+        a_pairs[h] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(lo) |
+            (static_cast<std::uint32_t>(hi) << 16));
+    }
+    // Last pair: the second lane is zero when k is odd.
+    const std::size_t h = k_half - 1;
+    const std::uint16_t lo = static_cast<std::uint16_t>(
+        static_cast<std::int16_t>(a_row[2 * h]));
+    const std::uint16_t hi =
+        2 * h + 1 < k ? static_cast<std::uint16_t>(
+                            static_cast<std::int16_t>(a_row[2 * h + 1]))
+                      : 0;
+    a_pairs[h] = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(lo) |
+        (static_cast<std::uint32_t>(hi) << 16));
+}
+
+#ifdef KODAN_I8_SIMD
+
+#ifdef __AVX2__
+
+/** One packed A row x packed weights -> acc[0, n_pad). */
+void
+simdRow1(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    const std::size_t stride = 2 * pw.n_pad;
+    for (std::size_t jt = 0; jt < pw.n_pad; jt += kTileN) {
+        __m256i acc0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pw.bias_pad.data() + jt));
+        __m256i acc1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                pw.bias_pad.data() + jt + 8));
+        const std::int16_t *w = pw.wpack.data() + 2 * jt;
+        for (std::size_t h = 0; h < pw.k_half; ++h) {
+            const __m256i ap = _mm256_set1_epi32(a_pairs[h]);
+            const std::int16_t *w_row = w + h * stride;
+            acc0 = _mm256_add_epi32(
+                acc0,
+                _mm256_madd_epi16(
+                    ap, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(w_row))));
+            acc1 = _mm256_add_epi32(
+                acc1, _mm256_madd_epi16(
+                          ap, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i *>(
+                                      w_row + 16))));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + jt), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + jt + 8),
+                            acc1);
+    }
+}
+
+/** Two packed A rows x packed weights -> acc rows 0 and n_pad; each
+ *  weight load feeds both rows' accumulator chains. */
+void
+simdRow2(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    const std::size_t stride = 2 * pw.n_pad;
+    const std::int32_t *a1 = a_pairs + pw.k_half;
+    for (std::size_t jt = 0; jt < pw.n_pad; jt += kTileN) {
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pw.bias_pad.data() + jt));
+        const __m256i b1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                pw.bias_pad.data() + jt + 8));
+        __m256i r0c0 = b0;
+        __m256i r0c1 = b1;
+        __m256i r1c0 = b0;
+        __m256i r1c1 = b1;
+        const std::int16_t *w = pw.wpack.data() + 2 * jt;
+        for (std::size_t h = 0; h < pw.k_half; ++h) {
+            const std::int16_t *w_row = w + h * stride;
+            const __m256i w0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w_row));
+            const __m256i w1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(w_row + 16));
+            const __m256i ap0 = _mm256_set1_epi32(a_pairs[h]);
+            const __m256i ap1 = _mm256_set1_epi32(a1[h]);
+            r0c0 = _mm256_add_epi32(r0c0, _mm256_madd_epi16(ap0, w0));
+            r0c1 = _mm256_add_epi32(r0c1, _mm256_madd_epi16(ap0, w1));
+            r1c0 = _mm256_add_epi32(r1c0, _mm256_madd_epi16(ap1, w0));
+            r1c1 = _mm256_add_epi32(r1c1, _mm256_madd_epi16(ap1, w1));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + jt), r0c0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + jt + 8),
+                            r0c1);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(acc + pw.n_pad + jt), r1c0);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(acc + pw.n_pad + jt + 8), r1c1);
+    }
+}
+
+#else // SSE2
+
+void
+simdRow1(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    const std::size_t stride = 2 * pw.n_pad;
+    for (std::size_t jt = 0; jt < pw.n_pad; jt += kTileN) {
+        __m128i acc0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(pw.bias_pad.data() + jt));
+        __m128i acc1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+            pw.bias_pad.data() + jt + 4));
+        __m128i acc2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+            pw.bias_pad.data() + jt + 8));
+        __m128i acc3 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+            pw.bias_pad.data() + jt + 12));
+        const std::int16_t *w = pw.wpack.data() + 2 * jt;
+        for (std::size_t h = 0; h < pw.k_half; ++h) {
+            const __m128i ap = _mm_set1_epi32(a_pairs[h]);
+            const std::int16_t *w_row = w + h * stride;
+            acc0 = _mm_add_epi32(
+                acc0,
+                _mm_madd_epi16(
+                    ap, _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(w_row))));
+            acc1 = _mm_add_epi32(
+                acc1, _mm_madd_epi16(
+                          ap, _mm_loadu_si128(
+                                  reinterpret_cast<const __m128i *>(
+                                      w_row + 8))));
+            acc2 = _mm_add_epi32(
+                acc2, _mm_madd_epi16(
+                          ap, _mm_loadu_si128(
+                                  reinterpret_cast<const __m128i *>(
+                                      w_row + 16))));
+            acc3 = _mm_add_epi32(
+                acc3, _mm_madd_epi16(
+                          ap, _mm_loadu_si128(
+                                  reinterpret_cast<const __m128i *>(
+                                      w_row + 24))));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt), acc0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt + 4), acc1);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt + 8), acc2);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt + 12),
+                         acc3);
+    }
+}
+
+/** SSE2 advances 8 channels per row pair (8 accumulators + 2 weight
+ *  vectors + 2 broadcasts stays within the 16 xmm registers). */
+void
+simdRow2(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    const std::size_t stride = 2 * pw.n_pad;
+    const std::int32_t *a1 = a_pairs + pw.k_half;
+    for (std::size_t jt = 0; jt < pw.n_pad; jt += 8) {
+        const __m128i b0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(pw.bias_pad.data() + jt));
+        const __m128i b1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                pw.bias_pad.data() + jt + 4));
+        __m128i r0c0 = b0;
+        __m128i r0c1 = b1;
+        __m128i r1c0 = b0;
+        __m128i r1c1 = b1;
+        const std::int16_t *w = pw.wpack.data() + 2 * jt;
+        for (std::size_t h = 0; h < pw.k_half; ++h) {
+            const std::int16_t *w_row = w + h * stride;
+            const __m128i w0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w_row));
+            const __m128i w1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w_row + 8));
+            const __m128i ap0 = _mm_set1_epi32(a_pairs[h]);
+            const __m128i ap1 = _mm_set1_epi32(a1[h]);
+            r0c0 = _mm_add_epi32(r0c0, _mm_madd_epi16(ap0, w0));
+            r0c1 = _mm_add_epi32(r0c1, _mm_madd_epi16(ap0, w1));
+            r1c0 = _mm_add_epi32(r1c0, _mm_madd_epi16(ap1, w0));
+            r1c1 = _mm_add_epi32(r1c1, _mm_madd_epi16(ap1, w1));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt), r0c0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + jt + 4),
+                         r0c1);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(acc + pw.n_pad + jt), r1c0);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(acc + pw.n_pad + jt + 4), r1c1);
+    }
+}
+
+#endif // __AVX2__
+
+#else // !KODAN_I8_SIMD
+
+/** Portable fallback: the same packed pair layout evaluated with
+ *  scalar pair multiply-adds the autovectorizer can widen. */
+void
+simdRow1(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    const std::size_t stride = 2 * pw.n_pad;
+    std::memcpy(acc, pw.bias_pad.data(), pw.n_pad * sizeof(std::int32_t));
+    for (std::size_t h = 0; h < pw.k_half; ++h) {
+        const std::int32_t pair = a_pairs[h];
+        const auto a0 = static_cast<std::int32_t>(
+            static_cast<std::int16_t>(pair & 0xffff));
+        const auto a1 = static_cast<std::int32_t>(
+            static_cast<std::int16_t>(static_cast<std::uint32_t>(pair) >>
+                                      16));
+        const std::int16_t *w_row = pw.wpack.data() + h * stride;
+        for (std::size_t j = 0; j < pw.n_pad; ++j) {
+            acc[j] += a0 * w_row[2 * j] + a1 * w_row[2 * j + 1];
+        }
+    }
+}
+
+void
+simdRow2(const PackedI8 &pw, const std::int32_t *a_pairs,
+         std::int32_t *acc)
+{
+    simdRow1(pw, a_pairs, acc);
+    simdRow1(pw, a_pairs + pw.k_half, acc + pw.n_pad);
+}
+
+#endif // KODAN_I8_SIMD
+
+/**
+ * Blocked driver over a packed weight operand: per pair of A rows run
+ * the microkernel and hand each finished accumulator row to @p epi
+ * (storing int32 or requantizing to int8 — inlined either way).
+ */
+template <typename Epi>
+void
+runPacked(std::size_t m, const PackedI8 &pw, const std::int8_t *a,
+          Epi &&epi)
+{
+    Scratch::Frame frame(scratch());
+    auto *a_pairs = scratch().allocArray<std::int32_t>(2 * pw.k_half, 64);
+    auto *acc = scratch().allocArray<std::int32_t>(2 * pw.n_pad, 64);
+    std::size_t i = 0;
+    for (; i + 1 < m; i += 2) {
+        packARow(a + i * pw.k, pw.k, pw.k_half, a_pairs);
+        packARow(a + (i + 1) * pw.k, pw.k, pw.k_half,
+                 a_pairs + pw.k_half);
+        simdRow2(pw, a_pairs, acc);
+        epi(i, acc);
+        epi(i + 1, acc + pw.n_pad);
+    }
+    if (i < m) {
+        packARow(a + i * pw.k, pw.k, pw.k_half, a_pairs);
+        simdRow1(pw, a_pairs, acc);
+        epi(i, acc);
+    }
+}
+
+/** The scalar reference loops (Backend::Naive oracle). Unsigned
+ *  accumulation keeps even out-of-contract shapes UB-free. */
+void
+gemmI8Naive(std::size_t m, std::size_t k, std::size_t n,
+            const std::int8_t *a, const std::int8_t *w,
+            const std::int32_t *bias, std::int32_t *c)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::int8_t *a_row = a + i * k;
+        std::int32_t *c_row = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::int8_t *w_row = w + j * k;
+            std::uint32_t z =
+                static_cast<std::uint32_t>(bias != nullptr ? bias[j] : 0);
+            for (std::size_t p = 0; p < k; ++p) {
+                z += static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(a_row[p]) *
+                    static_cast<std::int32_t>(w_row[p]));
+            }
+            c_row[j] = static_cast<std::int32_t>(z);
+        }
+    }
+}
+
+/**
+ * Requantizing store epilogue. The per-channel constants are expanded
+ * once per GEMM call into int64 lanes (multiplier, rounding half,
+ * shift) so the row loop carries no unpacking, and the [lo, 127]
+ * clamp is applied straight to the 64-bit value — identical result to
+ * requantize() + saturateI8(), as the int32 saturation bounds are
+ * strictly outside [-127, 127]. Channels whose scale is degenerate
+ * (shift outside [1, 62] — never produced by real calibrations) drop
+ * the whole call to the generic per-element path.
+ *
+ * The row loop stays branch-free: the sign of each product is a coin
+ * flip on real activations, and a mispredicting branch there dominates
+ * the whole epilogue. Locals are hoisted out of `this` because the
+ * int8 stores are signed char and would otherwise force the compiler
+ * to reload every member each iteration. Under AVX2 the loop runs four
+ * channels per step on vpmuldq/vpsrlvq with a 64-bit compare-blend
+ * clamp — every step exact, so the bits match the scalar form.
+ */
+class RequantStore
+{
+  public:
+    /** Allocates lane constants from the CALLER's scratch frame. */
+    RequantStore(std::size_t n, const Requant *rq, bool relu,
+                 std::int8_t *c)
+        : n_(n), rq_(rq), c_(c), lo_(relu ? 0 : -127)
+    {
+        fast_ = true;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rq[j].shift < 1 || rq[j].shift > 62) {
+                fast_ = false; // degenerate scale: generic requantize()
+                return;
+            }
+        }
+        mult_ = scratch().allocArray<std::int64_t>(n, 64);
+        half_ = scratch().allocArray<std::int64_t>(n, 64);
+        shift_ = scratch().allocArray<std::int64_t>(n, 64);
+        for (std::size_t j = 0; j < n; ++j) {
+            mult_[j] = rq[j].multiplier;
+            half_[j] = std::int64_t{1} << (rq[j].shift - 1);
+            shift_[j] = rq[j].shift;
+        }
+    }
+
+    void operator()(std::size_t row,
+                    const std::int32_t *KODAN_RESTRICT acc) const
+    {
+        const std::size_t n = n_;
+        std::int8_t *KODAN_RESTRICT c_row = c_ + row * n;
+        if (!fast_) {
+            const Requant *KODAN_RESTRICT rq = rq_;
+            const auto lo = static_cast<std::int32_t>(lo_);
+            for (std::size_t j = 0; j < n; ++j) {
+                c_row[j] = saturateI8(requantize(acc[j], rq[j]), lo);
+            }
+            return;
+        }
+        const std::int64_t *KODAN_RESTRICT mult = mult_;
+        const std::int64_t *KODAN_RESTRICT half = half_;
+        const std::int64_t *KODAN_RESTRICT shift = shift_;
+        const std::int64_t lo = lo_;
+        std::size_t j = 0;
+#if defined(KODAN_I8_SIMD) && defined(__AVX2__)
+        const __m256i vhi = _mm256_set1_epi64x(127);
+        const __m256i vzero = _mm256_setzero_si256();
+        const bool relu = lo == 0;
+        for (; j + 4 <= n; j += 4) {
+            // Sign-extend 4 accumulators into 64-bit lanes; vpmuldq
+            // reads (and sign-extends) the low 32 bits of each lane,
+            // so the products are the exact 64-bit acc * multiplier.
+            const __m256i acc64 = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(acc + j)));
+            const __m256i prod = _mm256_mul_epi32(
+                acc64, _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i *>(mult + j)));
+            const __m256i sign = _mm256_cmpgt_epi64(vzero, prod);
+            const __m256i mag = _mm256_sub_epi64(
+                _mm256_xor_si256(prod, sign), sign);
+            // mag + half is non-negative, so the logical variable
+            // shift IS the arithmetic one.
+            const __m256i shifted = _mm256_srlv_epi64(
+                _mm256_add_epi64(
+                    mag, _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i *>(half + j))),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(shift + j)));
+            // Clamp the magnitude to 127 (AVX2 has no 64-bit min), then
+            // apply the sign in clamped space: both saturation bounds
+            // are symmetric in magnitude — ReLU (lo = 0) zeroes the
+            // negative lanes outright, the plain store restores their
+            // sign — so the magnitude-domain clamp is exact.
+            const __m256i cmag = _mm256_blendv_epi8(
+                shifted, vhi, _mm256_cmpgt_epi64(shifted, vhi));
+            const __m256i v =
+                relu ? _mm256_andnot_si256(sign, cmag)
+                     : _mm256_sub_epi64(_mm256_xor_si256(cmag, sign),
+                                        sign);
+            const __m128i v32 = _mm_castps_si128(_mm_shuffle_ps(
+                _mm_castsi128_ps(_mm256_castsi256_si128(v)),
+                _mm_castsi128_ps(_mm256_extracti128_si256(v, 1)),
+                _MM_SHUFFLE(2, 0, 2, 0)));
+            const __m128i v8 =
+                _mm_packs_epi16(_mm_packs_epi32(v32, v32), v32);
+            std::memcpy(c_row + j, &v8, 4);
+        }
+#endif
+        for (; j < n; ++j) {
+            const std::int64_t prod =
+                static_cast<std::int64_t>(acc[j]) * mult[j];
+            // Round-half-away-from-zero in one arithmetic shift:
+            // positives bias by half, negatives by half-1 (the sign
+            // bit), which reproduces the magnitude formula for every
+            // value including exact .5 ties.
+            std::int64_t v =
+                (prod + half[j] -
+                 static_cast<std::int64_t>(
+                     static_cast<std::uint64_t>(prod) >> 63)) >>
+                shift[j];
+            v = v < lo ? lo : v;
+            v = v > 127 ? 127 : v;
+            c_row[j] = static_cast<std::int8_t>(v);
+        }
+    }
+
+  private:
+    std::size_t n_;
+    const Requant *rq_;
+    std::int8_t *c_;
+    std::int64_t lo_;
+    std::int64_t *mult_ = nullptr;
+    std::int64_t *half_ = nullptr;
+    std::int64_t *shift_ = nullptr;
+    bool fast_;
+};
+
+} // namespace
+
+PackedI8::PackedI8(std::size_t n_arg, std::size_t k_arg,
+                   const std::int8_t *w, const std::int32_t *bias)
+    : k(k_arg), n(n_arg), k_half((k_arg + 1) / 2),
+      n_pad((n_arg + kTileN - 1) / kTileN * kTileN)
+{
+    assert(k >= 1 && k <= kMaxK);
+    wpack.assign(k_half * 2 * n_pad, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::int8_t *w_row = w + j * k;
+        for (std::size_t h = 0; h < k_half; ++h) {
+            std::int16_t *dst = wpack.data() + h * 2 * n_pad + 2 * j;
+            dst[0] = w_row[2 * h];
+            dst[1] = 2 * h + 1 < k ? w_row[2 * h + 1] : 0;
+        }
+    }
+    bias_pad.assign(n_pad, 0);
+    if (bias != nullptr) {
+        std::memcpy(bias_pad.data(), bias, n * sizeof(std::int32_t));
+    }
+}
+
+void
+gemmI8(std::size_t m, const PackedI8 &w, const std::int8_t *a,
+       std::int32_t *c)
+{
+    // Shared stage-attribution row with gemmI8Requant, mirroring how
+    // the double path funnels both backends into "ml.kernels.gemm" —
+    // one span in `kodan-report profile diff` covers the whole
+    // quantized matmul substrate.
+    KODAN_TRACE_SCOPE("ml.kernels.gemm_i8");
+    if (m == 0 || w.n == 0) {
+        return;
+    }
+    const std::size_t n = w.n;
+    runPacked(m, w, a, [c, n](std::size_t row, const std::int32_t *acc) {
+        std::memcpy(c + row * n, acc, n * sizeof(std::int32_t));
+    });
+}
+
+void
+gemmI8(std::size_t m, std::size_t k, std::size_t n, const std::int8_t *a,
+       const std::int8_t *w, const std::int32_t *bias, std::int32_t *c)
+{
+    assert(k >= 1 && k <= kMaxK);
+    if (m == 0 || n == 0) {
+        return;
+    }
+    if (backend() == Backend::Naive) {
+        KODAN_TRACE_SCOPE("ml.kernels.gemm_i8");
+        gemmI8Naive(m, k, n, a, w, bias, c);
+        return;
+    }
+    gemmI8(m, PackedI8(n, k, w, bias), a, c);
+}
+
+void
+gemmI8Requant(std::size_t m, const PackedI8 &w, const std::int8_t *a,
+              const Requant *rq, bool relu, std::int8_t *c)
+{
+    KODAN_TRACE_SCOPE("ml.kernels.gemm_i8");
+    if (m == 0 || w.n == 0) {
+        return;
+    }
+    // The per-channel fixed-point rescale and the ReLU clamp are one
+    // fused pass over the finished accumulators — the quantized-domain
+    // activation IS the clamp. The frame reclaims the store's lane
+    // constants.
+    Scratch::Frame frame(scratch());
+    const RequantStore store(w.n, rq, relu, c);
+    runPacked(m, w, a, store);
+}
+
+void
+gemmI8Requant(std::size_t m, std::size_t k, std::size_t n,
+              const std::int8_t *a, const std::int8_t *w,
+              const std::int32_t *bias, const Requant *rq, bool relu,
+              std::int8_t *c)
+{
+    assert(k >= 1 && k <= kMaxK);
+    if (m == 0 || n == 0) {
+        return;
+    }
+    if (backend() == Backend::Naive) {
+        KODAN_TRACE_SCOPE("ml.kernels.gemm_i8");
+        Scratch::Frame frame(scratch());
+        auto *acc = scratch().allocArray<std::int32_t>(n);
+        const RequantStore store(n, rq, relu, c);
+        for (std::size_t i = 0; i < m; ++i) {
+            gemmI8Naive(1, k, n, a + i * k, w, bias, acc);
+            store(i, acc);
+        }
+        return;
+    }
+    gemmI8Requant(m, PackedI8(n, k, w, bias), a, rq, relu, c);
+}
+
+void
+gemvI8(const PackedI8 &w, const std::int8_t *x, std::int32_t *y)
+{
+    if (w.n == 0) {
+        return;
+    }
+    const std::size_t rows = w.n;
+    // Single sample == one-row gemm: same packed layout, same bits.
+    runPacked(1, w, x, [y, rows](std::size_t, const std::int32_t *acc) {
+        std::memcpy(y, acc, rows * sizeof(std::int32_t));
+    });
+}
+
+void
+gemvI8(std::size_t rows, std::size_t cols, const std::int8_t *w,
+       const std::int8_t *x, const std::int32_t *bias, std::int32_t *y)
+{
+    assert(cols >= 1 && cols <= kMaxK);
+    if (rows == 0) {
+        return;
+    }
+    if (backend() == Backend::Naive) {
+        gemmI8Naive(1, cols, rows, x, w, bias, y);
+        return;
+    }
+    gemvI8(PackedI8(rows, cols, w, bias), x, y);
+}
+
+} // namespace kodan::ml::kernels

@@ -133,6 +133,24 @@ class Mlp
     /** Deserialize a network previously written by save(). */
     static Mlp load(std::istream &is);
 
+    /** Number of linear layers (hidden layers + output layer). */
+    std::size_t layerCount() const { return layers_.size(); }
+
+    /**
+     * Weights of layer @p l, row-major fan_out x fan_in — the view the
+     * quantizer reads to build per-output-channel int8 siblings.
+     */
+    const Matrix &layerWeights(std::size_t l) const
+    {
+        return layers_[l].weights;
+    }
+
+    /** Bias of layer @p l (fan_out values). */
+    const std::vector<double> &layerBias(std::size_t l) const
+    {
+        return layers_[l].bias;
+    }
+
   private:
     struct Layer
     {
